@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	experiments fig8          # Figure 8: WritersBlock event rates
+//	experiments fig9          # Figure 9: protocol overhead
+//	experiments fig10         # Figure 10: stalls + normalized execution time
+//	experiments squash        # squash elimination study
+//	experiments ablations     # eviction policy / LDT / MSHR / class sweeps
+//	experiments all           # everything
+//
+// Flags -cores, -scale, -seed adjust the machine and workload sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wbsim/internal/experiments"
+	"wbsim/internal/stats"
+)
+
+func main() {
+	var (
+		cores = flag.Int("cores", 16, "number of cores")
+		scale = flag.Int("scale", 2, "workload scale factor")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	opt := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed}
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	run := func(name string) bool { return what == "all" || what == name }
+	any := false
+
+	if run("fig8") {
+		any = true
+		t, err := experiments.Fig8(opt)
+		exitOn(err)
+		fmt.Println(t)
+	}
+	if run("fig9") {
+		any = true
+		t, err := experiments.Fig9(opt)
+		exitOn(err)
+		fmt.Println(t)
+	}
+	if run("fig10") {
+		any = true
+		t, err := experiments.Fig10Stalls(opt)
+		exitOn(err)
+		fmt.Println(t)
+		r, err := experiments.Fig10Time(opt)
+		exitOn(err)
+		fmt.Println(r.Table)
+		fmt.Printf("OoO+WritersBlock vs in-order commit: %.1f%% avg, %.1f%% max\n",
+			r.AvgVsInOrder, r.MaxVsInOrder)
+		fmt.Printf("OoO+WritersBlock vs safe OoO commit: %.1f%% avg, %.1f%% max\n",
+			r.AvgVsOoO, r.MaxVsOoO)
+		fmt.Printf("(paper: 15.4%% avg / 41.9%% max, and 10.2%% avg / 28.3%% max)\n\n")
+	}
+	if run("squash") {
+		any = true
+		t, err := experiments.Squashes(opt)
+		exitOn(err)
+		fmt.Println(t)
+	}
+	if run("ablations") {
+		any = true
+		for _, f := range []func(experiments.Options) (*stats.Table, error){
+			experiments.AblateEvictionPolicy,
+			experiments.AblateLDTSize,
+			experiments.AblateReservedMSHRs,
+			experiments.ClassSweep,
+		} {
+			t, err := f(opt)
+			exitOn(err)
+			fmt.Println(t)
+		}
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (fig8|fig9|fig10|squash|ablations|all)\n", what)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+// Command litmus runs the TSO litmus suite on the simulated machine and
+// reports the outcome histograms, flagging any forbidden outcome.
+//
+// Usage:
+//
+//	litmus                 # full suite under every sound variant
+//	litmus -test MP        # one test
+//	litmus -unsafe         # also demonstrate violations under ooo-unsafe
+//	litmus -seeds 200      # more interleavings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wbsim/internal/core"
+	"wbsim/internal/litmus"
+)
+
+func main() {
+	var (
+		name   = flag.String("test", "", "run only the named test")
+		seeds  = flag.Int("seeds", 60, "independent runs per test/variant")
+		jitter = flag.Int("jitter", 24, "max random extra network latency")
+		unsafe = flag.Bool("unsafe", false, "also run the ooo-unsafe violation demo")
+	)
+	flag.Parse()
+
+	opts := litmus.Options{Seeds: *seeds, Jitter: *jitter}
+	failed := false
+	for _, t := range litmus.Suite() {
+		if *name != "" && t.Name != *name {
+			continue
+		}
+		for _, v := range core.Variants {
+			res := litmus.Run(t, v, opts)
+			status := "ok"
+			if res.Violations > 0 {
+				status = "TSO VIOLATION"
+				failed = true
+			}
+			if len(res.Errors) > 0 {
+				status = fmt.Sprintf("ERRORS (%d)", len(res.Errors))
+				failed = true
+			}
+			fmt.Printf("%-20s %-13s %-14s %s", t.Name, v, status, res.String())
+		}
+	}
+	if *unsafe {
+		fmt.Println("--- ooo-unsafe demonstration (violations are EXPECTED here) ---")
+		res := litmus.Run(litmus.MPHitUnderMiss(), core.OoOUnsafe, opts)
+		fmt.Print(res.String())
+		if res.Violations == 0 {
+			fmt.Println("note: no violation sampled; try more -seeds")
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

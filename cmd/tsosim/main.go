@@ -1,0 +1,82 @@
+// Command tsosim runs one workload on the simulated multicore and prints
+// the run statistics.
+//
+// Usage:
+//
+//	tsosim -workload fft -class SLM -variant ooo-wb -cores 16 -scale 1
+//
+// Variants: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe.
+// Classes: SLM, NHM, HSW (Table 6 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wbsim/internal/core"
+	"wbsim/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "fft", "workload name (see -list)")
+		class   = flag.String("class", "SLM", "core class: SLM, NHM, HSW")
+		variant = flag.String("variant", "ooo-wb", "system variant: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe")
+		cores   = flag.Int("cores", 16, "number of cores")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-14s %-8s %s\n", w.Name, w.Suite, w.Pattern)
+		}
+		return
+	}
+
+	w, ok := workload.Get(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tsosim: unknown workload %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig(core.Class(strings.ToUpper(*class)), core.Variant(*variant))
+	cfg.Cores = *cores
+	cfg.Seed = *seed
+
+	sys, res, err := workload.Run(w, cfg, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsosim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload            %s (%s)\n", w.Name, w.Pattern)
+	fmt.Printf("machine             %d cores, %s-class, %s\n", cfg.Cores, *class, *variant)
+	fmt.Printf("cycles              %d\n", res.Cycles)
+	fmt.Printf("instructions        %d (%.3f IPC/core)\n", res.Committed,
+		float64(res.Committed)/float64(res.Cycles)/float64(cfg.Cores))
+	fmt.Printf("loads / stores      %d / %d\n", res.CommittedLoads, res.CommittedStores)
+	fmt.Printf("ooo commits         %d (%d M-speculative)\n", res.CommittedOoO, res.MSpecCommits)
+	fmt.Printf("squashes            %d (consistency: %d inv + %d evict)\n",
+		res.Squashed, res.SquashInv, res.SquashEvict)
+	fmt.Printf("blocked writes      %d (%.3f per kilo-store)\n", res.BlockedWrites,
+		permille(res.BlockedWrites, res.CommittedStores))
+	fmt.Printf("uncacheable reads   %d (%.3f per kilo-load)\n", res.UncacheableReads,
+		permille(res.UncacheableReads, res.CommittedLoads))
+	fmt.Printf("nacks / delayed-ack %d / %d\n", res.Nacks, res.DelayedAcks)
+	fmt.Printf("network             %d msgs, %d flits, %d flit-hops\n",
+		res.NetMessages, res.NetFlits, res.NetFlitHops)
+	fmt.Printf("stall cycles        ROB=%d LQ=%d SQ=%d other=%d (of %d core-cycles)\n",
+		res.StallROB, res.StallLQ, res.StallSQ, res.StallOther, res.CoreCycles)
+	_ = sys
+}
+
+func permille(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 1000 * float64(n) / float64(d)
+}

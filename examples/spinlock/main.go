@@ -1,0 +1,43 @@
+// Spinlock example: a producer publishes generations of data guarded by
+// a flag while consumers spin — the scenario of Section 3.4, where reads
+// racing a blocked write must receive uncacheable tear-off copies so the
+// write is not delayed forever (livelock freedom).
+//
+// The example runs the same workload over the base protocol and over
+// WritersBlock and prints the protocol-level events: blocked writes,
+// Nacks, tear-off reads, and the consistency squashes that WritersBlock
+// eliminates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wbsim"
+)
+
+func main() {
+	w, ok := wbsim.GetWorkload("spinflag")
+	if !ok {
+		log.Fatal("spinflag workload missing")
+	}
+
+	for _, v := range []wbsim.Variant{wbsim.OoOBase, wbsim.OoOWB} {
+		cfg := wbsim.SmallConfig(4, v)
+		_, res, err := wbsim.RunWorkload(w, cfg, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n", v)
+		fmt.Printf("cycles                   %d\n", res.Cycles)
+		fmt.Printf("committed                %d\n", res.Committed)
+		fmt.Printf("writes blocked by locks  %d\n", res.BlockedWrites)
+		fmt.Printf("nacks / delayed acks     %d / %d\n", res.Nacks, res.DelayedAcks)
+		fmt.Printf("uncacheable tear-offs    %d (retried by unordered loads: %d)\n",
+			res.UncacheableReads, res.TearoffRetries)
+		fmt.Printf("consistency squashes     %d\n\n", res.SquashInv+res.SquashEvict)
+	}
+	fmt.Println("WritersBlock replaces squash-and-re-execute with short write delays;")
+	fmt.Println("spinning readers keep reading the old value from tear-off copies, so")
+	fmt.Println("the blocked write is never starved (no livelock).")
+}

@@ -1,0 +1,3 @@
+module wbsim
+
+go 1.22

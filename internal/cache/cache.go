@@ -1,0 +1,153 @@
+// Package cache provides the storage structures shared by the private
+// cache units and the LLC banks: set-associative tag/data arrays with LRU
+// replacement, and MSHR files with the resource partitioning the paper
+// requires (at least one MSHR always reserved for SoS loads, Section
+// 3.5.2).
+package cache
+
+import (
+	"fmt"
+
+	"wbsim/internal/mem"
+)
+
+// Entry is one cache frame. State is owned by the coherence layer; the
+// array only distinguishes valid (allocated) from invalid frames.
+type Entry struct {
+	Line  mem.Line
+	Data  mem.LineData
+	State int
+	Dirty bool
+
+	valid bool
+	lru   uint64
+	set   int
+}
+
+// Valid reports whether the frame holds a line.
+func (e *Entry) Valid() bool { return e.valid }
+
+// Array is a set-associative cache array.
+type Array struct {
+	sets    int
+	ways    int
+	frames  []Entry
+	index   map[mem.Line]*Entry
+	lruTick uint64
+}
+
+// NewArray builds an array with the given line capacity and associativity.
+// capacityLines must be a positive multiple of ways.
+func NewArray(capacityLines, ways int) *Array {
+	if capacityLines <= 0 || ways <= 0 || capacityLines%ways != 0 {
+		panic(fmt.Sprintf("cache: bad geometry capacity=%d ways=%d", capacityLines, ways))
+	}
+	a := &Array{
+		sets:   capacityLines / ways,
+		ways:   ways,
+		frames: make([]Entry, capacityLines),
+		index:  make(map[mem.Line]*Entry, capacityLines),
+	}
+	for i := range a.frames {
+		a.frames[i].set = i / ways
+	}
+	return a
+}
+
+// Sets returns the number of sets.
+func (a *Array) Sets() int { return a.sets }
+
+// Ways returns the associativity.
+func (a *Array) Ways() int { return a.ways }
+
+// setOf maps a line to its set index. The index is drawn from a
+// Fibonacci hash of the line number rather than its low bits: in a
+// banked system the bank-interleaving already consumes the low bits, so
+// a plain modulo would alias bank and set selection and leave most sets
+// of every bank unused.
+func (a *Array) setOf(l mem.Line) int {
+	return int((uint64(l) * 0x9e3779b97f4a7c15 >> 17) % uint64(a.sets))
+}
+
+// SetIndex exposes the line-to-set mapping (tests use it to construct
+// conflicting line sets).
+func (a *Array) SetIndex(l mem.Line) int { return a.setOf(l) }
+
+// Lookup returns the frame holding l, or nil. It does not update LRU; use
+// Touch on an access that should refresh recency.
+func (a *Array) Lookup(l mem.Line) *Entry {
+	return a.index[l]
+}
+
+// Touch marks e as most recently used.
+func (a *Array) Touch(e *Entry) {
+	a.lruTick++
+	e.lru = a.lruTick
+}
+
+// Victim returns the frame that would be allocated for l: an invalid frame
+// in l's set if one exists, otherwise the LRU valid frame. The returned
+// frame may hold another line (the caller must evict it first). Frames for
+// which keep(entry) returns true are skipped (used to avoid victimizing
+// lines with special protocol state); if every frame is kept, Victim
+// returns nil.
+func (a *Array) Victim(l mem.Line, keep func(*Entry) bool) *Entry {
+	set := a.setOf(l)
+	base := set * a.ways
+	var victim *Entry
+	for i := 0; i < a.ways; i++ {
+		e := &a.frames[base+i]
+		if !e.valid {
+			return e
+		}
+		if keep != nil && keep(e) {
+			continue
+		}
+		if victim == nil || e.lru < victim.lru {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// Install places line l in frame e (which must be invalid or already
+// evicted by the caller) and returns it.
+func (a *Array) Install(e *Entry, l mem.Line) *Entry {
+	if e.valid {
+		panic(fmt.Sprintf("cache: installing %v over valid frame holding %v", l, e.Line))
+	}
+	if a.setOf(l) != e.set {
+		panic(fmt.Sprintf("cache: line %v does not map to frame set %d", l, e.set))
+	}
+	e.Line = l
+	e.valid = true
+	e.Dirty = false
+	e.State = 0
+	e.Data = mem.LineData{}
+	a.index[l] = e
+	a.Touch(e)
+	return e
+}
+
+// Evict invalidates frame e, removing it from the index.
+func (a *Array) Evict(e *Entry) {
+	if !e.valid {
+		return
+	}
+	delete(a.index, e.Line)
+	e.valid = false
+	e.Dirty = false
+	e.State = 0
+}
+
+// Occupancy reports the number of valid frames.
+func (a *Array) Occupancy() int { return len(a.index) }
+
+// ForEach visits every valid frame (in frame order, deterministic).
+func (a *Array) ForEach(f func(*Entry)) {
+	for i := range a.frames {
+		if a.frames[i].valid {
+			f(&a.frames[i])
+		}
+	}
+}

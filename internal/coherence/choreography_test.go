@@ -1,0 +1,203 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wbsim/internal/mem"
+	"wbsim/internal/network"
+	"wbsim/internal/sim"
+)
+
+// recorder wraps a network receiver and logs every protocol message
+// delivered to it, so tests can assert the exact transaction
+// choreography of the paper's figures.
+type recorder struct {
+	name  string
+	inner network.Receiver
+	log   *[]string
+}
+
+func (r *recorder) Receive(now sim.Cycle, m *network.Message) {
+	msg := m.Payload.(*Msg)
+	*r.log = append(*r.log, fmt.Sprintf("%s<-%v", r.name, msg.Type))
+	r.inner.Receive(now, m)
+}
+
+// newTracedRig builds a 3-tile rig whose endpoints record deliveries.
+func newTracedRig(t *testing.T) (*rig, *[]string) {
+	t.Helper()
+	params := testParams()
+	n := 3
+	mesh := network.NewMesh(network.DefaultConfig(n), nil)
+	memory := mem.NewMemory()
+	r := &rig{t: t, mesh: mesh, memory: memory}
+	home := func(l mem.Line) network.Endpoint {
+		return network.Endpoint(n + int(uint64(l)%uint64(n)))
+	}
+	log := &[]string{}
+	routers := mesh.Routers()
+	for i := 0; i < n; i++ {
+		fc := newFakeCore()
+		p := NewPCU(network.Endpoint(i), mesh, &params, home, fc, ModeLockdown)
+		fc.pcu = p
+		mesh.Attach(network.Endpoint(i), i%routers, &recorder{name: fmt.Sprintf("core%d", i), inner: p, log: log})
+		b := NewBank(network.Endpoint(n+i), mesh, &params, memory)
+		mesh.Attach(network.Endpoint(n+i), i%routers, &recorder{name: fmt.Sprintf("bank%d", i), inner: b, log: log})
+		r.cores = append(r.cores, fc)
+		r.pcus = append(r.pcus, p)
+		r.banks = append(r.banks, b)
+	}
+	return r, log
+}
+
+// seq asserts that the wanted events appear in the log in order
+// (not necessarily adjacent).
+func assertSeq(t *testing.T, log []string, want ...string) {
+	t.Helper()
+	i := 0
+	for _, ev := range log {
+		if i < len(want) && ev == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("choreography mismatch: matched %d/%d of %v\nfull log:\n  %s",
+			i, len(want), want, strings.Join(log, "\n  "))
+	}
+}
+
+func count(log []string, ev string) int {
+	n := 0
+	for _, e := range log {
+		if e == ev {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFigure3BChoreography replays the paper's Figure 3.B end to end and
+// asserts the exact message sequence of a write that hits a lockdown:
+//
+//	writer GetX -> dir Inv -> sharer Nack -> dir (WritersBlock)
+//	... lockdown lifts: DelayedAck -> dir RedirAck -> writer Unblock
+//
+// plus the Figure 4 read: a concurrent GetS is answered with Tearoff.
+func TestFigure3BChoreography(t *testing.T) {
+	r, log := newTracedRig(t)
+	addr := mem.Addr(0x5000)
+	line := mem.LineOf(addr)
+	bank := fmt.Sprintf("bank%d", int(uint64(line)%3))
+	r.memory.WriteWord(addr, 10)
+
+	// Sharer setup: core 1 caches the line (via core 2 first, so the
+	// line is Shared at the directory, not Exclusive).
+	r.pcus[2].Load(r.now(), 100, addr, true)
+	r.settle()
+	r.pcus[1].Load(r.now(), 1, addr, true)
+	r.settle()
+	r.cores[1].lockLines[line] = true
+	*log = (*log)[:0] // start the trace at the write
+
+	// Step 1-3 of Figure 3.B: write request, invalidation, Nack.
+	r.pcus[0].StoreWrite(r.now(), addr, 99)
+	r.run(1500)
+	assertSeq(t, *log,
+		bank+"<-GetX",
+		"core1<-Inv",
+		bank+"<-Nack",
+	)
+	// Figure 4: a read during WritersBlock gets an uncacheable tear-off.
+	r.pcus[2].Load(r.now(), 2, addr, true)
+	r.run(1500)
+	assertSeq(t, *log, bank+"<-GetS", "core2<-Tearoff")
+	if ev := r.cores[2].loads[2]; !ev.tearoff || ev.value != 10 {
+		t.Fatalf("tear-off: %+v", ev)
+	}
+	// No write performed yet.
+	if r.pcus[0].StoreWrite(r.now(), addr, 99) {
+		t.Fatal("write performed during WritersBlock")
+	}
+
+	// Steps 4-5: the lockdown lifts; the Ack redirects via the directory.
+	r.cores[1].lift(r.now(), line)
+	r.settle()
+	assertSeq(t, *log,
+		bank+"<-DelayedAck",
+		"core0<-RedirAck",
+		bank+"<-Unblock",
+	)
+	if !r.pcus[0].StoreWrite(r.now(), addr, 99) {
+		t.Fatal("write still blocked after the lockdown lifted")
+	}
+	// Exactly one Nack, one DelayedAck, one RedirAck in the whole run.
+	for _, ev := range []string{bank + "<-Nack", bank + "<-DelayedAck", "core0<-RedirAck"} {
+		if n := count(*log, ev); n != 1 {
+			t.Errorf("%s appeared %d times, want 1", ev, n)
+		}
+	}
+}
+
+// TestBaseWriteChoreography asserts the unmodified base-protocol write of
+// Figure 3.A: invalidation acks flow directly to the writer and the
+// directory sees only GetX + Unblock.
+func TestBaseWriteChoreography(t *testing.T) {
+	r, log := newTracedRig(t)
+	addr := mem.Addr(0x5000)
+	line := mem.LineOf(addr)
+	bank := fmt.Sprintf("bank%d", int(uint64(line)%3))
+
+	r.pcus[2].Load(r.now(), 100, addr, true)
+	r.settle()
+	r.pcus[1].Load(r.now(), 1, addr, true)
+	r.settle()
+	*log = (*log)[:0]
+
+	r.pcus[0].StoreWrite(r.now(), addr, 7)
+	r.settle()
+	assertSeq(t, *log,
+		bank+"<-GetX",
+		"core0<-DataExcl",
+		bank+"<-Unblock",
+	)
+	// Both sharers acked directly to the writer; the directory never saw
+	// a Nack or DelayedAck.
+	if n := count(*log, "core0<-InvAck"); n != 2 {
+		t.Errorf("writer received %d direct InvAcks, want 2", n)
+	}
+	for _, ev := range []string{bank + "<-Nack", bank + "<-DelayedAck"} {
+		if count(*log, ev) != 0 {
+			t.Errorf("base protocol produced %s", ev)
+		}
+	}
+}
+
+// TestThreeHopReadChoreography asserts the 3-hop read with Unblock of the
+// base protocol: GetS -> FwdGetS -> Data (to requester) + OwnerData (to
+// the directory) -> Unblock.
+func TestThreeHopReadChoreography(t *testing.T) {
+	r, log := newTracedRig(t)
+	addr := mem.Addr(0x6000)
+	line := mem.LineOf(addr)
+	bank := fmt.Sprintf("bank%d", int(uint64(line)%3))
+
+	// Core 0 owns the line dirty.
+	r.pcus[0].Load(r.now(), 1, addr, true)
+	r.settle()
+	if !r.pcus[0].StoreWrite(r.now(), addr, 55) {
+		t.Fatal("owner write failed")
+	}
+	*log = (*log)[:0]
+
+	r.pcus[1].Load(r.now(), 2, addr, true)
+	r.settle()
+	// Data (to the requester) and OwnerData (to the directory) are sent
+	// concurrently and may arrive in either order; both precede Unblock.
+	assertSeq(t, *log, bank+"<-GetS", "core0<-FwdGetS", "core1<-Data", bank+"<-Unblock")
+	assertSeq(t, *log, bank+"<-GetS", "core0<-FwdGetS", bank+"<-OwnerData", bank+"<-Unblock")
+	if ev := r.cores[1].loads[2]; ev.value != 55 {
+		t.Fatalf("3-hop read value %d", ev.value)
+	}
+}

@@ -1,0 +1,794 @@
+package coherence
+
+import (
+	"fmt"
+
+	"wbsim/internal/cache"
+	"wbsim/internal/mem"
+	"wbsim/internal/network"
+	"wbsim/internal/sim"
+)
+
+// Directory line states. Stable states are Invalid/Shared/Exclusive;
+// Fetching covers the memory access; Busy covers an in-flight transaction
+// awaiting Unblock; WB is the paper's WritersBlock transient state, which
+// blocks writes but serves reads with uncacheable tear-off data.
+type dirKind int
+
+const (
+	dirInvalid dirKind = iota
+	dirShared
+	dirExclusive
+	dirFetching
+	dirBusy
+	dirWB
+)
+
+func (k dirKind) String() string {
+	switch k {
+	case dirInvalid:
+		return "I"
+	case dirShared:
+		return "S"
+	case dirExclusive:
+		return "E/M"
+	case dirFetching:
+		return "Fetch"
+	case dirBusy:
+		return "Busy"
+	case dirWB:
+		return "WB"
+	}
+	return "?"
+}
+
+// dirTxn tracks one in-flight transaction at the directory.
+type dirTxn struct {
+	write     bool
+	eviction  bool
+	requester network.Endpoint
+	grantExcl bool // read transaction granted exclusivity (MESI E)
+
+	// Read-forward bookkeeping: a 3-hop read completes when the owner's
+	// clean copy and the requester's Unblock have both arrived.
+	fwd          bool
+	gotOwnerData bool
+	gotUnblock   bool
+	oldOwner     network.Endpoint
+
+	// Eviction bookkeeping: invalidation responses still outstanding.
+	acksPending int
+
+	// WritersBlock bookkeeping: DelayedAcks still expected from cores
+	// whose lockdowns nacked the invalidation.
+	delayedPending int
+	hinted         bool
+}
+
+// dirLine is the directory slice entry for one line, including the LLC
+// bank's copy of the data.
+type dirLine struct {
+	line      mem.Line
+	kind      dirKind
+	sharers   []network.Endpoint // deterministic order (insertion)
+	owner     network.Endpoint
+	hasOwner  bool
+	data      mem.LineData
+	dataValid bool // data is the current value of the line
+	dirty     bool // data differs from memory
+	txn       *dirTxn
+	pending   []*Msg // queued requests (writes while WB; everything while Busy/Fetching)
+	inEvBuf   bool
+	frame     *cache.Entry
+}
+
+// BankStats counts the protocol events that Figures 8 and 9 report.
+type BankStats struct {
+	GetS             uint64
+	GetX             uint64
+	BlockedWrites    uint64 // write transactions that hit >=1 lockdown (Figure 8 top)
+	UncacheableReads uint64 // tear-off data responses (Figure 8 bottom)
+	WBEntries        uint64 // times a line entered WritersBlock
+	QueuedWrites     uint64 // writes queued behind a WritersBlock
+	Evictions        uint64
+	EvictionsWB      uint64 // evictions that landed in the eviction buffer in WB
+	UncacheableFull  uint64 // uncacheable reads forced by a full eviction buffer
+	MemReads         uint64
+	MemWrites        uint64
+}
+
+// Bank is one LLC bank with its directory slice.
+type Bank struct {
+	id     network.Endpoint
+	mesh   *network.Mesh
+	params *Params
+	events sim.EventQueue
+	memory *mem.Memory
+
+	array *cache.Array
+	lines map[mem.Line]*dirLine
+	evbuf map[mem.Line]*dirLine
+
+	// earlyDelayed buffers DelayedAcks that overtook their Nack in the
+	// unordered network; they are consumed when the Nack arrives.
+	earlyDelayed map[mem.Line]int
+
+	Stats BankStats
+
+	now sim.Cycle
+}
+
+// NewBank builds an LLC bank/directory slice attached to the mesh at the
+// given endpoint. memory is the (shared) backing store.
+func NewBank(id network.Endpoint, mesh *network.Mesh, params *Params, memory *mem.Memory) *Bank {
+	return &Bank{
+		id:           id,
+		mesh:         mesh,
+		params:       params,
+		memory:       memory,
+		array:        cache.NewArray(params.LLCLines, params.LLCWays),
+		lines:        make(map[mem.Line]*dirLine),
+		evbuf:        make(map[mem.Line]*dirLine),
+		earlyDelayed: make(map[mem.Line]int),
+	}
+}
+
+// Tick runs the bank's deferred events.
+func (b *Bank) Tick(now sim.Cycle) {
+	b.now = now
+	b.events.Run(now)
+}
+
+// Quiescent reports whether the bank has no pending events, transactions,
+// or queued requests.
+func (b *Bank) Quiescent() bool {
+	if !b.events.Empty() || len(b.evbuf) > 0 {
+		return false
+	}
+	for _, dl := range b.lines {
+		if dl.txn != nil || len(dl.pending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Receive implements network.Receiver.
+func (b *Bank) Receive(now sim.Cycle, nm *network.Message) {
+	b.now = now
+	m := nm.Payload.(*Msg)
+	switch m.Type {
+	case MsgGetS, MsgRetryRd:
+		b.Stats.GetS++
+		b.handleRead(m)
+	case MsgGetX:
+		b.Stats.GetX++
+		b.handleWrite(m)
+	case MsgPutM, MsgPutE, MsgPutS:
+		b.handlePut(m)
+	case MsgPutSh:
+		b.handlePutSh(m)
+	case MsgInvAck:
+		b.handleEvictionAck(m, false)
+	case MsgNack:
+		b.handleNack(m)
+	case MsgDelayedAck:
+		b.handleDelayedAck(m)
+	case MsgOwnerData:
+		b.handleOwnerData(m)
+	case MsgUnblock:
+		b.handleUnblock(m)
+	default:
+		panic(fmt.Sprintf("bank %d: unexpected %v", b.id, m.Type))
+	}
+}
+
+// sendAfter schedules a message after delay cycles of local processing.
+func (b *Bank) sendAfter(delay int, dst network.Endpoint, m *Msg) {
+	b.events.After(b.now, sim.Cycle(delay), func() {
+		send(b.mesh, b.now, b.id, dst, m, b.params.DataFlits, b.params.CtrlFlits)
+	})
+}
+
+// find returns the directory entry for line, looking in the live slice
+// first, then the eviction buffer.
+func (b *Bank) find(line mem.Line) *dirLine {
+	if dl, ok := b.lines[line]; ok {
+		return dl
+	}
+	return b.evbuf[line]
+}
+
+func (b *Bank) isSharer(dl *dirLine, ep network.Endpoint) bool {
+	for _, s := range dl.sharers {
+		if s == ep {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Bank) addSharer(dl *dirLine, ep network.Endpoint) {
+	if !b.isSharer(dl, ep) {
+		dl.sharers = append(dl.sharers, ep)
+	}
+}
+
+func (b *Bank) removeSharer(dl *dirLine, ep network.Endpoint) {
+	for i, s := range dl.sharers {
+		if s == ep {
+			dl.sharers = append(dl.sharers[:i], dl.sharers[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------
+
+// handleRead processes a GetS (or a retried read). Reads are never
+// blocked by a WritersBlock: a WB entry serves an uncacheable tear-off
+// copy of the pre-write data (Section 3.4).
+func (b *Bank) handleRead(m *Msg) {
+	dl := b.find(m.Line)
+	if dl == nil {
+		b.allocateAndFetch(m)
+		return
+	}
+	switch dl.kind {
+	case dirInvalid:
+		// No sharers: grant MESI Exclusive from the LLC copy.
+		if !dl.dataValid {
+			panic(fmt.Sprintf("bank %d: %v invalid without data", b.id, m.Line))
+		}
+		dl.kind = dirBusy
+		dl.txn = &dirTxn{requester: m.Requester, grantExcl: true}
+		b.sendAfter(b.params.LLCLatency, m.Requester,
+			&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true, Excl: true})
+	case dirShared:
+		dl.kind = dirBusy
+		dl.txn = &dirTxn{requester: m.Requester}
+		b.sendAfter(b.params.LLCLatency, m.Requester,
+			&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
+	case dirExclusive:
+		// 3-hop read: forward to the owner, who sends data to the
+		// requester and a clean copy back to the directory.
+		dl.kind = dirBusy
+		dl.txn = &dirTxn{requester: m.Requester, fwd: true, oldOwner: dl.owner}
+		b.sendAfter(b.params.TagLatency, dl.owner,
+			&Msg{Type: MsgFwdGetS, Line: m.Line, Requester: m.Requester})
+	case dirFetching, dirBusy:
+		dl.pending = append(dl.pending, m)
+	case dirWB:
+		// The heart of WritersBlock: reads are admitted and receive an
+		// uncacheable tear-off copy of the latest pre-write data.
+		b.serveTearoff(dl, m)
+	}
+}
+
+// serveTearoff replies with uncacheable data without registering the
+// reader as a sharer (Option 2 in Section 3.4 — livelock free).
+func (b *Bank) serveTearoff(dl *dirLine, m *Msg) {
+	if !dl.dataValid {
+		panic(fmt.Sprintf("bank %d: WB entry %v without valid data", b.id, dl.line))
+	}
+	b.Stats.UncacheableReads++
+	b.sendAfter(b.params.LLCLatency, m.Requester,
+		&Msg{Type: MsgTearoff, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
+}
+
+// allocateAndFetch brings a line into the directory/LLC for a request,
+// evicting a victim if needed. If no frame can be freed (every candidate
+// is Busy/WB and the eviction buffer is full) a read is served
+// uncacheably straight from memory and a write is retried via the pending
+// mechanism of a temporary fetch entry — per Section 3.5.1, only reads
+// need the uncacheable escape hatch; writes may wait.
+func (b *Bank) allocateAndFetch(m *Msg) {
+	victim := b.array.Victim(m.Line, func(e *cache.Entry) bool {
+		dl := b.lines[e.Line]
+		return dl != nil && (dl.kind == dirBusy || dl.kind == dirWB || dl.kind == dirFetching)
+	})
+	canEvict := victim != nil && (!victim.Valid() || len(b.evbuf) < b.params.EvictionBuf)
+	if !canEvict {
+		if m.Type == MsgGetS || m.Type == MsgRetryRd {
+			// Uncacheable read straight from memory: the SoS load is
+			// never blocked by directory resource exhaustion.
+			b.Stats.UncacheableReads++
+			b.Stats.UncacheableFull++
+			b.Stats.MemReads++
+			data := b.memory.ReadLine(m.Line)
+			b.sendAfter(b.params.MemLatency, m.Requester,
+				&Msg{Type: MsgTearoff, Line: m.Line, Requester: m.Requester, Data: data, HasData: true})
+			return
+		}
+		// A write must wait for a frame. Hint the writer — the frames may
+		// be held by WritersBlock entries whose lockdowns depend on the
+		// writer's own SoS load, which must then bypass this write
+		// (Section 3.5) — and retry after a backoff.
+		b.sendAfter(b.params.TagLatency, m.Requester,
+			&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: m.Requester})
+		retry := *m
+		b.events.After(b.now, sim.Cycle(b.params.LLCLatency), func() { b.handleWrite(&retry) })
+		return
+	}
+	if victim.Valid() {
+		b.startEviction(victim)
+	}
+	frame := b.array.Install(victim, m.Line)
+	dl := &dirLine{line: m.Line, kind: dirFetching, frame: frame}
+	dl.pending = append(dl.pending, m)
+	b.lines[m.Line] = dl
+	b.Stats.MemReads++
+	b.events.After(b.now, sim.Cycle(b.params.MemLatency), func() {
+		dl.data = b.memory.ReadLine(dl.line)
+		dl.dataValid = true
+		dl.dirty = false
+		dl.kind = dirInvalid
+		b.processPending(dl)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------
+
+// handleWrite processes a GetX (write miss or upgrade).
+func (b *Bank) handleWrite(m *Msg) {
+	dl := b.find(m.Line)
+	if dl == nil {
+		b.allocateAndFetch(m)
+		return
+	}
+	switch dl.kind {
+	case dirInvalid:
+		dl.kind = dirBusy
+		dl.txn = &dirTxn{write: true, requester: m.Requester}
+		b.sendAfter(b.params.LLCLatency, m.Requester,
+			&Msg{Type: MsgDataExcl, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
+	case dirShared:
+		// Invalidate every other sharer; acks flow directly to the
+		// writer in the base protocol. If the requester already holds
+		// the line (upgrade) no data is sent.
+		var invs []network.Endpoint
+		for _, s := range dl.sharers {
+			if s != m.Requester {
+				invs = append(invs, s)
+			}
+		}
+		// Data can be omitted only when the requester both claims and is
+		// registered to hold a shared copy (silent evictions make the
+		// sharer list an over-approximation, and an invalidation racing
+		// with the upgrade may have removed the requester already).
+		upgrade := m.Upgrade && b.isSharer(dl, m.Requester)
+		dl.kind = dirBusy
+		dl.txn = &dirTxn{write: true, requester: m.Requester}
+		dl.sharers = nil
+		for _, s := range invs {
+			b.sendAfter(b.params.TagLatency, s,
+				&Msg{Type: MsgInv, Line: m.Line, Requester: m.Requester})
+		}
+		resp := &Msg{Type: MsgDataExcl, Line: m.Line, Requester: m.Requester, AckCount: len(invs)}
+		delay := b.params.TagLatency
+		if !upgrade {
+			resp.Data = dl.data
+			resp.HasData = true
+			delay = b.params.LLCLatency
+		}
+		b.sendAfter(delay, m.Requester, resp)
+	case dirExclusive:
+		// Forward to the owner, who sends data+ack to the writer (or
+		// data to the writer and Nack+Data to the directory when a
+		// lockdown is hit).
+		old := dl.owner
+		dl.kind = dirBusy
+		dl.txn = &dirTxn{write: true, requester: m.Requester, fwd: true, oldOwner: old}
+		dl.owner = m.Requester // for stale-Put detection
+		b.sendAfter(b.params.TagLatency, old,
+			&Msg{Type: MsgFwdGetX, Line: m.Line, Requester: m.Requester})
+	case dirFetching, dirBusy:
+		dl.pending = append(dl.pending, m)
+	case dirWB:
+		// Goal (2) of Section 3: no further writes can be performed
+		// before the blocked store. Queue, and hint the writer so its
+		// SoS loads bypass the blocked MSHR.
+		b.Stats.QueuedWrites++
+		dl.pending = append(dl.pending, m)
+		b.sendAfter(b.params.TagLatency, m.Requester,
+			&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: m.Requester})
+	}
+}
+
+// handleNack processes a Nack from a core whose lockdown was hit by an
+// invalidation: the directory entry enters WritersBlock (Figure 3.B).
+func (b *Bank) handleNack(m *Msg) {
+	dl := b.find(m.Line)
+	if dl == nil || dl.txn == nil {
+		panic(fmt.Sprintf("bank %d: Nack for %v with no transaction", b.id, m.Line))
+	}
+	if m.HasData {
+		dl.data = m.Data
+		dl.dataValid = true
+		dl.dirty = true
+	}
+	txn := dl.txn
+	txn.delayedPending++
+	// The matching DelayedAck may have overtaken this Nack.
+	if n := b.earlyDelayed[m.Line]; n > 0 {
+		if n == 1 {
+			delete(b.earlyDelayed, m.Line)
+		} else {
+			b.earlyDelayed[m.Line] = n - 1
+		}
+		defer b.consumeDelayedAck(dl)
+	}
+	if txn.eviction {
+		txn.acksPending--
+		if dl.kind != dirWB {
+			dl.kind = dirWB
+			b.Stats.WBEntries++
+			b.Stats.EvictionsWB++
+			b.drainPendingReads(dl)
+		}
+		return
+	}
+	if dl.kind != dirWB {
+		dl.kind = dirWB
+		b.Stats.WBEntries++
+		b.Stats.BlockedWrites++
+		// Release any reads that were queued while Busy: WritersBlock
+		// admits reads.
+		b.drainPendingReads(dl)
+	}
+	if !txn.hinted {
+		txn.hinted = true
+		b.sendAfter(b.params.TagLatency, txn.requester,
+			&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: txn.requester})
+	}
+}
+
+// drainPendingReads serves every queued read with tear-off data, leaving
+// writes queued (used on Busy -> WB transitions).
+func (b *Bank) drainPendingReads(dl *dirLine) {
+	var writes []*Msg
+	for _, pm := range dl.pending {
+		if pm.Type == MsgGetS || pm.Type == MsgRetryRd {
+			b.serveTearoff(dl, pm)
+		} else {
+			writes = append(writes, pm)
+		}
+	}
+	dl.pending = writes
+}
+
+// handleDelayedAck processes the acknowledgement a core sends when a
+// lockdown with a pending invalidation lifts. For a write transaction the
+// ack is redirected to the writer (Figure 3.B steps 4-5); for an eviction
+// it completes the eviction.
+func (b *Bank) handleDelayedAck(m *Msg) {
+	dl := b.find(m.Line)
+	if dl == nil || dl.txn == nil || dl.txn.delayedPending <= 0 {
+		// The DelayedAck overtook the Nack in the unordered network;
+		// buffer it until the Nack arrives.
+		b.earlyDelayed[m.Line]++
+		return
+	}
+	b.consumeDelayedAck(dl)
+}
+
+// consumeDelayedAck accounts one lifted lockdown against the line's
+// transaction: the ack is redirected to the writer (or, for an eviction,
+// the eviction completion is re-checked).
+func (b *Bank) consumeDelayedAck(dl *dirLine) {
+	txn := dl.txn
+	txn.delayedPending--
+	if txn.eviction {
+		b.maybeFinishEviction(dl)
+		return
+	}
+	b.sendAfter(b.params.TagLatency, txn.requester,
+		&Msg{Type: MsgRedirAck, Line: dl.line, Requester: txn.requester})
+}
+
+// handleOwnerData stores the clean copy an owner sends on a read
+// downgrade.
+func (b *Bank) handleOwnerData(m *Msg) {
+	dl := b.find(m.Line)
+	if dl == nil || dl.txn == nil || !dl.txn.fwd {
+		panic(fmt.Sprintf("bank %d: stray OwnerData for %v", b.id, m.Line))
+	}
+	dl.data = m.Data
+	dl.dataValid = true
+	dl.dirty = true
+	dl.txn.gotOwnerData = true
+	b.maybeCompleteRead(dl)
+}
+
+// handleUnblock finishes a transaction.
+func (b *Bank) handleUnblock(m *Msg) {
+	dl := b.find(m.Line)
+	if dl == nil || dl.txn == nil {
+		panic(fmt.Sprintf("bank %d: stray Unblock for %v", b.id, m.Line))
+	}
+	txn := dl.txn
+	if txn.write || txn.grantExcl {
+		if txn.delayedPending != 0 {
+			panic(fmt.Sprintf("bank %d: Unblock for %v with %d delayed acks outstanding",
+				b.id, m.Line, txn.delayedPending))
+		}
+		// Ownership transferred: the LLC copy is now potentially stale.
+		// Preserve dirty data in memory before dropping validity.
+		if dl.dirty && dl.dataValid {
+			b.memory.WriteLine(dl.line, dl.data)
+			b.Stats.MemWrites++
+		}
+		dl.dataValid = false
+		dl.dirty = false
+		dl.kind = dirExclusive
+		dl.owner = m.Src
+		dl.hasOwner = true
+		dl.sharers = nil
+		dl.txn = nil
+		b.processPending(dl)
+		return
+	}
+	// Shared read grant.
+	txn.gotUnblock = true
+	b.maybeCompleteRead(dl)
+}
+
+// maybeCompleteRead finishes a shared-grant read once both the Unblock
+// and (for 3-hop reads) the owner's clean copy have arrived.
+func (b *Bank) maybeCompleteRead(dl *dirLine) {
+	txn := dl.txn
+	if txn == nil || txn.write || txn.grantExcl {
+		return
+	}
+	if !txn.gotUnblock || (txn.fwd && !txn.gotOwnerData) {
+		return
+	}
+	if txn.fwd {
+		dl.hasOwner = false
+		b.addSharer(dl, txn.oldOwner)
+	}
+	b.addSharer(dl, txn.requester)
+	dl.kind = dirShared
+	dl.txn = nil
+	b.processPending(dl)
+}
+
+// processPending re-dispatches queued requests once the line reaches a
+// stable state, preserving arrival order.
+func (b *Bank) processPending(dl *dirLine) {
+	for len(dl.pending) > 0 &&
+		(dl.kind == dirInvalid || dl.kind == dirShared || dl.kind == dirExclusive) {
+		m := dl.pending[0]
+		dl.pending = dl.pending[1:]
+		switch m.Type {
+		case MsgGetS, MsgRetryRd:
+			b.handleRead(m)
+		case MsgGetX:
+			b.handleWrite(m)
+		default:
+			panic(fmt.Sprintf("bank %d: queued %v", b.id, m.Type))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Evictions (core-initiated Put*, and directory-entry evictions)
+// ---------------------------------------------------------------------
+
+// handlePut processes PutM/PutE/PutS from a core. A Put that lost a race
+// with a forward (the directory already moved ownership) is acknowledged
+// as stale and its data dropped; the core served the forward from its
+// writeback buffer.
+func (b *Bank) handlePut(m *Msg) {
+	dl := b.find(m.Line)
+	stale := dl == nil || dl.kind != dirExclusive || !dl.hasOwner || dl.owner != m.Src
+	if stale {
+		b.sendAfter(b.params.TagLatency, m.Src,
+			&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src, Stale: true})
+		return
+	}
+	if m.HasData {
+		dl.data = m.Data
+		dl.dataValid = true
+		dl.dirty = true
+	}
+	dl.hasOwner = false
+	if m.Type == MsgPutS {
+		// Section 3.8: an owned-line eviction under a lockdown becomes
+		// "silent" — the core stays in the sharer list so a future
+		// write's invalidation still reaches its load queue.
+		dl.kind = dirShared
+		dl.sharers = []network.Endpoint{m.Src}
+		if !dl.dataValid {
+			panic(fmt.Sprintf("bank %d: PutS for %v without data", b.id, m.Line))
+		}
+	} else {
+		dl.kind = dirInvalid
+		if !dl.dataValid {
+			// PutE of a clean line never modified: memory is current.
+			dl.data = b.memory.ReadLine(dl.line)
+			dl.dataValid = true
+			dl.dirty = false
+			b.Stats.MemReads++
+		}
+	}
+	b.sendAfter(b.params.TagLatency, m.Src,
+		&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src})
+	b.processPending(dl)
+}
+
+// handlePutSh processes a non-silent shared-line eviction: the core
+// leaves the sharer list. If a transaction is in flight the Put is
+// acknowledged as stale and ignored (the in-flight invalidation already
+// covers the copy; the core answers it like a silent-eviction ghost).
+func (b *Bank) handlePutSh(m *Msg) {
+	dl := b.find(m.Line)
+	if dl == nil || dl.kind != dirShared || !b.isSharer(dl, m.Src) {
+		b.sendAfter(b.params.TagLatency, m.Src,
+			&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src, Stale: true})
+		return
+	}
+	b.removeSharer(dl, m.Src)
+	if len(dl.sharers) == 0 {
+		dl.kind = dirInvalid
+	}
+	b.sendAfter(b.params.TagLatency, m.Src,
+		&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src})
+}
+
+// startEviction moves a stable directory entry to the eviction buffer and
+// invalidates its sharers/owner. WritersBlock entries are never selected
+// as victims (the keep predicate in allocateAndFetch); entries that enter
+// WB *because of* the eviction (a lockdown Nacks the eviction
+// invalidation) stay in the buffer until the DelayedAck arrives, exactly
+// as Section 3.5.1 prescribes.
+func (b *Bank) startEviction(frame *cache.Entry) {
+	dl := b.lines[frame.Line]
+	if dl == nil {
+		panic(fmt.Sprintf("bank %d: evicting unknown line %v", b.id, frame.Line))
+	}
+	if dl.txn != nil || dl.kind == dirBusy || dl.kind == dirWB || dl.kind == dirFetching {
+		panic(fmt.Sprintf("bank %d: evicting line %v in state %v", b.id, frame.Line, dl.kind))
+	}
+	b.Stats.Evictions++
+	b.array.Evict(frame)
+	delete(b.lines, dl.line)
+	dl.frame = nil
+
+	kind := dl.kind
+	dl.kind = dirBusy // requests arriving mid-eviction queue in pending
+	switch kind {
+	case dirInvalid:
+		if dl.dirty {
+			b.memory.WriteLine(dl.line, dl.data)
+			b.Stats.MemWrites++
+		}
+		b.requeueOrphans(dl)
+		return
+	case dirShared:
+		dl.txn = &dirTxn{eviction: true, acksPending: len(dl.sharers)}
+		for _, s := range dl.sharers {
+			b.sendAfter(b.params.TagLatency, s,
+				&Msg{Type: MsgInv, Line: dl.line, Requester: b.id, Eviction: true})
+		}
+		dl.sharers = nil
+	case dirExclusive:
+		dl.txn = &dirTxn{eviction: true, acksPending: 1}
+		b.sendAfter(b.params.TagLatency, dl.owner,
+			&Msg{Type: MsgInv, Line: dl.line, Requester: b.id, Eviction: true})
+		dl.hasOwner = false
+	}
+	dl.inEvBuf = true
+	b.evbuf[dl.line] = dl
+	if dl.txn.acksPending == 0 {
+		b.maybeFinishEviction(dl)
+	}
+}
+
+// handleEvictionAck processes an InvAck sent to the directory itself
+// (only eviction invalidations name the bank as requester).
+func (b *Bank) handleEvictionAck(m *Msg, _ bool) {
+	dl := b.evbuf[m.Line]
+	if dl == nil || dl.txn == nil || !dl.txn.eviction {
+		panic(fmt.Sprintf("bank %d: stray eviction InvAck for %v", b.id, m.Line))
+	}
+	if m.HasData {
+		dl.data = m.Data
+		dl.dataValid = true
+		dl.dirty = true
+	}
+	dl.txn.acksPending--
+	b.maybeFinishEviction(dl)
+}
+
+// maybeFinishEviction completes an eviction once every invalidation has
+// been acknowledged (including delayed acks from lifted lockdowns).
+func (b *Bank) maybeFinishEviction(dl *dirLine) {
+	if dl.txn.acksPending > 0 || dl.txn.delayedPending > 0 {
+		return
+	}
+	if dl.dirty && dl.dataValid {
+		b.memory.WriteLine(dl.line, dl.data)
+		b.Stats.MemWrites++
+	}
+	delete(b.evbuf, dl.line)
+	b.requeueOrphans(dl)
+}
+
+// requeueOrphans re-dispatches requests that were queued on an entry that
+// no longer exists; they re-enter as fresh requests and allocate anew.
+func (b *Bank) requeueOrphans(dl *dirLine) {
+	pending := dl.pending
+	dl.pending = nil
+	for _, m := range pending {
+		mm := m
+		b.events.After(b.now, 1, func() {
+			switch mm.Type {
+			case MsgGetS, MsgRetryRd:
+				b.handleRead(mm)
+			case MsgGetX:
+				b.handleWrite(mm)
+			}
+		})
+	}
+}
+
+// CheckInvariants panics if internal consistency is violated; tests call
+// it after runs.
+func (b *Bank) CheckInvariants() {
+	for line, dl := range b.lines {
+		if dl.line != line {
+			panic("bank: map key mismatch")
+		}
+		switch dl.kind {
+		case dirShared:
+			if len(dl.sharers) == 0 {
+				panic(fmt.Sprintf("bank %d: Shared %v with no sharers", b.id, line))
+			}
+			if !dl.dataValid {
+				panic(fmt.Sprintf("bank %d: Shared %v without data", b.id, line))
+			}
+		case dirExclusive:
+			if !dl.hasOwner {
+				panic(fmt.Sprintf("bank %d: Exclusive %v without owner", b.id, line))
+			}
+		case dirWB:
+			if dl.txn == nil {
+				panic(fmt.Sprintf("bank %d: WB %v without transaction", b.id, line))
+			}
+		}
+	}
+}
+
+// DumpState renders non-stable directory entries for debugging.
+func (b *Bank) DumpState() string {
+	s := ""
+	for _, dl := range b.lines {
+		if dl.txn != nil || len(dl.pending) > 0 || dl.kind == dirBusy || dl.kind == dirWB {
+			s += fmt.Sprintf("bank %d line=%v kind=%v pending=%d", b.id, dl.line, dl.kind, len(dl.pending))
+			if dl.txn != nil {
+				s += fmt.Sprintf(" txn{write=%v evict=%v req=%d acksPend=%d delayed=%d}",
+					dl.txn.write, dl.txn.eviction, dl.txn.requester, dl.txn.acksPending, dl.txn.delayedPending)
+			}
+			s += "\n"
+		}
+	}
+	for _, dl := range b.evbuf {
+		s += fmt.Sprintf("bank %d EVBUF line=%v kind=%v\n", b.id, dl.line, dl.kind)
+	}
+	return s
+}
+
+// PeekWord returns the bank's current copy of a word if the directory
+// holds valid data for its line (for post-run inspection).
+func (b *Bank) PeekWord(addr mem.Addr) (mem.Word, bool) {
+	dl := b.find(mem.LineOf(addr))
+	if dl == nil || !dl.dataValid {
+		return 0, false
+	}
+	return dl.data.Get(addr), true
+}

@@ -1,0 +1,155 @@
+// Package coherence implements the cache coherence layer of the
+// simulator: a MESI directory protocol with 3-hop read transactions and
+// Unblock (the GEMS baseline of the paper), extended with the paper's
+// WritersBlock mechanism — Nacks from cores holding lockdowns, the
+// WritersBlock transient directory state that blocks writes while serving
+// reads with uncacheable tear-off data, redirected invalidation
+// acknowledgements, blocked-write hints, and eviction-buffer handling of
+// WritersBlock directory entries.
+//
+// The package contains two controllers:
+//
+//   - Bank: an LLC bank with its directory slice (one per tile).
+//   - PCU: a core's private cache unit (L1+L2 as a single coherence
+//     point, with L1 modelled as a presence/latency filter).
+//
+// Both are network endpoints and communicate only via messages.
+package coherence
+
+import (
+	"fmt"
+
+	"wbsim/internal/mem"
+	"wbsim/internal/network"
+)
+
+// MsgType enumerates the protocol messages.
+type MsgType int
+
+// Protocol messages. The virtual network used by each type is fixed (see
+// vnetOf), matching the three-VNet split in GEMS: requests, forwards,
+// responses.
+const (
+	// Requests: core -> directory (VNetRequest).
+	MsgGetS    MsgType = iota // read miss (load)
+	MsgGetX                   // write miss (store or atomic); Upgrade when the requester holds S
+	MsgPutM                   // eviction of a dirty owned line, carries data
+	MsgPutE                   // eviction of a clean exclusive line
+	MsgPutS                   // owned-line eviction under a lockdown: downgrade, stay a sharer (Section 3.8)
+	MsgPutSh                  // non-silent eviction of a shared line: leave the sharer list (Section 3.8 baseline alternative)
+	MsgRetryRd                // re-issued read of an ordered load after a tear-off it could not use
+
+	// Forwards: directory -> core (VNetForward).
+	MsgInv     // invalidate; Requester = writer to ack (or the bank itself for evictions)
+	MsgFwdGetS // forward read to the exclusive owner
+	MsgFwdGetX // forward write to the exclusive owner
+
+	// Responses (VNetResponse).
+	MsgData        // data grant, shared
+	MsgDataExcl    // data grant with write permission; AckCount acks still outstanding
+	MsgTearoff     // uncacheable tear-off data (WritersBlock read, Section 3.4)
+	MsgInvAck      // sharer -> writer: invalidation acknowledged
+	MsgNack        // sharer -> directory: invalidation hit a lockdown (may carry data)
+	MsgDelayedAck  // core -> directory: a lockdown with a pending invalidation lifted
+	MsgRedirAck    // directory -> writer: redirected invalidation ack (Figure 3.B steps 4-5)
+	MsgOwnerData   // owner -> directory: clean copy on downgrade
+	MsgUnblock     // requester -> directory: transaction complete
+	MsgPutAck      // directory -> core: eviction acknowledged
+	MsgBlockedHint // directory -> writer: your write is blocked behind a WritersBlock (Section 3.5.2)
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgGetS:
+		return "GetS"
+	case MsgGetX:
+		return "GetX"
+	case MsgPutM:
+		return "PutM"
+	case MsgPutE:
+		return "PutE"
+	case MsgPutS:
+		return "PutS"
+	case MsgPutSh:
+		return "PutSh"
+	case MsgRetryRd:
+		return "RetryRd"
+	case MsgInv:
+		return "Inv"
+	case MsgFwdGetS:
+		return "FwdGetS"
+	case MsgFwdGetX:
+		return "FwdGetX"
+	case MsgData:
+		return "Data"
+	case MsgDataExcl:
+		return "DataExcl"
+	case MsgTearoff:
+		return "Tearoff"
+	case MsgInvAck:
+		return "InvAck"
+	case MsgNack:
+		return "Nack"
+	case MsgDelayedAck:
+		return "DelayedAck"
+	case MsgRedirAck:
+		return "RedirAck"
+	case MsgOwnerData:
+		return "OwnerData"
+	case MsgUnblock:
+		return "Unblock"
+	case MsgPutAck:
+		return "PutAck"
+	case MsgBlockedHint:
+		return "BlockedHint"
+	}
+	return fmt.Sprintf("Msg(%d)", int(t))
+}
+
+// Msg is the protocol payload carried by a network message.
+type Msg struct {
+	Type      MsgType
+	Line      mem.Line
+	Src       network.Endpoint // sender
+	Requester network.Endpoint // original requester of the transaction
+	Data      mem.LineData
+	HasData   bool
+	AckCount  int  // MsgDataExcl: invalidation acks the writer must collect
+	Excl      bool // MsgData with exclusivity (MESI E grant)
+	Eviction  bool // MsgInv caused by a directory eviction (no writer)
+	Atomic    bool // MsgGetX issued for an atomic RMW
+	Upgrade   bool // MsgGetX from a core that still holds a shared copy
+	Stale     bool // MsgPutAck for a Put that lost a race with a forward
+}
+
+// vnetOf maps each message type to its virtual network.
+func vnetOf(t MsgType) network.VNet {
+	switch t {
+	case MsgGetS, MsgGetX, MsgPutM, MsgPutE, MsgPutS, MsgPutSh, MsgRetryRd:
+		return network.VNetRequest
+	case MsgInv, MsgFwdGetS, MsgFwdGetX:
+		return network.VNetForward
+	default:
+		return network.VNetResponse
+	}
+}
+
+// carriesData reports whether the message needs data-sized flits.
+func carriesData(m *Msg) bool { return m.HasData }
+
+// send wraps a Msg into a network message and injects it.
+func send(mesh *network.Mesh, now simCycle, src, dst network.Endpoint, m *Msg, dataFlits, ctrlFlits int) {
+	m.Src = src
+	flits := ctrlFlits
+	if carriesData(m) {
+		flits = dataFlits
+	}
+	mesh.Send(now, &network.Message{
+		Src:     src,
+		Dst:     dst,
+		VNet:    vnetOf(m.Type),
+		Flits:   flits,
+		Payload: m,
+	})
+}

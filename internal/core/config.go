@@ -1,0 +1,144 @@
+// Package core assembles the full simulated machine — cores, private
+// cache units, LLC banks with directory slices, and the mesh — and runs
+// it to completion. It is the top-level entry point the examples, tools,
+// and benchmarks use (re-exported by the root wbsim package).
+package core
+
+import (
+	"fmt"
+
+	"wbsim/internal/coherence"
+	"wbsim/internal/cpu"
+	"wbsim/internal/network"
+	"wbsim/internal/sim"
+)
+
+// Class names a core aggressiveness class from Table 6.
+type Class string
+
+// The three core classes the paper evaluates.
+const (
+	SLM Class = "SLM" // Silvermont-class
+	NHM Class = "NHM" // Nehalem-class
+	HSW Class = "HSW" // Haswell-class
+)
+
+// Classes lists the evaluated classes in paper order.
+var Classes = []Class{SLM, NHM, HSW}
+
+// CoreConfig returns the Table 6 core configuration for a class.
+func CoreConfig(class Class) cpu.Config {
+	c := cpu.Config{
+		FetchWidth:        4,
+		IssueWidth:        4,
+		CommitWidth:       4,
+		LDTSize:           32,
+		MispredictPenalty: 7,
+		ALULatency:        1,
+		ForwardLatency:    2,
+		CommitMode:        cpu.CommitInOrder,
+	}
+	switch class {
+	case SLM:
+		c.IQSize, c.ROBSize, c.LQSize, c.SQSize, c.SBSize = 16, 32, 10, 16, 16
+	case NHM:
+		c.IQSize, c.ROBSize, c.LQSize, c.SQSize, c.SBSize = 32, 128, 48, 36, 36
+	case HSW:
+		c.IQSize, c.ROBSize, c.LQSize, c.SQSize, c.SBSize = 60, 192, 72, 42, 42
+	default:
+		panic(fmt.Sprintf("core: unknown class %q", class))
+	}
+	return c
+}
+
+// Variant selects commit policy + coherence mode pairs the paper
+// compares.
+type Variant string
+
+// The evaluated system variants.
+const (
+	// InOrderBase: in-order commit over the base directory protocol
+	// (squash-and-re-execute on consistency events). Figure 10 baseline.
+	InOrderBase Variant = "inorder-base"
+	// InOrderWB: in-order commit over WritersBlock coherence (lockdowns
+	// instead of squashes). Figures 8/9 measure its overhead.
+	InOrderWB Variant = "inorder-wb"
+	// OoOBase: Bell-Lipasti safe out-of-order commit over the base
+	// protocol (consistency condition enforced).
+	OoOBase Variant = "ooo-base"
+	// OoOWB: the paper's contribution — out-of-order commit with the
+	// consistency condition relaxed by lockdowns + WritersBlock.
+	OoOWB Variant = "ooo-wb"
+	// OoOUnsafe: out-of-order commit of M-speculative loads over the
+	// base protocol; violates TSO and exists for the litmus demo.
+	OoOUnsafe Variant = "ooo-unsafe"
+)
+
+// Variants lists the sound variants in evaluation order.
+var Variants = []Variant{InOrderBase, InOrderWB, OoOBase, OoOWB}
+
+// Apply configures the commit/coherence fields of a core config.
+func (v Variant) Apply(c *cpu.Config) {
+	switch v {
+	case InOrderBase:
+		c.CommitMode, c.Lockdown = cpu.CommitInOrder, false
+	case InOrderWB:
+		c.CommitMode, c.Lockdown = cpu.CommitInOrder, true
+	case OoOBase:
+		c.CommitMode, c.Lockdown = cpu.CommitOoOSafe, false
+	case OoOWB:
+		c.CommitMode, c.Lockdown = cpu.CommitOoOWB, true
+	case OoOUnsafe:
+		c.CommitMode, c.Lockdown = cpu.CommitOoOUnsafe, false
+	default:
+		panic(fmt.Sprintf("core: unknown variant %q", v))
+	}
+}
+
+// Config describes a whole machine.
+type Config struct {
+	Cores   int
+	Class   Class
+	Variant Variant
+
+	// CoreOverride, when non-nil, replaces the class-derived core
+	// configuration (the Variant is still applied on top).
+	CoreOverride *cpu.Config
+
+	Mem coherence.Params
+	Net network.Config
+
+	Seed      uint64
+	JitterMax int // network jitter for litmus interleaving exploration
+
+	// MaxCycles bounds the run; exceeding it is reported as an error
+	// (deadlock/livelock detector in tests).
+	MaxCycles sim.Cycle
+}
+
+// DefaultConfig returns the paper's 16-core machine for a class/variant.
+func DefaultConfig(class Class, variant Variant) Config {
+	return Config{
+		Cores:     16,
+		Class:     class,
+		Variant:   variant,
+		Mem:       coherence.DefaultParams(),
+		Net:       network.DefaultConfig(16),
+		Seed:      1,
+		MaxCycles: 200_000_000,
+	}
+}
+
+// SmallConfig returns a downsized machine (tiny caches, small LLC) that
+// exercises evictions and contention quickly; used by tests and litmus.
+func SmallConfig(cores int, variant Variant) Config {
+	cfg := DefaultConfig(SLM, variant)
+	cfg.Cores = cores
+	cfg.Net = network.DefaultConfig(cores)
+	cfg.Mem.LLCLines = 256
+	cfg.Mem.L2Lines = 64
+	cfg.Mem.L1Lines = 16
+	cfg.Mem.EvictionBuf = 4
+	cfg.MaxCycles = 50_000_000
+	return cfg
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"wbsim/internal/cpu"
+)
+
+// TestConfigTable6 pins the class presets to the paper's Table 6.
+func TestConfigTable6(t *testing.T) {
+	cases := []struct {
+		class               Class
+		iq, rob, lq, sq, sb int
+	}{
+		{SLM, 16, 32, 10, 16, 16},
+		{NHM, 32, 128, 48, 36, 36},
+		{HSW, 60, 192, 72, 42, 42},
+	}
+	for _, c := range cases {
+		cfg := CoreConfig(c.class)
+		if cfg.IQSize != c.iq || cfg.ROBSize != c.rob || cfg.LQSize != c.lq ||
+			cfg.SQSize != c.sq || cfg.SBSize != c.sb {
+			t.Errorf("%s: got IQ=%d ROB=%d LQ=%d SQ=%d SB=%d, want %+v",
+				c.class, cfg.IQSize, cfg.ROBSize, cfg.LQSize, cfg.SQSize, cfg.SBSize, c)
+		}
+		if cfg.FetchWidth != 4 || cfg.IssueWidth != 4 || cfg.CommitWidth != 4 {
+			t.Errorf("%s: widths must be 4 (Table 6)", c.class)
+		}
+		if cfg.LDTSize != 32 {
+			t.Errorf("%s: LDT = %d, want 32 (Table 6)", c.class, cfg.LDTSize)
+		}
+	}
+}
+
+// TestConfigTable6Memory pins the memory-system constants.
+func TestConfigTable6Memory(t *testing.T) {
+	cfg := DefaultConfig(SLM, OoOWB)
+	m := cfg.Mem
+	if m.L1Latency != 4 || m.L2Latency != 12 || m.LLCLatency != 35 || m.MemLatency != 160 {
+		t.Errorf("latencies: L1=%d L2=%d LLC=%d mem=%d", m.L1Latency, m.L2Latency, m.LLCLatency, m.MemLatency)
+	}
+	if m.L1Lines*64 != 32<<10 || m.L2Lines*64 != 128<<10 || m.LLCLines*64 != 1<<20 {
+		t.Errorf("capacities: L1=%dKB L2=%dKB LLC=%dKB",
+			m.L1Lines*64>>10, m.L2Lines*64>>10, m.LLCLines*64>>10)
+	}
+	if m.L1Ways != 8 || m.L2Ways != 8 || m.LLCWays != 8 {
+		t.Error("associativity must be 8 (Table 6)")
+	}
+	n := cfg.Net
+	if n.SwitchLatency != 6 || n.DataFlits != 5 || n.CtrlFlits != 1 || n.Width != 4 || n.Height != 4 {
+		t.Errorf("network: %+v", n)
+	}
+}
+
+// TestVariantApply checks the commit/coherence pairings.
+func TestVariantApply(t *testing.T) {
+	cases := []struct {
+		v        Variant
+		mode     cpu.CommitMode
+		lockdown bool
+	}{
+		{InOrderBase, cpu.CommitInOrder, false},
+		{InOrderWB, cpu.CommitInOrder, true},
+		{OoOBase, cpu.CommitOoOSafe, false},
+		{OoOWB, cpu.CommitOoOWB, true},
+		{OoOUnsafe, cpu.CommitOoOUnsafe, false},
+	}
+	for _, c := range cases {
+		cfg := CoreConfig(SLM)
+		c.v.Apply(&cfg)
+		if cfg.CommitMode != c.mode || cfg.Lockdown != c.lockdown {
+			t.Errorf("%s: mode=%v lockdown=%v", c.v, cfg.CommitMode, cfg.Lockdown)
+		}
+	}
+}
+
+func TestUnknownClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown class did not panic")
+		}
+	}()
+	CoreConfig("XXX")
+}
+
+func TestUnknownVariantPanics(t *testing.T) {
+	cfg := CoreConfig(SLM)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown variant did not panic")
+		}
+	}()
+	Variant("bogus").Apply(&cfg)
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	cfg := SmallConfig(2, OoOWB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("program-count mismatch did not panic")
+		}
+	}()
+	NewSystem(cfg, nil)
+}

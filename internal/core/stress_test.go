@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+	"wbsim/internal/sim"
+)
+
+// randomProgram generates a terminating random program over a small pool
+// of shared lines: loads, stores, atomics, ALU work, and data-dependent
+// branches — a fuzzer for the protocol and the pipeline.
+func randomProgram(rng *sim.Rand, id int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("fuzz.%d", id))
+	pool := func(r isa.Reg) {
+		// Random shared address: 8 lines shared by everyone + 4 private.
+		if rng.Bool(0.7) {
+			b.MovImm(r, mem.Word(0x10000+rng.Intn(8)*mem.LineBytes+rng.Intn(8)*8))
+		} else {
+			b.MovImm(r, mem.Word(0x80000+id*0x1000+rng.Intn(4)*mem.LineBytes))
+		}
+	}
+	b.MovImm(15, mem.Word(rng.Range(3, 10))) // outer iterations
+	outer := b.Here()
+	steps := rng.Range(5, 25)
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // load
+			pool(5)
+			b.Load(isa.Reg(rng.Range(1, 4)), 5, 0)
+		case 4, 5: // store
+			pool(5)
+			b.Store(5, 0, isa.Reg(rng.Range(1, 4)))
+		case 6: // atomic
+			pool(5)
+			b.Atomic(isa.FnFetchAdd, isa.Reg(rng.Range(1, 4)), 5, 0, isa.Reg(rng.Range(1, 4)))
+		case 7: // data-dependent branch over one instruction
+			skip := b.NewLabel()
+			b.ALUI(isa.FnAnd, 6, isa.Reg(rng.Range(1, 4)), 1)
+			b.BranchI(isa.FnEQ, 6, 0, skip)
+			b.ALUI(isa.FnAdd, 7, 7, 1)
+			b.Bind(skip)
+		default: // work
+			b.Work(isa.Reg(rng.Range(1, 4)), isa.Reg(rng.Range(1, 4)), isa.Reg(rng.Range(1, 4)), rng.Range(1, 6))
+		}
+	}
+	b.ALUI(isa.FnSub, 15, 15, 1)
+	b.BranchI(isa.FnNE, 15, 0, outer)
+	b.Halt()
+	return b.Program()
+}
+
+// TestRandomStress fuzzes the whole machine: random programs over hot
+// shared lines, all variants, many seeds. Every run must terminate
+// (deadlock/livelock freedom) and pass the directory invariant checks.
+func TestRandomStress(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for _, v := range Variants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				rng := sim.NewRand(seed * 7919)
+				cores := rng.Range(2, 4)
+				progs := make([]*isa.Program, cores)
+				for i := range progs {
+					progs[i] = randomProgram(rng.Fork(uint64(i)), i)
+				}
+				cfg := SmallConfig(cores, v)
+				cfg.Seed = seed
+				cfg.JitterMax = rng.Intn(16)
+				cfg.MaxCycles = 5_000_000
+				sys := NewSystem(cfg, progs)
+				if _, err := sys.Run(); err != nil {
+					t.Fatalf("seed %d (%d cores): %v", seed, cores, err)
+				}
+			}
+		})
+	}
+}
+
+// TestStressAtomicsConsistency: N cores fetch-add a shared counter under
+// fuzzable timing; the final value must be exact under every variant
+// (atomicity + store atomicity end to end).
+func TestStressAtomicsConsistency(t *testing.T) {
+	const perCore = 25
+	for _, v := range Variants {
+		for seed := uint64(1); seed <= 10; seed++ {
+			cores := 4
+			progs := make([]*isa.Program, cores)
+			for id := 0; id < cores; id++ {
+				b := isa.NewBuilder(fmt.Sprintf("cnt.%d", id))
+				b.MovImm(1, 0x10000)
+				b.MovImm(2, 1)
+				b.MovImm(10, perCore)
+				loop := b.Here()
+				b.Atomic(isa.FnFetchAdd, 3, 1, 0, 2)
+				// Interleave unrelated memory traffic to shake timing.
+				b.MovImm(4, mem.Word(0x20000+id*0x400))
+				b.Load(5, 4, 0)
+				b.Store(4, 0, 3)
+				b.ALUI(isa.FnSub, 10, 10, 1)
+				b.BranchI(isa.FnNE, 10, 0, loop)
+				b.Halt()
+				progs[id] = b.Program()
+			}
+			cfg := SmallConfig(cores, v)
+			cfg.Seed = seed
+			cfg.JitterMax = 12
+			sys := NewSystem(cfg, progs)
+			if _, err := sys.Run(); err != nil {
+				t.Fatalf("%v seed %d: %v", v, seed, err)
+			}
+			if got := sys.ReadWord(0x10000); got != perCore*mem.Word(cores) {
+				t.Fatalf("%v seed %d: counter = %d, want %d", v, seed, got, perCore*cores)
+			}
+		}
+	}
+}
+
+// TestCoherenceSingleWriterProperty: concurrent exclusive increments of a
+// word through plain load/store under a lock must never lose updates.
+func TestCoherenceSingleWriterProperty(t *testing.T) {
+	const perCore = 10
+	for _, v := range Variants {
+		cores := 3
+		progs := make([]*isa.Program, cores)
+		for id := 0; id < cores; id++ {
+			b := isa.NewBuilder(fmt.Sprintf("lk.%d", id))
+			b.MovImm(1, 0x10000) // lock
+			b.MovImm(2, 0x20000) // counter
+			b.MovImm(3, 1)
+			b.MovImm(10, perCore)
+			loop := b.Here()
+			b.SpinLock(1, 0, 3, 4)
+			b.Load(5, 2, 0)
+			b.ALUI(isa.FnAdd, 5, 5, 1)
+			b.Store(2, 0, 5)
+			b.SpinUnlock(1, 0)
+			b.ALUI(isa.FnSub, 10, 10, 1)
+			b.BranchI(isa.FnNE, 10, 0, loop)
+			b.Halt()
+			progs[id] = b.Program()
+		}
+		cfg := SmallConfig(cores, v)
+		cfg.JitterMax = 8
+		sys := NewSystem(cfg, progs)
+		if _, err := sys.Run(); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got := sys.ReadWord(0x20000); got != perCore*mem.Word(cores) {
+			t.Fatalf("%v: lost updates: counter = %d, want %d", v, got, perCore*cores)
+		}
+	}
+}

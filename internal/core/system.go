@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"wbsim/internal/coherence"
+	"wbsim/internal/cpu"
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+	"wbsim/internal/network"
+	"wbsim/internal/sim"
+)
+
+// System is an assembled machine running one program per core.
+type System struct {
+	Cfg    Config
+	Clock  sim.Clock
+	Mesh   *network.Mesh
+	Memory *mem.Memory
+	Cores  []*cpu.Core
+	PCUs   []*coherence.PCU
+	Banks  []*coherence.Bank
+
+	rng *sim.Rand
+}
+
+// NewSystem builds a machine. programs must have exactly Cfg.Cores
+// entries (use an empty program — immediate halt — for idle cores).
+func NewSystem(cfg Config, programs []*isa.Program) *System {
+	if len(programs) != cfg.Cores {
+		panic(fmt.Sprintf("core: %d programs for %d cores", len(programs), cfg.Cores))
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 200_000_000
+	}
+	rng := sim.NewRand(cfg.Seed)
+	netCfg := cfg.Net
+	netCfg.JitterMax = cfg.JitterMax
+	mesh := network.NewMesh(netCfg, rng.Fork(0xae5))
+	memory := mem.NewMemory()
+
+	s := &System{Cfg: cfg, Mesh: mesh, Memory: memory, rng: rng}
+
+	n := cfg.Cores
+	home := func(l mem.Line) network.Endpoint {
+		return network.Endpoint(n + int(uint64(l)%uint64(n)))
+	}
+	memParams := cfg.Mem
+
+	coreCfg := CoreConfig(cfg.Class)
+	if cfg.CoreOverride != nil {
+		coreCfg = *cfg.CoreOverride
+	}
+	cfg.Variant.Apply(&coreCfg)
+	protoMode := coherence.ModeSquash
+	if coreCfg.Lockdown {
+		protoMode = coherence.ModeLockdown
+	}
+
+	routers := mesh.Routers()
+	for i := 0; i < n; i++ {
+		c := cpu.NewCore(i, coreCfg, programs[i])
+		p := coherence.NewPCU(network.Endpoint(i), mesh, &memParams, home, c, protoMode)
+		c.AttachPCU(p)
+		mesh.Attach(network.Endpoint(i), i%routers, p)
+		s.Cores = append(s.Cores, c)
+		s.PCUs = append(s.PCUs, p)
+
+		b := coherence.NewBank(network.Endpoint(n+i), mesh, &memParams, memory)
+		mesh.Attach(network.Endpoint(n+i), i%routers, b)
+		s.Banks = append(s.Banks, b)
+	}
+	return s
+}
+
+// InitWord pre-initializes a memory word (before the run starts).
+func (s *System) InitWord(addr mem.Addr, w mem.Word) {
+	s.Memory.WriteWord(addr, w)
+}
+
+// ReadWord returns the architecturally current value of a word: the copy
+// in the owning core's cache if some core holds the line exclusive, else
+// the LLC copy if the home bank holds current data, else the memory
+// image. Intended for inspecting results after a run.
+func (s *System) ReadWord(addr mem.Addr) mem.Word {
+	line := mem.LineOf(addr)
+	for _, p := range s.PCUs {
+		if p.HasWritePermission(line) {
+			if w, ok := p.PeekWord(addr); ok {
+				return w
+			}
+		}
+	}
+	home := int(uint64(line) % uint64(s.Cfg.Cores))
+	if w, ok := s.Banks[home].PeekWord(addr); ok {
+		return w
+	}
+	return s.Memory.ReadWord(addr)
+}
+
+// Step advances the machine one cycle.
+func (s *System) Step() {
+	now := s.Clock.Advance()
+	s.Mesh.Tick(now)
+	for _, b := range s.Banks {
+		b.Tick(now)
+	}
+	for _, p := range s.PCUs {
+		p.Tick(now)
+	}
+	for _, c := range s.Cores {
+		c.Tick(now)
+	}
+}
+
+// Done reports whether every core has halted and drained and no protocol
+// activity remains.
+func (s *System) Done() bool {
+	for _, c := range s.Cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	if !s.Mesh.Quiescent() {
+		return false
+	}
+	for _, b := range s.Banks {
+		if !b.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes until completion or MaxCycles, returning the cycle count.
+// Exceeding MaxCycles returns an error (it indicates a deadlock, a
+// livelock, or an undersized budget).
+func (s *System) Run() (sim.Cycle, error) {
+	for !s.Done() {
+		if s.Clock.Now() >= s.Cfg.MaxCycles {
+			return s.Clock.Now(), fmt.Errorf("core: run exceeded %d cycles (possible deadlock)", s.Cfg.MaxCycles)
+		}
+		s.Step()
+	}
+	for _, b := range s.Banks {
+		b.CheckInvariants()
+	}
+	return s.Clock.Now(), nil
+}
+
+// RunFor executes exactly n additional cycles (for tests that inspect
+// intermediate state).
+func (s *System) RunFor(n sim.Cycle) {
+	for i := sim.Cycle(0); i < n; i++ {
+		s.Step()
+	}
+}
+
+// Results captures the aggregate statistics of a finished run.
+type Results struct {
+	Cycles sim.Cycle
+
+	Committed       uint64
+	CommittedLoads  uint64
+	CommittedStores uint64
+	CommittedOoO    uint64
+	MSpecCommits    uint64
+
+	SquashInv    uint64
+	SquashEvict  uint64
+	SquashAtomic uint64
+	Squashed     uint64
+
+	StallROB   uint64
+	StallLQ    uint64
+	StallSQ    uint64
+	StallOther uint64
+	CoreCycles uint64
+
+	BlockedWrites    uint64
+	UncacheableReads uint64
+	WBEntries        uint64
+	Nacks            uint64
+	DelayedAcks      uint64
+	TearoffRetries   uint64
+	SoSBypasses      uint64
+
+	NetFlits    uint64
+	NetFlitHops uint64
+	NetMessages uint64
+}
+
+// Collect gathers run statistics from every component.
+func (s *System) Collect() Results {
+	r := Results{Cycles: s.Clock.Now()}
+	for _, c := range s.Cores {
+		st := c.Stats
+		r.Committed += st.Committed
+		r.CommittedLoads += st.CommittedLoads
+		r.CommittedStores += st.CommittedStores
+		r.CommittedOoO += st.CommittedOoO
+		r.MSpecCommits += st.MSpecCommits
+		r.SquashInv += st.SquashInv
+		r.SquashEvict += st.SquashEvict
+		r.SquashAtomic += st.SquashAtomic
+		r.Squashed += st.Squashed
+		r.StallROB += st.StallROB
+		r.StallLQ += st.StallLQ
+		r.StallSQ += st.StallSQ
+		r.StallOther += st.StallOther
+		r.CoreCycles += st.Cycles
+	}
+	for _, p := range s.PCUs {
+		r.Nacks += p.Stats.Nacks
+		r.DelayedAcks += p.Stats.DelayedAcks
+		r.SoSBypasses += p.Stats.SoSBypasses
+	}
+	for _, c := range s.Cores {
+		r.TearoffRetries += c.Stats.TearoffRetries
+	}
+	for _, b := range s.Banks {
+		r.BlockedWrites += b.Stats.BlockedWrites
+		r.UncacheableReads += b.Stats.UncacheableReads
+		r.WBEntries += b.Stats.WBEntries
+	}
+	ns := s.Mesh.Stats()
+	r.NetFlits = ns.Flits
+	r.NetFlitHops = ns.FlitHops
+	r.NetMessages = ns.Messages
+	return r
+}

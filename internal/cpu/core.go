@@ -1,0 +1,535 @@
+package cpu
+
+import (
+	"fmt"
+
+	"wbsim/internal/coherence"
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+	"wbsim/internal/sim"
+)
+
+// Core is one simulated out-of-order core. It owns the front end
+// (predicted-path fetch), the scheduler, the ROB/LQ/SQ/SB/LDT, and the
+// commit policy, and talks to its private cache unit (coherence.PCU) for
+// all memory traffic. It implements coherence.CoreHooks.
+type Core struct {
+	ID      int
+	cfg     Config
+	program *isa.Program
+	pcu     *coherence.PCU
+	pred    *Predictor
+	events  sim.EventQueue
+
+	// Front end.
+	fetchPC         int
+	fetchStallUntil sim.Cycle
+	fetchHalted     bool
+	halted          bool
+
+	// Rename-lite register state.
+	regProd   [isa.NumRegs]*DynInstr
+	archRegs  [isa.NumRegs]mem.Word
+	archSeq   [isa.NumRegs]uint64
+	archValid [isa.NumRegs]bool // written at least once (seq 0 ambiguity guard)
+
+	nextSeq uint64
+	rob     []*DynInstr
+	lq      []*lqEntry
+	sq      []*sqEntry
+	sb      []sbEntry
+	ldt     []ldtEntry
+	readyQ  []*DynInstr
+	iqCount int
+
+	tokens map[uint64]*lqEntry
+
+	// seenLines records cache lines for which an invalidation hit a
+	// lockdown (the union of the per-entry S bits of the paper); the
+	// delayed Ack is sent when the last lockdown for the line lifts.
+	seenLines []mem.Line
+
+	// dispatch-block reason for this cycle's stall accounting.
+	blockReason string
+
+	Stats Stats
+	now   sim.Cycle
+
+	traceRing []CommitTrace
+	traceCap  int
+}
+
+// NewCore builds a core running program under the given configuration.
+func NewCore(id int, cfg Config, program *isa.Program) *Core {
+	cfg.Validate()
+	c := &Core{
+		ID:      id,
+		cfg:     cfg,
+		program: program,
+		pred:    NewPredictor(12),
+		tokens:  make(map[uint64]*lqEntry),
+		ldt:     make([]ldtEntry, cfg.LDTSize),
+		nextSeq: 1, // seq 0 reserved (fwdSeq sentinel)
+	}
+	return c
+}
+
+// AttachPCU wires the private cache unit (built after the core because
+// the PCU needs the core as its hooks receiver).
+func (c *Core) AttachPCU(p *coherence.PCU) { c.pcu = p }
+
+// Halted reports whether the program has committed its halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// Done reports whether the core has fully drained: halted, with an empty
+// store buffer and no in-flight memory transactions.
+func (c *Core) Done() bool {
+	return c.halted && len(c.sb) == 0 && c.pcu.Quiescent() && c.events.Empty()
+}
+
+// Reg returns the architectural value of a register (for litmus results;
+// valid once the core is halted).
+func (c *Core) Reg(r isa.Reg) mem.Word {
+	if r == isa.R0 {
+		return 0
+	}
+	return c.archRegs[r]
+}
+
+// Tick advances the core by one cycle. The PCU is ticked separately by
+// the system (delivering memory responses before the core's pipeline
+// stages run).
+func (c *Core) Tick(now sim.Cycle) {
+	c.now = now
+	c.Stats.Cycles++
+	c.events.Run(now)
+
+	committed := c.commit()
+	c.drainSB()
+	c.issue()
+	c.tryMemoryIssue()
+	c.blockReason = ""
+	c.fetch()
+	c.accountStall(committed)
+}
+
+func (c *Core) accountStall(committed int) {
+	if committed > 0 || c.halted {
+		return
+	}
+	switch c.blockReason {
+	case "rob":
+		c.Stats.StallROB++
+	case "lq":
+		c.Stats.StallLQ++
+	case "sq", "sb":
+		c.Stats.StallSQ++
+	default:
+		c.Stats.StallOther++
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fetch and dispatch
+// ---------------------------------------------------------------------
+
+func (c *Core) fetch() {
+	if c.halted || c.fetchHalted || c.now < c.fetchStallUntil {
+		return
+	}
+	for i := 0; i < c.cfg.FetchWidth; i++ {
+		si := c.program.At(c.fetchPC)
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.blockReason = "rob"
+			return
+		}
+		if c.iqCount >= c.cfg.IQSize {
+			if c.blockReason == "" {
+				c.blockReason = "iq"
+			}
+			return
+		}
+		switch si.Op {
+		case isa.OpLoad, isa.OpAtomic:
+			if len(c.lq) >= c.cfg.LQSize {
+				c.blockReason = "lq"
+				return
+			}
+		}
+		if si.Op == isa.OpStore {
+			if len(c.sq) >= c.cfg.SQSize {
+				c.blockReason = "sq"
+				return
+			}
+		}
+		d := c.dispatch(si, c.fetchPC)
+		c.Stats.Fetched++
+		switch si.Op {
+		case isa.OpHalt:
+			c.fetchHalted = true
+			return
+		case isa.OpJump:
+			c.fetchPC = si.Target
+			return // redirect consumes the rest of the fetch group
+		case isa.OpBranch:
+			d.histAt = c.pred.History()
+			d.predTaken = c.pred.Predict(c.fetchPC)
+			if d.predTaken {
+				c.fetchPC = si.Target
+			} else {
+				c.fetchPC++
+			}
+			return
+		default:
+			c.fetchPC++
+		}
+	}
+}
+
+// dispatch allocates the dynamic instruction, wires its dependencies, and
+// places it in the ROB (and LQ/SQ for memory operations).
+func (c *Core) dispatch(si *isa.Instr, pc int) *DynInstr {
+	d := &DynInstr{seq: c.nextSeq, pc: pc, si: si}
+	c.nextSeq++
+	c.rob = append(c.rob, d)
+	c.iqCount++
+
+	// Source 1 gates issue for every op that reads it.
+	needSrc1 := si.Op == isa.OpALU || si.Op == isa.OpLoad || si.Op == isa.OpStore ||
+		si.Op == isa.OpBranch || si.Op == isa.OpAtomic
+	// Source 2 gates issue for ALU/branch/atomic; for stores it is the
+	// data operand, tracked separately so address generation can proceed.
+	needSrc2 := (si.Op == isa.OpALU || si.Op == isa.OpBranch) && !si.UseImm || si.Op == isa.OpAtomic
+
+	if needSrc1 {
+		c.wireOperand(d, si.Src1, 1, true)
+	}
+	if needSrc2 {
+		c.wireOperand(d, si.Src2, 2, true)
+	}
+	if si.Op == isa.OpStore {
+		c.wireOperand(d, si.Src2, 2, false)
+	}
+	// Register this instruction as the newest producer of its
+	// destination (after operand wiring, so a same-register source reads
+	// the previous producer).
+	if d.writesReg() {
+		c.regProd[si.Dst] = d
+	}
+
+	switch si.Op {
+	case isa.OpLoad:
+		e := &lqEntry{d: d}
+		d.lq = e
+		c.lq = append(c.lq, e)
+	case isa.OpAtomic:
+		e := &lqEntry{d: d, isAtomic: true}
+		d.lq = e
+		c.lq = append(c.lq, e)
+	case isa.OpStore:
+		e := &sqEntry{d: d}
+		d.sq = e
+		c.sq = append(c.sq, e)
+		if d.dataPending {
+			// value captured later via produceDone
+		} else {
+			e.value = d.src2Val
+			e.valueValid = true
+		}
+	}
+
+	if d.pendingIssue == 0 {
+		c.makeReady(d)
+	}
+	return d
+}
+
+// wireOperand resolves one register operand: from the zero register, the
+// architectural file, a completed producer, or a pending producer (which
+// registers d as a waiter). gate indicates the operand gates issue.
+func (c *Core) wireOperand(d *DynInstr, r isa.Reg, which int, gate bool) {
+	var val mem.Word
+	var prod *DynInstr
+	if r != isa.R0 {
+		if p := c.regProd[r]; p != nil {
+			if p.state == stCompleted {
+				val = p.result
+			} else {
+				prod = p
+			}
+		} else {
+			val = c.archRegs[r]
+		}
+	}
+	if prod != nil {
+		prod.waiters = append(prod.waiters, d)
+		if which == 1 {
+			d.src1Prod = prod
+		} else {
+			d.src2Prod = prod
+		}
+		if gate {
+			d.pendingIssue++
+		} else {
+			d.dataPending = true
+		}
+		return
+	}
+	if which == 1 {
+		d.src1Val = val
+	} else {
+		d.src2Val = val
+	}
+}
+
+// makeReady queues d for issue.
+func (c *Core) makeReady(d *DynInstr) {
+	d.state = stReady
+	c.readyQ = append(c.readyQ, d)
+}
+
+// produceDone is called when a producer completes, delivering its value
+// to d.
+func (c *Core) produceDone(d, prod *DynInstr) {
+	if d.squashed {
+		return
+	}
+	if d.src1Prod == prod {
+		d.src1Prod = nil
+		d.src1Val = prod.result
+		d.pendingIssue--
+	}
+	if d.src2Prod == prod {
+		d.src2Prod = nil
+		d.src2Val = prod.result
+		if d.si.Op == isa.OpStore {
+			d.dataPending = false
+			if d.sq != nil {
+				d.sq.value = d.src2Val
+				d.sq.valueValid = true
+				c.maybeCompleteStore(d)
+			}
+		} else {
+			d.pendingIssue--
+		}
+	}
+	if d.state == stDispatched && d.pendingIssue == 0 {
+		c.makeReady(d)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Issue and execute
+// ---------------------------------------------------------------------
+
+func (c *Core) issue() {
+	issued := 0
+	for issued < c.cfg.IssueWidth && len(c.readyQ) > 0 {
+		d := c.readyQ[0]
+		c.readyQ = c.readyQ[1:]
+		if d.squashed || d.state != stReady {
+			continue
+		}
+		d.state = stIssued
+		c.iqCount--
+		issued++
+		c.execute(d)
+	}
+}
+
+// execute starts execution of an issued instruction.
+func (c *Core) execute(d *DynInstr) {
+	switch d.si.Op {
+	case isa.OpNop, isa.OpHalt:
+		c.events.After(c.now, 1, func() { c.complete(d, 0) })
+	case isa.OpJump:
+		d.resolved = true
+		c.events.After(c.now, 1, func() { c.complete(d, 0) })
+	case isa.OpALU:
+		lat := c.cfg.ALULatency
+		if d.si.Latency > 0 {
+			lat = d.si.Latency
+		}
+		b := d.src2Val
+		if d.si.UseImm {
+			b = d.si.Imm
+		}
+		res := isa.EvalALU(d.si.Fn, d.src1Val, b)
+		c.events.After(c.now, sim.Cycle(lat), func() { c.complete(d, res) })
+	case isa.OpBranch:
+		c.events.After(c.now, 1, func() { c.resolveBranch(d) })
+	case isa.OpLoad, isa.OpAtomic:
+		d.lq.addr = mem.AlignWord(mem.Addr(d.src1Val + d.si.Imm))
+		d.lq.line = mem.LineOf(d.lq.addr)
+		d.lq.addrValid = true
+		c.tokens[d.seq] = d.lq
+		// Memory issue is attempted by tryMemoryIssue (this cycle too).
+	case isa.OpStore:
+		d.sq.addr = mem.AlignWord(mem.Addr(d.src1Val + d.si.Imm))
+		d.sq.line = mem.LineOf(d.sq.addr)
+		d.sq.addrValid = true
+		c.memDepCheck(d.sq)
+		if !d.sq.prefetched {
+			d.sq.prefetched = true
+			c.pcu.StorePrefetch(c.now, d.sq.line)
+		}
+		c.maybeCompleteStore(d)
+	default:
+		panic(fmt.Sprintf("cpu: issue of %v", d.si.Op))
+	}
+}
+
+// maybeCompleteStore completes a store once both its address and data are
+// known (completion makes it commit-eligible; it performs later from the
+// store buffer).
+func (c *Core) maybeCompleteStore(d *DynInstr) {
+	if d.state != stIssued || d.squashed {
+		return
+	}
+	if d.sq.addrValid && d.sq.valueValid {
+		c.events.After(c.now, 1, func() { c.complete(d, 0) })
+	}
+}
+
+// complete finishes execution: the result becomes available and
+// dependents wake.
+func (c *Core) complete(d *DynInstr, result mem.Word) {
+	if d.squashed || d.state == stCompleted {
+		return
+	}
+	d.state = stCompleted
+	d.result = result
+	d.hasResult = true
+	waiters := d.waiters
+	d.waiters = nil
+	for _, w := range waiters {
+		c.produceDone(w, d)
+	}
+}
+
+// resolveBranch evaluates the branch, trains the predictor, and squashes
+// on a misprediction.
+func (c *Core) resolveBranch(d *DynInstr) {
+	if d.squashed {
+		return
+	}
+	b := d.src2Val
+	if d.si.UseImm {
+		b = d.si.Imm
+	}
+	taken := isa.EvalCond(d.si.Fn, d.src1Val, b)
+	d.resolved = true
+	c.pred.Train(d.pc, d.histAt, taken)
+	c.complete(d, 0)
+	if taken != d.predTaken {
+		c.Stats.SquashBranch++
+		c.pred.Restore(d.histAt, taken)
+		target := d.pc + 1
+		if taken {
+			target = d.si.Target
+		}
+		c.squashFrom(d.seq+1, target, c.cfg.MispredictPenalty)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Squash
+// ---------------------------------------------------------------------
+
+// squashFrom removes every instruction with seq >= cut from the pipeline,
+// redirects fetch to pc, and stalls the front end for penalty cycles.
+func (c *Core) squashFrom(cut uint64, pc int, penalty int) {
+	// Find the ROB boundary.
+	idx := len(c.rob)
+	for i, d := range c.rob {
+		if d.seq >= cut {
+			idx = i
+			break
+		}
+	}
+	if idx == len(c.rob) {
+		// Nothing younger in flight; just redirect.
+		c.fetchPC = pc
+		c.fetchStallUntil = c.now + sim.Cycle(penalty)
+		c.fetchHalted = false
+		return
+	}
+
+	// Collect LDT responsibilities held by squashed loads; they must
+	// survive on an older non-performed load (or be released if every
+	// older load has performed) — Section 4.2.
+	var orphanMask uint64
+	for _, d := range c.rob[idx:] {
+		c.Stats.Squashed++
+		d.squashed = true
+		if d.state == stDispatched || d.state == stReady {
+			c.iqCount--
+		}
+		if d.lq != nil {
+			orphanMask |= d.lq.ldtMask
+			delete(c.tokens, d.seq)
+		}
+	}
+	c.rob = c.rob[:idx]
+
+	// Trim LQ and SQ.
+	c.lq = trimLQ(c.lq, cut)
+	c.sq = trimSQ(c.sq, cut)
+
+	// Reassign orphaned LDT responsibilities.
+	if orphanMask != 0 {
+		if holder := c.youngestNonPerformed(); holder != nil {
+			holder.ldtMask |= orphanMask
+		} else {
+			c.releaseMask(orphanMask)
+		}
+	}
+
+	// Rebuild the register producer table from surviving instructions.
+	c.regProd = [isa.NumRegs]*DynInstr{}
+	for _, d := range c.rob {
+		if d.writesReg() && c.newerThanArch(d.si.Dst, d.seq) {
+			c.regProd[d.si.Dst] = d
+		}
+	}
+
+	c.fetchPC = pc
+	c.fetchStallUntil = c.now + sim.Cycle(penalty)
+	c.fetchHalted = false
+	c.onOrderingChange()
+}
+
+// newerThanArch reports whether seq is younger than the last committed
+// writer of register r.
+func (c *Core) newerThanArch(r isa.Reg, seq uint64) bool {
+	return !c.archValid[r] || seq > c.archSeq[r]
+}
+
+func trimLQ(entries []*lqEntry, cut uint64) []*lqEntry {
+	for i, e := range entries {
+		if e.d.seq >= cut {
+			return entries[:i]
+		}
+	}
+	return entries
+}
+
+func trimSQ(entries []*sqEntry, cut uint64) []*sqEntry {
+	for i, e := range entries {
+		if e.d.seq >= cut {
+			return entries[:i]
+		}
+	}
+	return entries
+}
+
+// youngestNonPerformed returns the youngest LQ entry that has not yet
+// performed, or nil.
+func (c *Core) youngestNonPerformed() *lqEntry {
+	for i := len(c.lq) - 1; i >= 0; i-- {
+		if !c.lq[i].performed {
+			return c.lq[i]
+		}
+	}
+	return nil
+}

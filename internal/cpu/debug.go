@@ -1,0 +1,61 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpState renders the core's pipeline state for debugging stuck runs.
+func (c *Core) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core %d: halted=%v fetchPC=%d rob=%d lq=%d sq=%d sb=%d iq=%d ready=%d seen=%v\n",
+		c.ID, c.halted, c.fetchPC, len(c.rob), len(c.lq), len(c.sq), len(c.sb), c.iqCount, len(c.readyQ), c.seenLines)
+	for i, d := range c.rob {
+		if i >= 8 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(c.rob)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  rob[%d] %v state=%d pend=%d\n", i, d, d.state, d.pendingIssue)
+	}
+	for i, e := range c.lq {
+		fmt.Fprintf(&b, "  lq[%d] %v addrV=%v perf=%v issued=%v retry=%v atomic=%v(go=%v) mask=%x\n",
+			i, e.d, e.addrValid, e.performed, e.issued, e.needRetry, e.isAtomic, e.atomicGo, e.ldtMask)
+	}
+	for i, s := range c.sb {
+		fmt.Fprintf(&b, "  sb[%d] seq=%d addr=%v\n", i, s.seq, s.addr)
+	}
+	for i := range c.ldt {
+		if c.ldt[i].valid {
+			fmt.Fprintf(&b, "  ldt[%d] line=%v\n", i, c.ldt[i].line)
+		}
+	}
+	return b.String()
+}
+
+// CommitTrace, when enabled via EnableCommitTrace, records the last N
+// committed instructions (pc, seq, result) for debugging.
+type CommitTrace struct {
+	PC     int
+	Seq    uint64
+	Result uint64
+}
+
+// EnableCommitTrace turns on commit tracing with a ring of n entries.
+func (c *Core) EnableCommitTrace(n int) {
+	c.traceRing = make([]CommitTrace, 0, n)
+	c.traceCap = n
+}
+
+// Trace returns the recorded ring (oldest first).
+func (c *Core) Trace() []CommitTrace { return c.traceRing }
+
+func (c *Core) traceCommit(d *DynInstr) {
+	if c.traceCap == 0 {
+		return
+	}
+	if len(c.traceRing) == c.traceCap {
+		copy(c.traceRing, c.traceRing[1:])
+		c.traceRing = c.traceRing[:c.traceCap-1]
+	}
+	c.traceRing = append(c.traceRing, CommitTrace{PC: d.pc, Seq: d.seq, Result: uint64(d.result)})
+}

@@ -1,0 +1,157 @@
+package cpu
+
+import (
+	"fmt"
+
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+	"wbsim/internal/sim"
+)
+
+// istate is the lifecycle state of a dynamic instruction.
+type istate uint8
+
+const (
+	stDispatched istate = iota // in the ROB, waiting for operands
+	stReady                    // operands available, in the ready queue
+	stIssued                   // executing (or waiting on memory)
+	stCompleted                // result available; commit-eligible
+)
+
+// DynInstr is one dynamic (in-flight) instruction.
+type DynInstr struct {
+	seq uint64 // per-core program-order age; also the memory token
+	pc  int
+	si  *isa.Instr
+
+	state    istate
+	squashed bool
+
+	// Operand capture. pendingIssue counts producers that must complete
+	// before the instruction can issue (for stores, only the address
+	// operand gates issue; the data operand is tracked separately).
+	src1Val, src2Val   mem.Word
+	src1Prod, src2Prod *DynInstr
+	pendingIssue       int
+	dataPending        bool // store data operand still outstanding
+
+	result    mem.Word
+	hasResult bool
+	waiters   []*DynInstr
+
+	// Control flow.
+	predTaken bool
+	histAt    uint64
+	resolved  bool // branch/jump outcome known
+
+	// Memory.
+	lq *lqEntry
+	sq *sqEntry
+}
+
+// writesReg reports whether the instruction produces a register value.
+func (d *DynInstr) writesReg() bool {
+	if d.si.Dst == isa.R0 {
+		return false
+	}
+	switch d.si.Op {
+	case isa.OpALU, isa.OpLoad, isa.OpAtomic:
+		return true
+	}
+	return false
+}
+
+// isBranchy reports whether commit condition 3 (resolved control flow)
+// gates younger instructions on this one.
+func (d *DynInstr) isBranchy() bool {
+	return d.si.Op == isa.OpBranch || d.si.Op == isa.OpJump
+}
+
+func (d *DynInstr) String() string {
+	return fmt.Sprintf("#%d@%d %s", d.seq, d.pc, d.si)
+}
+
+// lqEntry is a load-queue entry (loads and the load half of atomics), in
+// program order. The collapsible LQ removes committed loads from any
+// position.
+type lqEntry struct {
+	d         *DynInstr
+	addr      mem.Addr
+	line      mem.Line
+	addrValid bool
+	performed bool
+	issued    bool // outstanding request in the memory system
+	needRetry bool // received a tear-off copy while unordered (Section 3.4)
+	value     mem.Word
+	fwdSeq    uint64 // seq of the store that forwarded the value (0 = memory)
+	isAtomic  bool
+	atomicGo  bool // atomic handed to the PCU
+
+	// ldtMask carries the LDT release responsibilities assigned to this
+	// (non-performed) load by younger loads that committed out of order
+	// (Section 4.2). Bit i refers to LDT entry i.
+	ldtMask uint64
+}
+
+// sqEntry is a store-queue entry, in program order.
+type sqEntry struct {
+	d          *DynInstr
+	addr       mem.Addr
+	line       mem.Line
+	addrValid  bool
+	value      mem.Word
+	valueValid bool
+	prefetched bool
+}
+
+// sbEntry is a committed store waiting in the FIFO store buffer.
+type sbEntry struct {
+	seq   uint64
+	addr  mem.Addr
+	line  mem.Line
+	value mem.Word
+}
+
+// ldtEntry is a Lockdown Table entry: the lockdown of a load that
+// committed out of order, kept at the L1 until the load would have become
+// ordered. The "seen" bit of the paper is tracked per line in
+// Core.seenLines (equivalent encoding: an Ack is owed when the last
+// lockdown for a seen line lifts).
+type ldtEntry struct {
+	line  mem.Line
+	valid bool
+}
+
+// Stats aggregates per-core counters used by the figures.
+type Stats struct {
+	Committed       uint64
+	CommittedLoads  uint64
+	CommittedStores uint64
+	CommittedOoO    uint64 // instructions committed from beyond the ROB head
+	MSpecCommits    uint64 // M-speculative loads committed via the LDT (or unsafely)
+
+	Fetched  uint64
+	Squashed uint64
+
+	SquashBranch uint64
+	SquashMemDep uint64
+	SquashInv    uint64 // consistency squashes (invalidation hit an M-spec load)
+	SquashEvict  uint64 // consistency squashes on owned-line eviction
+	SquashAtomic uint64 // squashes of loads that speculated past a pending atomic (Section 3.7)
+
+	StallROB   uint64 // cycles with no commit and the ROB full
+	StallLQ    uint64
+	StallSQ    uint64
+	StallOther uint64
+	Cycles     uint64
+
+	LockdownsSet   uint64 // loads that became M-speculative (entered lockdown)
+	LDTExports     uint64
+	LDTFullStalls  uint64
+	TearoffsBound  uint64 // tear-off values consumed by ordered loads
+	TearoffRetries uint64 // tear-offs that unordered loads had to discard
+
+	Forwards    uint64 // store-to-load forwards
+	MemDepWait  uint64
+	DoneAtCycle sim.Cycle
+}

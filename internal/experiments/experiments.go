@@ -1,0 +1,181 @@
+// Package experiments regenerates the paper's evaluation artifacts:
+// Figure 8 (WritersBlock events per kilo-store / uncacheable reads per
+// kilo-load), Figure 9 (execution time and network traffic overhead of
+// the WritersBlock protocol), Figure 10 (commit-stall breakdown and
+// normalized execution time of out-of-order commit), and the auxiliary
+// squash-elimination study. Each experiment returns stats tables whose
+// rows correspond to the figure's bars/series.
+package experiments
+
+import (
+	"fmt"
+
+	"wbsim/internal/core"
+	"wbsim/internal/stats"
+	"wbsim/internal/workload"
+)
+
+// Options control experiment runs.
+type Options struct {
+	Cores int
+	Scale int // workload scale factor
+	Seed  uint64
+}
+
+// DefaultOptions mirror the paper's 16-core runs.
+func DefaultOptions() Options { return Options{Cores: 16, Scale: 2, Seed: 1} }
+
+// runOne executes a workload under (class, variant) and returns results.
+func runOne(w workload.Workload, class core.Class, v core.Variant, opt Options) (core.Results, error) {
+	cfg := core.DefaultConfig(class, v)
+	cfg.Cores = opt.Cores
+	cfg.Seed = opt.Seed
+	_, res, err := workload.Run(w, cfg, opt.Scale)
+	return res, err
+}
+
+// Fig8 reproduces Figure 8: per benchmark and core class, write requests
+// blocked per kilo-store (top graph) and uncacheable tear-off reads per
+// kilo-load (bottom graph), measured under out-of-order commit with
+// WritersBlock coherence.
+func Fig8(opt Options) (*stats.Table, error) {
+	t := stats.NewTable("Figure 8: WritersBlock events (OoO commit + WritersBlock)",
+		"benchmark", "class", "blocked-writes/kstore", "uncacheable-reads/kload")
+	for _, w := range workload.Evaluation() {
+		for _, class := range core.Classes {
+			res, err := runOne(w, class, core.OoOWB, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s/%s: %w", w.Name, class, err)
+			}
+			t.AddRow(w.Name, string(class),
+				stats.PerMille(res.BlockedWrites, res.CommittedStores),
+				stats.PerMille(res.UncacheableReads, res.CommittedLoads))
+		}
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: the overhead of the WritersBlock protocol
+// itself — execution time and network traffic of in-order commit over
+// WritersBlock coherence, normalized to in-order commit over the base
+// directory protocol. Values near 1.0 demonstrate "no perceptible
+// overhead".
+func Fig9(opt Options) (*stats.Table, error) {
+	t := stats.NewTable("Figure 9: WritersBlock protocol overhead (normalized to base, in-order commit)",
+		"benchmark", "exec-time", "traffic(flit-hops)")
+	var times, traffic []float64
+	for _, w := range workload.Evaluation() {
+		base, err := runOne(w, core.SLM, core.InOrderBase, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s base: %w", w.Name, err)
+		}
+		wb, err := runOne(w, core.SLM, core.InOrderWB, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s wb: %w", w.Name, err)
+		}
+		tn := stats.Ratio(float64(wb.Cycles), float64(base.Cycles))
+		fn := stats.Ratio(float64(wb.NetFlitHops), float64(base.NetFlitHops))
+		times = append(times, tn)
+		traffic = append(traffic, fn)
+		t.AddRow(w.Name, tn, fn)
+	}
+	t.AddRow("geomean", stats.GeoMean(times), stats.GeoMean(traffic))
+	return t, nil
+}
+
+// Fig10Stalls reproduces Figure 10 (top): the percentage of cycles in
+// which a core could not commit a single instruction, broken down by the
+// structure that was full (ROB / LQ / SQ), for the SLM-class core under
+// the three commit schemes.
+func Fig10Stalls(opt Options) (*stats.Table, error) {
+	t := stats.NewTable("Figure 10 (top): % cycles stalled by reason (SLM-class)",
+		"benchmark", "variant", "%ROB-full", "%LQ-full", "%SQ-full", "%other")
+	for _, w := range workload.Evaluation() {
+		for _, v := range []core.Variant{core.InOrderBase, core.OoOBase, core.OoOWB} {
+			res, err := runOne(w, core.SLM, v, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s/%s: %w", w.Name, v, err)
+			}
+			cc := float64(res.CoreCycles)
+			t.AddRow(w.Name, string(v),
+				100*stats.Ratio(float64(res.StallROB), cc),
+				100*stats.Ratio(float64(res.StallLQ), cc),
+				100*stats.Ratio(float64(res.StallSQ), cc),
+				100*stats.Ratio(float64(res.StallOther), cc))
+		}
+	}
+	return t, nil
+}
+
+// Fig10Results holds the headline numbers of Figure 10 (bottom).
+type Fig10Results struct {
+	Table *stats.Table
+	// Improvement of OoO+WritersBlock over in-order commit and over
+	// safe OoO commit (percent, average and maximum across benchmarks).
+	AvgVsInOrder float64
+	MaxVsInOrder float64
+	AvgVsOoO     float64
+	MaxVsOoO     float64
+}
+
+// Fig10Time reproduces Figure 10 (bottom): execution time of safe OoO
+// commit and OoO commit + WritersBlock, normalized to in-order commit
+// (SLM-class). The paper reports 15.4% average (max 41.9%) improvement
+// over in-order and 10.2% average (max 28.3%) over safe OoO commit.
+func Fig10Time(opt Options) (*Fig10Results, error) {
+	t := stats.NewTable("Figure 10 (bottom): normalized execution time (SLM-class)",
+		"benchmark", "inorder", "ooo-base", "ooo-wb")
+	var vsIn, vsOoO []float64
+	var normOoO, normWB []float64
+	for _, w := range workload.Evaluation() {
+		in, err := runOne(w, core.SLM, core.InOrderBase, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s inorder: %w", w.Name, err)
+		}
+		ooo, err := runOne(w, core.SLM, core.OoOBase, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s ooo: %w", w.Name, err)
+		}
+		wb, err := runOne(w, core.SLM, core.OoOWB, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s wb: %w", w.Name, err)
+		}
+		nO := stats.Ratio(float64(ooo.Cycles), float64(in.Cycles))
+		nW := stats.Ratio(float64(wb.Cycles), float64(in.Cycles))
+		t.AddRow(w.Name, 1.0, nO, nW)
+		normOoO = append(normOoO, nO)
+		normWB = append(normWB, nW)
+		vsIn = append(vsIn, 100*(1-nW))
+		vsOoO = append(vsOoO, 100*(1-stats.Ratio(float64(wb.Cycles), float64(ooo.Cycles))))
+	}
+	t.AddRow("geomean", 1.0, stats.GeoMean(normOoO), stats.GeoMean(normWB))
+	return &Fig10Results{
+		Table:        t,
+		AvgVsInOrder: stats.Mean(vsIn),
+		MaxVsInOrder: stats.Max(vsIn),
+		AvgVsOoO:     stats.Mean(vsOoO),
+		MaxVsOoO:     stats.Max(vsOoO),
+	}, nil
+}
+
+// Squashes reproduces the motivational claim of Section 1: WritersBlock
+// eliminates consistency squashes (invalidation- and eviction-triggered
+// replays) entirely, where the squash-based baseline pays for them.
+func Squashes(opt Options) (*stats.Table, error) {
+	t := stats.NewTable("Consistency squashes per million committed instructions",
+		"benchmark", "ooo-base", "ooo-wb")
+	for _, w := range workload.Evaluation() {
+		base, err := runOne(w, core.SLM, core.OoOBase, opt)
+		if err != nil {
+			return nil, fmt.Errorf("squash %s base: %w", w.Name, err)
+		}
+		wb, err := runOne(w, core.SLM, core.OoOWB, opt)
+		if err != nil {
+			return nil, fmt.Errorf("squash %s wb: %w", w.Name, err)
+		}
+		t.AddRow(w.Name,
+			1000*stats.PerMille(base.SquashInv+base.SquashEvict, base.Committed),
+			1000*stats.PerMille(wb.SquashInv+wb.SquashEvict, wb.Committed))
+	}
+	return t, nil
+}

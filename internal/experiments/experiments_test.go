@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wbsim/internal/workload"
+)
+
+// smokeOptions shrink the machine so the full experiment matrix runs in
+// CI time.
+func smokeOptions() Options { return Options{Cores: 4, Scale: 1, Seed: 1} }
+
+func TestFig8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment matrix")
+	}
+	tb, err := Fig8(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(workload.Evaluation()) * 3 // benchmarks x classes
+	if tb.NumRows() != want {
+		t.Fatalf("rows = %d, want %d", tb.NumRows(), want)
+	}
+	if !strings.Contains(tb.String(), "streamcluster") {
+		t.Fatal("table missing benchmarks")
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment matrix")
+	}
+	tb, err := Fig9(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 benchmarks + geomean row.
+	if tb.NumRows() != len(workload.Evaluation())+1 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	// The WritersBlock protocol must be near-overhead-free: geomean
+	// execution time within 10% of the base protocol.
+	var g float64
+	if _, err := sscan(tb.Row(tb.NumRows() - 1)[1], &g); err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.90 || g > 1.10 {
+		t.Errorf("WritersBlock overhead geomean = %v, expected ~1.0", g)
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment matrix")
+	}
+	r, err := Fig10Time(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline shape: OoO+WritersBlock improves over
+	// in-order commit on average.
+	if r.AvgVsInOrder <= 0 {
+		t.Errorf("OoO+WB does not beat in-order commit: avg %.1f%%", r.AvgVsInOrder)
+	}
+	if r.AvgVsOoO <= 0 {
+		t.Errorf("OoO+WB does not beat safe OoO commit: avg %.1f%%", r.AvgVsOoO)
+	}
+	st, err := Fig10Stalls(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumRows() != len(workload.Evaluation())*3 {
+		t.Fatalf("stall rows = %d", st.NumRows())
+	}
+}
+
+func TestSquashesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment matrix")
+	}
+	tb, err := Squashes(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WritersBlock eliminates consistency squashes: column 2 all zero.
+	for i := 0; i < tb.NumRows(); i++ {
+		var v float64
+		if _, err := sscan(tb.Row(i)[2], &v); err == nil && v != 0 {
+			t.Errorf("%s: ooo-wb has %v consistency squashes", tb.Row(i)[0], v)
+		}
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment matrix")
+	}
+	ev, err := AblateEvictionPolicy(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-silent evictions must not *reduce* traffic on average.
+	var g float64
+	if _, err := sscan(ev.Row(ev.NumRows() - 1)[1], &g); err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.99 {
+		t.Errorf("non-silent evictions reduced traffic?! geomean %v", g)
+	}
+	if _, err := AblateLDTSize(smokeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblateReservedMSHRs(smokeOptions()); err != nil {
+		t.Fatal(err)
+	}
+}

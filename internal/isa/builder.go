@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"fmt"
+
+	"wbsim/internal/mem"
+)
+
+// Label marks a branch target being built. Labels may be bound before or
+// after the branches that reference them.
+type Label int
+
+// Builder assembles a Program. All emit methods return the Builder for
+// chaining where convenient.
+type Builder struct {
+	name    string
+	code    []Instr
+	labels  []int   // label -> pc, -1 while unbound
+	patches []patch // branches awaiting label binding
+}
+
+type patch struct {
+	pc    int
+	label Label
+}
+
+// NewBuilder starts a new program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// PC returns the current instruction count (the pc of the next emit).
+func (b *Builder) PC() int { return len(b.code) }
+
+// NewLabel creates an unbound label.
+func (b *Builder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind binds a label to the current PC.
+func (b *Builder) Bind(l Label) {
+	if b.labels[l] != -1 {
+		panic(fmt.Sprintf("isa: label %d bound twice", l))
+	}
+	b.labels[l] = b.PC()
+}
+
+// Here creates a label bound to the current PC (for backward branches).
+func (b *Builder) Here() Label {
+	l := b.NewLabel()
+	b.Bind(l)
+	return l
+}
+
+func (b *Builder) emit(i Instr) *Builder {
+	b.code = append(b.code, i)
+	return b
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// Halt stops the core.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
+
+// ALU emits dst = fn(src1, src2).
+func (b *Builder) ALU(fn Fn, dst, src1, src2 Reg) *Builder {
+	return b.emit(Instr{Op: OpALU, Fn: fn, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// ALUI emits dst = fn(src1, imm).
+func (b *Builder) ALUI(fn Fn, dst, src1 Reg, imm mem.Word) *Builder {
+	return b.emit(Instr{Op: OpALU, Fn: fn, Dst: dst, Src1: src1, Imm: imm, UseImm: true})
+}
+
+// MovImm emits dst = imm.
+func (b *Builder) MovImm(dst Reg, imm mem.Word) *Builder {
+	return b.ALUI(FnMov, dst, R0, imm)
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src Reg) *Builder {
+	return b.ALU(FnAdd, dst, src, R0)
+}
+
+// AddI emits dst = src + imm.
+func (b *Builder) AddI(dst, src Reg, imm mem.Word) *Builder {
+	return b.ALUI(FnAdd, dst, src, imm)
+}
+
+// Work emits dst = src1+src2 with an execute latency of lat cycles,
+// modelling a long (e.g. floating point) operation.
+func (b *Builder) Work(dst, src1, src2 Reg, lat int) *Builder {
+	return b.emit(Instr{Op: OpALU, Fn: FnAdd, Dst: dst, Src1: src1, Src2: src2, Latency: lat})
+}
+
+// Load emits dst = MEM[base+off].
+func (b *Builder) Load(dst, base Reg, off mem.Word) *Builder {
+	return b.emit(Instr{Op: OpLoad, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store emits MEM[base+off] = src.
+func (b *Builder) Store(base Reg, off mem.Word, src Reg) *Builder {
+	return b.emit(Instr{Op: OpStore, Src1: base, Imm: off, Src2: src})
+}
+
+// Branch emits a conditional branch to label on fn(src1, src2).
+func (b *Builder) Branch(fn Fn, src1, src2 Reg, l Label) *Builder {
+	b.patches = append(b.patches, patch{pc: b.PC(), label: l})
+	return b.emit(Instr{Op: OpBranch, Fn: fn, Src1: src1, Src2: src2})
+}
+
+// BranchI emits a conditional branch to label on fn(src1, imm).
+func (b *Builder) BranchI(fn Fn, src1 Reg, imm mem.Word, l Label) *Builder {
+	b.patches = append(b.patches, patch{pc: b.PC(), label: l})
+	return b.emit(Instr{Op: OpBranch, Fn: fn, Src1: src1, Imm: imm, UseImm: true})
+}
+
+// Jump emits an unconditional jump to label.
+func (b *Builder) Jump(l Label) *Builder {
+	b.patches = append(b.patches, patch{pc: b.PC(), label: l})
+	return b.emit(Instr{Op: OpJump})
+}
+
+// Atomic emits dst = old MEM[base+off]; MEM[base+off] = fn(old, src2).
+func (b *Builder) Atomic(fn Fn, dst, base Reg, off mem.Word, src2 Reg) *Builder {
+	if fn != FnSwap && fn != FnFetchAdd {
+		panic(fmt.Sprintf("isa: atomic with non-atomic fn %v", fn))
+	}
+	return b.emit(Instr{Op: OpAtomic, Fn: fn, Dst: dst, Src1: base, Imm: off, Src2: src2})
+}
+
+// SpinLock emits a test-and-test-and-set acquire loop on MEM[base+off]
+// using tmp registers: spin on a plain load while the lock is held (cheap
+// local re-reads; no write-permission storm), back off between retries
+// (as pthread-style spinlocks do — this also bounds the tear-off read
+// rate when the lock release is briefly delayed by a WritersBlock), and
+// attempt the atomic swap only when the lock reads free. The lock is
+// taken when swapping in 1 returns 0.
+func (b *Builder) SpinLock(base Reg, off mem.Word, one, old Reg) *Builder {
+	test := b.NewLabel()
+	backoff := b.NewLabel()
+	b.Jump(test)
+	b.Bind(backoff)
+	b.Work(old, old, old, 20) // pause before re-reading
+	b.Bind(test)
+	b.Load(old, base, off)
+	b.BranchI(FnNE, old, 0, backoff)
+	b.Atomic(FnSwap, old, base, off, one)
+	b.BranchI(FnNE, old, 0, backoff)
+	return b
+}
+
+// SpinUnlock releases the lock by storing zero.
+func (b *Builder) SpinUnlock(base Reg, off mem.Word) *Builder {
+	return b.Store(base, off, R0)
+}
+
+// Program finalizes the build, resolving all labels. It panics on unbound
+// labels so broken kernels fail fast at construction.
+func (b *Builder) Program() *Program {
+	for _, p := range b.patches {
+		pc := b.labels[p.label]
+		if pc < 0 {
+			panic(fmt.Sprintf("isa: program %q: label %d never bound", b.name, p.label))
+		}
+		b.code[p.pc].Target = pc
+	}
+	return &Program{Code: b.code, Name: b.name}
+}

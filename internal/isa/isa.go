@@ -1,0 +1,244 @@
+// Package isa defines the small register ISA the simulated cores execute.
+//
+// The ISA is deliberately tiny — loads, stores, ALU ops, conditional
+// branches, atomic read-modify-writes, and halt — but it is executed for
+// real: load values are bound when the load performs in the simulated
+// memory system, so memory-consistency behaviour (and any violation of
+// it) is directly observable in the architectural results. Workload
+// kernels (internal/workload) and litmus tests (internal/litmus) are
+// written against the Builder API.
+package isa
+
+import (
+	"fmt"
+
+	"wbsim/internal/mem"
+)
+
+// Reg names an architectural register. R0 is hardwired to zero.
+type Reg uint8
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// R0 reads as zero and ignores writes.
+const R0 Reg = 0
+
+// Op is the major opcode.
+type Op uint8
+
+// Major opcodes.
+const (
+	OpNop Op = iota
+	OpALU
+	OpLoad
+	OpStore
+	OpBranch
+	OpJump
+	OpAtomic
+	OpHalt
+)
+
+// String names the opcode.
+func (o Op) String() string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpALU:
+		return "alu"
+	case OpLoad:
+		return "ld"
+	case OpStore:
+		return "st"
+	case OpBranch:
+		return "br"
+	case OpJump:
+		return "jmp"
+	case OpAtomic:
+		return "atomic"
+	case OpHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Fn selects the ALU function, branch condition, or atomic kind.
+type Fn uint8
+
+// ALU functions (OpALU) and atomic kinds (OpAtomic).
+const (
+	FnAdd Fn = iota
+	FnSub
+	FnMul
+	FnAnd
+	FnOr
+	FnXor
+	FnShl
+	FnShr
+	FnMov // dst = src1 (or imm with UseImm)
+	// Branch conditions (OpBranch): branch taken when cond(src1, src2) holds.
+	FnEQ
+	FnNE
+	FnLT // unsigned
+	FnGE // unsigned
+	// Atomic kinds (OpAtomic): dst receives the old memory value.
+	FnSwap     // mem = src2
+	FnFetchAdd // mem += src2
+)
+
+func (f Fn) String() string {
+	switch f {
+	case FnAdd:
+		return "add"
+	case FnSub:
+		return "sub"
+	case FnMul:
+		return "mul"
+	case FnAnd:
+		return "and"
+	case FnOr:
+		return "or"
+	case FnXor:
+		return "xor"
+	case FnShl:
+		return "shl"
+	case FnShr:
+		return "shr"
+	case FnMov:
+		return "mov"
+	case FnEQ:
+		return "eq"
+	case FnNE:
+		return "ne"
+	case FnLT:
+		return "lt"
+	case FnGE:
+		return "ge"
+	case FnSwap:
+		return "swap"
+	case FnFetchAdd:
+		return "fetchadd"
+	}
+	return fmt.Sprintf("fn%d", uint8(f))
+}
+
+// Instr is one static instruction.
+//
+//   - OpALU:    Dst = Fn(Src1, Src2|Imm)
+//   - OpLoad:   Dst = MEM[Src1+Imm]
+//   - OpStore:  MEM[Src1+Imm] = Src2
+//   - OpBranch: if Fn(Src1, Src2|Imm) goto Target
+//   - OpJump:   goto Target
+//   - OpAtomic: Dst = MEM[Src1+Imm]; MEM[Src1+Imm] = Fn(old, Src2)  (atomically)
+//   - OpHalt:   core stops fetching
+type Instr struct {
+	Op     Op
+	Fn     Fn
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    mem.Word
+	UseImm bool
+	Target int
+	// Latency overrides the default execute latency when > 0. Workloads
+	// use it to model long floating-point operations with ALU ops.
+	Latency int
+}
+
+// EvalALU computes Fn over two operands for ALU and atomic instructions.
+func EvalALU(fn Fn, a, b mem.Word) mem.Word {
+	switch fn {
+	case FnAdd:
+		return a + b
+	case FnSub:
+		return a - b
+	case FnMul:
+		return a * b
+	case FnAnd:
+		return a & b
+	case FnOr:
+		return a | b
+	case FnXor:
+		return a ^ b
+	case FnShl:
+		return a << (b & 63)
+	case FnShr:
+		return a >> (b & 63)
+	case FnMov:
+		return b
+	case FnSwap:
+		return b
+	case FnFetchAdd:
+		return a + b
+	}
+	panic(fmt.Sprintf("isa: EvalALU on %v", fn))
+}
+
+// EvalCond evaluates a branch condition.
+func EvalCond(fn Fn, a, b mem.Word) bool {
+	switch fn {
+	case FnEQ:
+		return a == b
+	case FnNE:
+		return a != b
+	case FnLT:
+		return a < b
+	case FnGE:
+		return a >= b
+	}
+	panic(fmt.Sprintf("isa: EvalCond on %v", fn))
+}
+
+// IsMemory reports whether the instruction accesses memory.
+func (i *Instr) IsMemory() bool {
+	return i.Op == OpLoad || i.Op == OpStore || i.Op == OpAtomic
+}
+
+// String disassembles the instruction.
+func (i *Instr) String() string {
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpHalt:
+		return "halt"
+	case OpALU:
+		if i.UseImm {
+			return fmt.Sprintf("%v r%d, r%d, #%d", i.Fn, i.Dst, i.Src1, i.Imm)
+		}
+		return fmt.Sprintf("%v r%d, r%d, r%d", i.Fn, i.Dst, i.Src1, i.Src2)
+	case OpLoad:
+		return fmt.Sprintf("ld r%d, [r%d+%d]", i.Dst, i.Src1, i.Imm)
+	case OpStore:
+		return fmt.Sprintf("st [r%d+%d], r%d", i.Src1, i.Imm, i.Src2)
+	case OpBranch:
+		if i.UseImm {
+			return fmt.Sprintf("b%v r%d, #%d, @%d", i.Fn, i.Src1, i.Imm, i.Target)
+		}
+		return fmt.Sprintf("b%v r%d, r%d, @%d", i.Fn, i.Src1, i.Src2, i.Target)
+	case OpJump:
+		return fmt.Sprintf("jmp @%d", i.Target)
+	case OpAtomic:
+		return fmt.Sprintf("%v r%d, [r%d+%d], r%d", i.Fn, i.Dst, i.Src1, i.Imm, i.Src2)
+	}
+	return fmt.Sprintf("?%d", i.Op)
+}
+
+// Program is a static instruction sequence for one core.
+type Program struct {
+	Code []Instr
+	Name string
+}
+
+// At returns the instruction at pc; fetching past the end returns Halt so
+// programs without an explicit halt terminate cleanly.
+func (p *Program) At(pc int) *Instr {
+	if pc < 0 || pc >= len(p.Code) {
+		return &haltInstr
+	}
+	return &p.Code[pc]
+}
+
+var haltInstr = Instr{Op: OpHalt}
+
+// Len returns the static instruction count.
+func (p *Program) Len() int { return len(p.Code) }

@@ -1,0 +1,188 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wbsim/internal/mem"
+)
+
+func TestEvalALU(t *testing.T) {
+	cases := []struct {
+		fn   Fn
+		a, b mem.Word
+		want mem.Word
+	}{
+		{FnAdd, 2, 3, 5},
+		{FnSub, 2, 3, ^mem.Word(0)},
+		{FnMul, 4, 5, 20},
+		{FnAnd, 0b1100, 0b1010, 0b1000},
+		{FnOr, 0b1100, 0b1010, 0b1110},
+		{FnXor, 0b1100, 0b1010, 0b0110},
+		{FnShl, 1, 4, 16},
+		{FnShr, 16, 4, 1},
+		{FnShl, 1, 64 + 3, 8}, // shift amounts wrap mod 64
+		{FnMov, 7, 9, 9},
+		{FnSwap, 7, 9, 9},
+		{FnFetchAdd, 7, 9, 16},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.fn, c.a, c.b); got != c.want {
+			t.Errorf("EvalALU(%v, %d, %d) = %d, want %d", c.fn, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalCond(t *testing.T) {
+	if !EvalCond(FnEQ, 3, 3) || EvalCond(FnEQ, 3, 4) {
+		t.Error("FnEQ")
+	}
+	if !EvalCond(FnNE, 3, 4) || EvalCond(FnNE, 3, 3) {
+		t.Error("FnNE")
+	}
+	if !EvalCond(FnLT, 3, 4) || EvalCond(FnLT, 4, 3) || EvalCond(FnLT, 3, 3) {
+		t.Error("FnLT")
+	}
+	if !EvalCond(FnGE, 3, 3) || !EvalCond(FnGE, 4, 3) || EvalCond(FnGE, 3, 4) {
+		t.Error("FnGE")
+	}
+}
+
+func TestEvalCondTotality(t *testing.T) {
+	// Exactly one of LT / GE holds; EQ and NE are complementary.
+	if err := quick.Check(func(a, b uint64) bool {
+		x, y := mem.Word(a), mem.Word(b)
+		return EvalCond(FnLT, x, y) != EvalCond(FnGE, x, y) &&
+			EvalCond(FnEQ, x, y) != EvalCond(FnNE, x, y)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder("labels")
+	fwd := b.NewLabel()
+	b.Jump(fwd) // pc 0
+	b.Nop()     // pc 1
+	b.Bind(fwd) // pc 2
+	back := b.Here()
+	b.BranchI(FnNE, 1, 0, back) // pc 2 target -> pc 2... wait: Here is at pc2; branch at pc2
+	p := b.Program()
+	if p.Code[0].Target != 2 {
+		t.Errorf("forward jump target = %d, want 2", p.Code[0].Target)
+	}
+	if p.Code[2].Target != 2 {
+		t.Errorf("backward branch target = %d, want 2", p.Code[2].Target)
+	}
+}
+
+func TestBuilderUnboundLabelPanics(t *testing.T) {
+	b := NewBuilder("bad")
+	l := b.NewLabel()
+	b.Jump(l)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbound label did not panic")
+		}
+	}()
+	b.Program()
+}
+
+func TestBuilderDoubleBindPanics(t *testing.T) {
+	b := NewBuilder("bad")
+	l := b.NewLabel()
+	b.Bind(l)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double bind did not panic")
+		}
+	}()
+	b.Bind(l)
+}
+
+func TestProgramAtBounds(t *testing.T) {
+	p := NewBuilder("p").Nop().Program()
+	if p.At(0).Op != OpNop {
+		t.Fatal("At(0)")
+	}
+	if p.At(1).Op != OpHalt || p.At(-1).Op != OpHalt || p.At(100).Op != OpHalt {
+		t.Fatal("out-of-range fetch must read as halt")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestSpinLockShape(t *testing.T) {
+	b := NewBuilder("lock")
+	b.SpinLock(1, 0, 2, 3)
+	p := b.Program()
+	// Test-and-test-and-set with backoff:
+	// jmp test; backoff: work; test: load; bne backoff; swap; bne backoff.
+	want := []Op{OpJump, OpALU, OpLoad, OpBranch, OpAtomic, OpBranch}
+	if p.Len() != len(want) {
+		t.Fatalf("TTS lock is %d instructions, want %d", p.Len(), len(want))
+	}
+	for i, op := range want {
+		if p.Code[i].Op != op {
+			t.Fatalf("instr %d is %v, want %v", i, p.Code[i].Op, op)
+		}
+	}
+	if p.Code[0].Target != 2 {
+		t.Fatal("entry jump must skip the backoff")
+	}
+	if p.Code[3].Target != 1 || p.Code[5].Target != 1 {
+		t.Fatal("retry branches must enter through the backoff")
+	}
+	if p.Code[1].Latency == 0 {
+		t.Fatal("backoff must have a multi-cycle latency")
+	}
+}
+
+func TestAtomicValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-atomic fn accepted")
+		}
+	}()
+	NewBuilder("bad").Atomic(FnAdd, 1, 2, 0, 3)
+}
+
+func TestIsMemory(t *testing.T) {
+	load := Instr{Op: OpLoad}
+	alu := Instr{Op: OpALU}
+	at := Instr{Op: OpAtomic}
+	st := Instr{Op: OpStore}
+	if !load.IsMemory() || !at.IsMemory() || !st.IsMemory() || alu.IsMemory() {
+		t.Fatal("IsMemory misclassifies")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	b := NewBuilder("dis")
+	b.MovImm(1, 5)
+	b.Load(2, 1, 8)
+	b.Store(1, 8, 2)
+	l := b.Here()
+	b.BranchI(FnNE, 2, 0, l)
+	b.Atomic(FnFetchAdd, 3, 1, 0, 2)
+	b.Halt()
+	p := b.Program()
+	for i, want := range []string{"mov", "ld r2", "st [r1+8]", "bne", "fetchadd", "halt"} {
+		if !strings.Contains(p.Code[i].String(), want) {
+			t.Errorf("disasm[%d] = %q missing %q", i, p.Code[i].String(), want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpNop: "nop", OpALU: "alu", OpLoad: "ld", OpStore: "st",
+		OpBranch: "br", OpJump: "jmp", OpAtomic: "atomic", OpHalt: "halt",
+	} {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", want, op.String())
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package litmus provides a litmus-testing framework for the simulated
+// machine: small multi-core programs whose architectural outcomes are
+// collected across many seeds (with network jitter perturbing message
+// interleavings) and checked against the set of TSO-allowed results.
+//
+// The suite contains the paper's Table 1 message-passing shape (with the
+// hit-under-miss warm-up that creates the dangerous reordering), the
+// transitive three-core variant of Table 3, and the classic TSO tests
+// (SB, LB, IRIW, CoRR, 2+2W, SSL, mutual exclusion).
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wbsim/internal/core"
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+	"wbsim/internal/sim"
+)
+
+// Observer names an architectural register of a core whose final value is
+// part of the outcome.
+type Observer struct {
+	Core int
+	Reg  isa.Reg
+	Name string
+}
+
+// MemObserver names a memory word whose final value is part of the
+// outcome (checked after full drain).
+type MemObserver struct {
+	Addr mem.Addr
+	Name string
+}
+
+// Test is one litmus test.
+type Test struct {
+	Name  string
+	Cores int
+	// Build returns fresh per-core programs; rng may be used to insert
+	// random delay padding so different seeds explore different timings.
+	Build        func(rng *sim.Rand) []*isa.Program
+	Observers    []Observer
+	MemObservers []MemObserver
+	InitMem      map[mem.Addr]mem.Word
+	// Forbidden reports whether an outcome violates TSO.
+	Forbidden func(v map[string]mem.Word) bool
+}
+
+// Result aggregates the outcomes of many runs of one test.
+type Result struct {
+	Test       string
+	Runs       int
+	Outcomes   map[string]int // canonical outcome string -> count
+	Violations int
+	Errors     []error
+}
+
+// String renders the outcome histogram.
+func (r *Result) String() string {
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d runs, %d violations\n", r.Test, r.Runs, r.Violations)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-40s %6d\n", k, r.Outcomes[k])
+	}
+	return b.String()
+}
+
+// Options control a litmus campaign.
+type Options struct {
+	Seeds  int // number of independent runs
+	Jitter int // max random extra network latency per message
+}
+
+// DefaultOptions are suitable for CI tests.
+func DefaultOptions() Options { return Options{Seeds: 60, Jitter: 24} }
+
+// Run executes the test under the given system variant.
+func Run(t Test, variant core.Variant, opts Options) Result {
+	res := Result{Test: t.Name, Outcomes: make(map[string]int)}
+	for seed := uint64(1); seed <= uint64(opts.Seeds); seed++ {
+		cfg := core.SmallConfig(t.Cores, variant)
+		cfg.Seed = seed
+		cfg.JitterMax = opts.Jitter
+		rng := sim.NewRand(seed * 0x9e37)
+		programs := t.Build(rng)
+		sys := core.NewSystem(cfg, programs)
+		for a, w := range t.InitMem {
+			sys.InitWord(a, w)
+		}
+		if _, err := sys.Run(); err != nil {
+			res.Errors = append(res.Errors, fmt.Errorf("seed %d: %w", seed, err))
+			continue
+		}
+		vals := make(map[string]mem.Word)
+		var parts []string
+		for _, o := range t.Observers {
+			v := sys.Cores[o.Core].Reg(o.Reg)
+			vals[o.Name] = v
+			parts = append(parts, fmt.Sprintf("%s=%d", o.Name, v))
+		}
+		for _, o := range t.MemObservers {
+			v := finalWord(sys, o.Addr)
+			vals[o.Name] = v
+			parts = append(parts, fmt.Sprintf("%s=%d", o.Name, v))
+		}
+		key := strings.Join(parts, " ")
+		res.Outcomes[key]++
+		res.Runs++
+		if t.Forbidden != nil && t.Forbidden(vals) {
+			res.Violations++
+		}
+	}
+	return res
+}
+
+// finalWord reads the architecturally final value of a word.
+func finalWord(sys *core.System, addr mem.Addr) mem.Word {
+	return sys.ReadWord(addr)
+}
+
+// pad emits a random-length dependency chain so different seeds shift the
+// relative timing of the cores.
+func pad(b *isa.Builder, rng *sim.Rand, max int) {
+	if max <= 0 {
+		return
+	}
+	n := rng.Intn(max + 1)
+	for i := 0; i < n; i++ {
+		b.ALUI(isa.FnAdd, 31, 31, 1)
+	}
+}
+
+// Test addresses: distinct cache lines mapping to distinct banks.
+const (
+	addrX    = mem.Addr(0x10040)
+	addrY    = mem.Addr(0x20080)
+	addrZ    = mem.Addr(0x300c0)
+	addrFlag = mem.Addr(0x40100)
+	addrLock = mem.Addr(0x50140)
+	addrPtr  = mem.Addr(0x60180) // holds a pointer (for late address resolution)
+)
+
+// newRand exposes a seeded generator for tests.
+func newRand(seed uint64) *sim.Rand { return sim.NewRand(seed * 0x9e37) }

@@ -1,0 +1,393 @@
+package litmus
+
+import (
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+	"wbsim/internal/sim"
+)
+
+// Suite returns the full litmus suite.
+func Suite() []Test {
+	return []Test{
+		MP(),
+		MPHitUnderMiss(),
+		WRCTransitive(),
+		SB(),
+		LB(),
+		IRIW(),
+		CoRR(),
+		TwoPlusTwoW(),
+		StoreForward(),
+		MutexCounter(),
+		Dekker(),
+	}
+}
+
+// MP is the raw Table 1 message-passing test: writer does st x; st y,
+// reader does ld y; ld x. TSO forbids {ra=1, rb=0}.
+func MP() Test {
+	return Test{
+		Name:  "MP",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			r := isa.NewBuilder("mp-reader")
+			pad(r, rng, 12)
+			r.MovImm(1, mem.Word(addrY))
+			r.MovImm(2, mem.Word(addrX))
+			r.Load(3, 1, 0) // ra = y
+			r.Load(4, 2, 0) // rb = x
+			r.Halt()
+			w := isa.NewBuilder("mp-writer")
+			pad(w, rng, 12)
+			w.MovImm(1, mem.Word(addrX))
+			w.MovImm(2, mem.Word(addrY))
+			w.MovImm(3, 1)
+			w.Store(1, 0, 3)
+			w.Store(2, 0, 3)
+			w.Halt()
+			return []*isa.Program{r.Program(), w.Program()}
+		},
+		Observers: []Observer{{0, 3, "ra"}, {0, 4, "rb"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["ra"] == 1 && v["rb"] == 0 },
+	}
+}
+
+// MPHitUnderMiss is the paper's exact dangerous scenario (Table 1 /
+// Figure 1): the reader warms x into its cache, then reads y through a
+// *pointer loaded from a cold line* — so ld y's address resolves long
+// after the younger ld x has hit in the cache and bound the old value —
+// while the writer (released by a flag) stores x then y in the window.
+// The younger load is M-speculative over an older load with an unresolved
+// address, the case no prior scheme could commit. TSO forbids
+// {ra=1, rb=0}; with WritersBlock the writer's st x is delayed by the
+// lockdown until ld y has performed.
+func MPHitUnderMiss() Test {
+	return Test{
+		Name:    "MP+hit-under-miss",
+		Cores:   2,
+		InitMem: map[mem.Addr]mem.Word{addrPtr: mem.Word(addrY)},
+		Build: func(rng *sim.Rand) []*isa.Program {
+			r := isa.NewBuilder("mp-hum-reader")
+			r.MovImm(1, mem.Word(addrPtr))
+			r.MovImm(2, mem.Word(addrX))
+			r.MovImm(5, mem.Word(addrFlag))
+			r.Load(6, 2, 0) // warm x into the cache (x==0 still)
+			r.MovImm(7, 1)
+			r.Store(5, 0, 7) // flag = 1: release the writer
+			pad(r, rng, 6)
+			r.Load(8, 1, 0) // p = [addrPtr]  (cold miss: y's address resolves late)
+			r.Load(3, 8, 0) // ra = y  (older load, address unresolved for a long time)
+			r.Load(4, 2, 0) // rb = x  (cache hit: binds early, M-speculative)
+			r.Halt()
+
+			w := isa.NewBuilder("mp-hum-writer")
+			w.MovImm(1, mem.Word(addrX))
+			w.MovImm(2, mem.Word(addrY))
+			w.MovImm(5, mem.Word(addrFlag))
+			spin := w.Here()
+			w.Load(6, 5, 0)
+			w.BranchI(isa.FnEQ, 6, 0, spin) // wait for flag
+			pad(w, rng, 4)
+			w.MovImm(3, 1)
+			w.Store(1, 0, 3) // st x = 1
+			w.Store(2, 0, 3) // st y = 1
+			w.Halt()
+			return []*isa.Program{r.Program(), w.Program()}
+		},
+		Observers: []Observer{{0, 3, "ra"}, {0, 4, "rb"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["ra"] == 1 && v["rb"] == 0 },
+	}
+}
+
+// WRCTransitive is the Table 3 three-core test: the stores to x and y
+// happen on different cores but are transitively ordered through a spin
+// on x. Delaying st x must also delay st y.
+func WRCTransitive() Test {
+	return Test{
+		Name:    "WRC-transitive",
+		Cores:   3,
+		InitMem: map[mem.Addr]mem.Word{addrPtr: mem.Word(addrY)},
+		Build: func(rng *sim.Rand) []*isa.Program {
+			// Core 0: warm x; flag; ld y (via cold pointer); ld x.
+			// Forbidden: y new, x old.
+			r := isa.NewBuilder("wrc-reader")
+			r.MovImm(1, mem.Word(addrPtr))
+			r.MovImm(2, mem.Word(addrX))
+			r.MovImm(5, mem.Word(addrFlag))
+			r.Load(6, 2, 0) // warm x
+			r.MovImm(7, 1)
+			r.Store(5, 0, 7)
+			pad(r, rng, 6)
+			r.Load(8, 1, 0) // p = [addrPtr] (cold)
+			r.Load(3, 8, 0) // ra = y
+			r.Load(4, 2, 0) // rb = x (hit: M-speculative)
+			r.Halt()
+
+			// Core 1: wait flag; st x = 1.
+			w1 := isa.NewBuilder("wrc-writer-x")
+			w1.MovImm(1, mem.Word(addrX))
+			w1.MovImm(5, mem.Word(addrFlag))
+			spin := w1.Here()
+			w1.Load(6, 5, 0)
+			w1.BranchI(isa.FnEQ, 6, 0, spin)
+			w1.MovImm(3, 1)
+			w1.Store(1, 0, 3)
+			w1.Halt()
+
+			// Core 2: spin until x == 1; st y = 1.
+			w2 := isa.NewBuilder("wrc-writer-y")
+			w2.MovImm(1, mem.Word(addrX))
+			w2.MovImm(2, mem.Word(addrY))
+			spin2 := w2.Here()
+			w2.Load(6, 1, 0)
+			w2.BranchI(isa.FnEQ, 6, 0, spin2)
+			w2.MovImm(3, 1)
+			w2.Store(2, 0, 3)
+			w2.Halt()
+			return []*isa.Program{r.Program(), w1.Program(), w2.Program()}
+		},
+		Observers: []Observer{{0, 3, "ra"}, {0, 4, "rb"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["ra"] == 1 && v["rb"] == 0 },
+	}
+}
+
+// SB is store buffering: st x; ld y || st y; ld x. TSO *allows* both
+// loads to read 0 (the store buffers hide the stores) — the test verifies
+// no crash and records the histogram; nothing is forbidden except
+// impossible values.
+func SB() Test {
+	return Test{
+		Name:  "SB",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			p0 := isa.NewBuilder("sb0")
+			pad(p0, rng, 8)
+			p0.MovImm(1, mem.Word(addrX))
+			p0.MovImm(2, mem.Word(addrY))
+			p0.MovImm(3, 1)
+			p0.Store(1, 0, 3)
+			p0.Load(4, 2, 0)
+			p0.Halt()
+			p1 := isa.NewBuilder("sb1")
+			pad(p1, rng, 8)
+			p1.MovImm(1, mem.Word(addrY))
+			p1.MovImm(2, mem.Word(addrX))
+			p1.MovImm(3, 1)
+			p1.Store(1, 0, 3)
+			p1.Load(4, 2, 0)
+			p1.Halt()
+			return []*isa.Program{p0.Program(), p1.Program()}
+		},
+		Observers: []Observer{{0, 4, "r0"}, {1, 4, "r1"}},
+		Forbidden: func(v map[string]mem.Word) bool {
+			return v["r0"] > 1 || v["r1"] > 1 // only 0/1 are possible
+		},
+	}
+}
+
+// LB is load buffering: ld x; st y || ld y; st x. TSO forbids both loads
+// observing 1 (loads may not bind future values).
+func LB() Test {
+	return Test{
+		Name:  "LB",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			p0 := isa.NewBuilder("lb0")
+			pad(p0, rng, 8)
+			p0.MovImm(1, mem.Word(addrX))
+			p0.MovImm(2, mem.Word(addrY))
+			p0.Load(4, 1, 0)
+			p0.MovImm(3, 1)
+			p0.Store(2, 0, 3)
+			p0.Halt()
+			p1 := isa.NewBuilder("lb1")
+			pad(p1, rng, 8)
+			p1.MovImm(1, mem.Word(addrY))
+			p1.MovImm(2, mem.Word(addrX))
+			p1.Load(4, 1, 0)
+			p1.MovImm(3, 1)
+			p1.Store(2, 0, 3)
+			p1.Halt()
+			return []*isa.Program{p0.Program(), p1.Program()}
+		},
+		Observers: []Observer{{0, 4, "ra"}, {1, 4, "rb"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["ra"] == 1 && v["rb"] == 1 },
+	}
+}
+
+// IRIW: two writers store to x and y; two readers read the pair in
+// opposite orders. TSO (a multi-copy-atomic model) forbids the readers
+// disagreeing on the store order: r1=1,r2=0,r3=1,r4=0.
+func IRIW() Test {
+	return Test{
+		Name:  "IRIW",
+		Cores: 4,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			w := func(name string, addr mem.Addr) *isa.Program {
+				b := isa.NewBuilder(name)
+				pad(b, rng, 8)
+				b.MovImm(1, mem.Word(addr))
+				b.MovImm(2, 1)
+				b.Store(1, 0, 2)
+				b.Halt()
+				return b.Program()
+			}
+			r := func(name string, first, second mem.Addr) *isa.Program {
+				b := isa.NewBuilder(name)
+				pad(b, rng, 8)
+				b.MovImm(1, mem.Word(first))
+				b.MovImm(2, mem.Word(second))
+				b.Load(3, 1, 0)
+				b.Load(4, 2, 0)
+				b.Halt()
+				return b.Program()
+			}
+			return []*isa.Program{
+				r("iriw-r0", addrX, addrY),
+				r("iriw-r1", addrY, addrX),
+				w("iriw-wx", addrX),
+				w("iriw-wy", addrY),
+			}
+		},
+		Observers: []Observer{{0, 3, "r1"}, {0, 4, "r2"}, {1, 3, "r3"}, {1, 4, "r4"}},
+		Forbidden: func(v map[string]mem.Word) bool {
+			return v["r1"] == 1 && v["r2"] == 0 && v["r3"] == 1 && v["r4"] == 0
+		},
+	}
+}
+
+// CoRR checks per-location coherence: two successive loads of x may never
+// observe the new value and then the old one.
+func CoRR() Test {
+	return Test{
+		Name:  "CoRR",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			r := isa.NewBuilder("corr-reader")
+			pad(r, rng, 8)
+			r.MovImm(1, mem.Word(addrX))
+			r.Load(3, 1, 0)
+			r.Load(4, 1, 0)
+			r.Halt()
+			w := isa.NewBuilder("corr-writer")
+			pad(w, rng, 8)
+			w.MovImm(1, mem.Word(addrX))
+			w.MovImm(2, 1)
+			w.Store(1, 0, 2)
+			w.Halt()
+			return []*isa.Program{r.Program(), w.Program()}
+		},
+		Observers: []Observer{{0, 3, "first"}, {0, 4, "second"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["first"] == 1 && v["second"] == 0 },
+	}
+}
+
+// TwoPlusTwoW: st x=1; st y=2 || st y=1; st x=2. TSO (store order +
+// coherence) forbids the final state x=1 y=1.
+func TwoPlusTwoW() Test {
+	return Test{
+		Name:  "2+2W",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			p := func(name string, a1, a2 mem.Addr) *isa.Program {
+				b := isa.NewBuilder(name)
+				pad(b, rng, 8)
+				b.MovImm(1, mem.Word(a1))
+				b.MovImm(2, mem.Word(a2))
+				b.MovImm(3, 1)
+				b.MovImm(4, 2)
+				b.Store(1, 0, 3)
+				b.Store(2, 0, 4)
+				b.Halt()
+				return b.Program()
+			}
+			return []*isa.Program{p("22w-0", addrX, addrY), p("22w-1", addrY, addrX)}
+		},
+		MemObservers: []MemObserver{{addrX, "x"}, {addrY, "y"}},
+		Forbidden: func(v map[string]mem.Word) bool {
+			return v["x"] == 1 && v["y"] == 1
+		},
+	}
+}
+
+// StoreForward checks that a load reads its own core's latest buffered
+// store (TSO store-to-load forwarding).
+func StoreForward() Test {
+	return Test{
+		Name:  "SSL-forward",
+		Cores: 1,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			b := isa.NewBuilder("ssl")
+			b.MovImm(1, mem.Word(addrX))
+			b.MovImm(2, 7)
+			b.Store(1, 0, 2)
+			b.Load(3, 1, 0)
+			b.MovImm(2, 9)
+			b.Store(1, 0, 2)
+			b.Load(4, 1, 0)
+			b.Halt()
+			return []*isa.Program{b.Program()}
+		},
+		Observers: []Observer{{0, 3, "first"}, {0, 4, "second"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["first"] != 7 || v["second"] != 9 },
+	}
+}
+
+// MutexCounter: two cores each increment a shared counter N times under a
+// test-and-set spinlock. The final counter must be exactly 2N.
+func MutexCounter() Test {
+	const n = 8
+	return Test{
+		Name:  "mutex-counter",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			p := func(name string) *isa.Program {
+				b := isa.NewBuilder(name)
+				pad(b, rng, 8)
+				b.MovImm(1, mem.Word(addrLock))
+				b.MovImm(2, mem.Word(addrX))
+				b.MovImm(3, 1) // swap-in value
+				b.MovImm(10, n)
+				loop := b.Here()
+				b.SpinLock(1, 0, 3, 4)
+				b.Load(5, 2, 0)
+				b.ALUI(isa.FnAdd, 5, 5, 1)
+				b.Store(2, 0, 5)
+				b.SpinUnlock(1, 0)
+				b.ALUI(isa.FnSub, 10, 10, 1)
+				b.BranchI(isa.FnNE, 10, 0, loop)
+				b.Halt()
+				return b.Program()
+			}
+			return []*isa.Program{p("mutex-0"), p("mutex-1")}
+		},
+		MemObservers: []MemObserver{{addrX, "counter"}},
+		Forbidden:    func(v map[string]mem.Word) bool { return v["counter"] != 2*n },
+	}
+}
+
+// Dekker exercises the SB shape with atomics: both cores use an atomic
+// swap as the store, which drains the store buffer, so at least one core
+// must see the other's store. Forbidden: both see 0 with atomics.
+func Dekker() Test {
+	return Test{
+		Name:  "dekker-atomic",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			p := func(name string, mine, other mem.Addr) *isa.Program {
+				b := isa.NewBuilder(name)
+				pad(b, rng, 8)
+				b.MovImm(1, mem.Word(mine))
+				b.MovImm(2, mem.Word(other))
+				b.MovImm(3, 1)
+				b.Atomic(isa.FnSwap, 5, 1, 0, 3) // mine = 1 (atomic: acts as fence)
+				b.Load(4, 2, 0)                  // read other
+				b.Halt()
+				return b.Program()
+			}
+			return []*isa.Program{p("dekker-0", addrX, addrY), p("dekker-1", addrY, addrX)}
+		},
+		Observers: []Observer{{0, 4, "ra"}, {1, 4, "rb"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["ra"] == 0 && v["rb"] == 0 },
+	}
+}

@@ -1,0 +1,248 @@
+package litmus
+
+import (
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+	"wbsim/internal/sim"
+)
+
+// Additional litmus tests: classic x86-TSO shapes beyond the core suite,
+// including tests of *allowed* relaxations (the simulator must be able to
+// exhibit them — a model that forbids everything trivially "passes").
+
+// ExtraSuite returns the additional tests.
+func ExtraSuite() []Test {
+	return []Test{
+		STest(),
+		RTest(),
+		CoWW(),
+		N6Allowed(),
+		MPAtomicRelease(),
+		SBFence(),
+		CoRR1(),
+	}
+}
+
+// STest: st x=2 || st x=1; ld y... classic "S": writer0: st x=1; st y=1.
+// reader: ld y(=1); st x=2. Forbidden: final x == 1 while reader saw
+// y == 1 (its store must be coherence-ordered after st x=1).
+func STest() Test {
+	return Test{
+		Name:  "S",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			w := isa.NewBuilder("s-writer")
+			pad(w, rng, 8)
+			w.MovImm(1, mem.Word(addrX))
+			w.MovImm(2, mem.Word(addrY))
+			w.MovImm(3, 1)
+			w.Store(1, 0, 3) // x = 1
+			w.Store(2, 0, 3) // y = 1
+			w.Halt()
+			r := isa.NewBuilder("s-reader")
+			pad(r, rng, 8)
+			r.MovImm(1, mem.Word(addrY))
+			r.MovImm(2, mem.Word(addrX))
+			r.Load(4, 1, 0) // ra = y
+			r.MovImm(3, 2)
+			r.Store(2, 0, 3) // x = 2
+			r.Halt()
+			return []*isa.Program{w.Program(), r.Program()}
+		},
+		Observers:    []Observer{{1, 4, "ra"}},
+		MemObservers: []MemObserver{{addrX, "x"}},
+		Forbidden: func(v map[string]mem.Word) bool {
+			// If the reader saw y==1, st x=1 precedes its ld y, which
+			// precedes its st x=2 in program order; x must end at 2.
+			return v["ra"] == 1 && v["x"] == 1
+		},
+	}
+}
+
+// RTest: core0: st x=1; st y=1 || core1: st y=2; ld x. Forbidden in TSO:
+// final y==2 (core1's store lost to core0's) with core1 reading x==0.
+func RTest() Test {
+	return Test{
+		Name:  "R",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			p0 := isa.NewBuilder("r-0")
+			pad(p0, rng, 8)
+			p0.MovImm(1, mem.Word(addrX))
+			p0.MovImm(2, mem.Word(addrY))
+			p0.MovImm(3, 1)
+			p0.Store(1, 0, 3)
+			p0.Store(2, 0, 3)
+			p0.Halt()
+			p1 := isa.NewBuilder("r-1")
+			pad(p1, rng, 8)
+			p1.MovImm(2, mem.Word(addrY))
+			p1.MovImm(1, mem.Word(addrX))
+			p1.MovImm(3, 2)
+			p1.Store(2, 0, 3) // y = 2
+			p1.Load(4, 1, 0)  // ra = x
+			p1.Halt()
+			return []*isa.Program{p0.Program(), p1.Program()}
+		},
+		Observers:    []Observer{{1, 4, "ra"}},
+		MemObservers: []MemObserver{{addrY, "y"}},
+		Forbidden: func(v map[string]mem.Word) bool {
+			// y==1 means y=2 was coherence-ordered before y=1, i.e.
+			// st y=2 < st y=1. In TSO ld x is after st y=2 in program
+			// order but reads... {y=1, ra=0} requires st y2 < st y1 and
+			// ld x before st x=1: allowed (store buffering)? No: TSO's
+			// R test forbids {y=1 final, ra=0}? R is forbidden in SC
+			// but ALLOWED in TSO. The truly forbidden case is y==2
+			// (st y=1 < st y=2) with ra==0: then st x=1 < st y=1 <
+			// st y=2 < ld x (the load follows its own earlier store in
+			// memory order), so ld x must see x==1.
+			return v["y"] == 2 && v["ra"] == 0
+		},
+	}
+}
+
+// CoWW: two stores from the same core must reach memory in order (final
+// value is the younger store's).
+func CoWW() Test {
+	return Test{
+		Name:  "CoWW",
+		Cores: 1,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			b := isa.NewBuilder("coww")
+			b.MovImm(1, mem.Word(addrX))
+			b.MovImm(2, 1)
+			b.Store(1, 0, 2)
+			b.MovImm(2, 2)
+			b.Store(1, 0, 2)
+			b.Halt()
+			return []*isa.Program{b.Program()}
+		},
+		MemObservers: []MemObserver{{addrX, "x"}},
+		Forbidden:    func(v map[string]mem.Word) bool { return v["x"] != 2 },
+	}
+}
+
+// N6Allowed (Sewell et al. "n6"): store forwarding makes {ra=1, rb=0, x=1}
+// observable — TSO *allows* it. The test records the histogram and only
+// forbids genuinely impossible values; a companion assertion in the tests
+// checks the allowed outcome actually occurs (the model is not
+// over-strict).
+func N6Allowed() Test {
+	return Test{
+		Name:  "n6-allowed",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			p0 := isa.NewBuilder("n6-0")
+			pad(p0, rng, 8)
+			p0.MovImm(1, mem.Word(addrX))
+			p0.MovImm(2, mem.Word(addrY))
+			p0.MovImm(3, 1)
+			p0.Store(1, 0, 3) // x = 1
+			p0.Load(4, 1, 0)  // ra = x (forwarded: 1)
+			p0.Load(5, 2, 0)  // rb = y
+			p0.Halt()
+			p1 := isa.NewBuilder("n6-1")
+			pad(p1, rng, 8)
+			p1.MovImm(2, mem.Word(addrY))
+			p1.MovImm(1, mem.Word(addrX))
+			p1.MovImm(3, 2)
+			p1.Store(2, 0, 3) // y = 2
+			p1.MovImm(3, 2)
+			p1.Store(1, 0, 3) // x = 2
+			p1.Halt()
+			return []*isa.Program{p0.Program(), p1.Program()}
+		},
+		Observers: []Observer{{0, 4, "ra"}, {0, 5, "rb"}},
+		Forbidden: func(v map[string]mem.Word) bool {
+			return v["ra"] != 1 && v["ra"] != 2 // must see own store or newer
+		},
+	}
+}
+
+// MPAtomicRelease: message passing where the flag is published with an
+// atomic swap (a fence): the reader that sees the flag MUST see the data.
+func MPAtomicRelease() Test {
+	return Test{
+		Name:    "MP+atomic-release",
+		Cores:   2,
+		InitMem: map[mem.Addr]mem.Word{addrPtr: mem.Word(addrY)},
+		Build: func(rng *sim.Rand) []*isa.Program {
+			r := isa.NewBuilder("mpa-reader")
+			r.MovImm(1, mem.Word(addrFlag))
+			r.MovImm(2, mem.Word(addrX))
+			pad(r, rng, 8)
+			r.Load(3, 1, 0) // ra = flag
+			r.Load(4, 2, 0) // rb = data
+			r.Halt()
+			w := isa.NewBuilder("mpa-writer")
+			pad(w, rng, 8)
+			w.MovImm(1, mem.Word(addrFlag))
+			w.MovImm(2, mem.Word(addrX))
+			w.MovImm(3, 1)
+			w.Store(2, 0, 3)                 // data = 1
+			w.Atomic(isa.FnSwap, 5, 1, 0, 3) // flag = 1 (atomic release)
+			w.Halt()
+			return []*isa.Program{r.Program(), w.Program()}
+		},
+		Observers: []Observer{{0, 3, "ra"}, {0, 4, "rb"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["ra"] == 1 && v["rb"] == 0 },
+	}
+}
+
+// SBFence: store buffering with atomics as fences on both sides — the
+// forbidden-under-fences outcome {0,0} must never appear (unlike plain
+// SB where it is allowed).
+func SBFence() Test {
+	return Test{
+		Name:  "SB+fences",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			p := func(name string, mine, other mem.Addr) *isa.Program {
+				b := isa.NewBuilder(name)
+				pad(b, rng, 8)
+				b.MovImm(1, mem.Word(mine))
+				b.MovImm(2, mem.Word(other))
+				b.MovImm(3, 1)
+				b.Store(1, 0, 3)
+				// Fence: atomic RMW on a private scratch line.
+				b.MovImm(5, mem.Word(addrZ)+mem.Word(mine%128)*8)
+				b.Atomic(isa.FnFetchAdd, 6, 5, 0, 3)
+				b.Load(4, 2, 0)
+				b.Halt()
+				return b.Program()
+			}
+			return []*isa.Program{p("sbf-0", addrX, addrY), p("sbf-1", addrY, addrX)}
+		},
+		Observers: []Observer{{0, 4, "ra"}, {1, 4, "rb"}},
+		Forbidden: func(v map[string]mem.Word) bool { return v["ra"] == 0 && v["rb"] == 0 },
+	}
+}
+
+// CoRR1: per-location coherence across three reads racing one writer:
+// values must be monotone (never new then old).
+func CoRR1() Test {
+	return Test{
+		Name:  "CoRR1",
+		Cores: 2,
+		Build: func(rng *sim.Rand) []*isa.Program {
+			r := isa.NewBuilder("corr1-reader")
+			pad(r, rng, 8)
+			r.MovImm(1, mem.Word(addrX))
+			r.Load(3, 1, 0)
+			r.Load(4, 1, 0)
+			r.Load(5, 1, 0)
+			r.Halt()
+			w := isa.NewBuilder("corr1-writer")
+			pad(w, rng, 8)
+			w.MovImm(1, mem.Word(addrX))
+			w.MovImm(2, 1)
+			w.Store(1, 0, 2)
+			w.Halt()
+			return []*isa.Program{r.Program(), w.Program()}
+		},
+		Observers: []Observer{{0, 3, "a"}, {0, 4, "b"}, {0, 5, "c"}},
+		Forbidden: func(v map[string]mem.Word) bool {
+			return v["a"] > v["b"] || v["b"] > v["c"]
+		},
+	}
+}

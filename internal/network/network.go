@@ -1,0 +1,299 @@
+// Package network models the on-chip interconnect: a 2D mesh with
+// deterministic X-Y routing, link-level flit serialization, and three
+// virtual networks (request, forward, response), following the GARNET
+// configuration in the paper (Table 6: 2D mesh, X-Y routing, 5-flit data
+// and 1-flit control messages, 6-cycle switch-to-switch time).
+//
+// The model is latency+contention accurate at link granularity: when a
+// message is sent, its head flit walks the X-Y route reserving each link
+// in turn; a link that is still busy with an earlier message delays the
+// head. This preserves the two properties the paper depends on — messages
+// between different endpoint pairs are unordered, and data messages
+// serialize over shared links — while remaining fast enough to simulate
+// billions of flit-cycles in tests.
+package network
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wbsim/internal/sim"
+)
+
+// VNet identifies a virtual network. Separating request, forward, and
+// response traffic into virtual networks is what makes the coherence
+// protocol deadlock free at the transport level: a response can never be
+// blocked behind a request.
+type VNet int
+
+// The three virtual networks used by the coherence protocol.
+const (
+	VNetRequest  VNet = iota // GetS/GetX/Upgrade/Put from cores to directories
+	VNetForward              // Inv/Fwd from directories to cores
+	VNetResponse             // Data/Ack/Nack/Unblock — always sinkable
+	NumVNets
+)
+
+// String names the virtual network.
+func (v VNet) String() string {
+	switch v {
+	case VNetRequest:
+		return "req"
+	case VNetForward:
+		return "fwd"
+	case VNetResponse:
+		return "resp"
+	}
+	return fmt.Sprintf("vnet%d", int(v))
+}
+
+// Endpoint is a network-attached component (a core's private cache unit or
+// an LLC bank/directory slice). Endpoints are dense small integers
+// assigned by the system builder.
+type Endpoint int
+
+// Message is one coherence message in flight.
+type Message struct {
+	Src, Dst Endpoint
+	VNet     VNet
+	Flits    int // 5 for data-bearing messages, 1 for control
+	Payload  any
+
+	arrival sim.Cycle
+	seq     uint64
+}
+
+// Receiver consumes messages delivered to an endpoint. Receivers must
+// always accept delivery (endpoint input queues are unbounded); any
+// protocol-level back-pressure is expressed by queuing inside the
+// receiver, never by refusing delivery, which is how the protocol
+// guarantees that invalidations always reach the load queue.
+type Receiver interface {
+	Receive(now sim.Cycle, msg *Message)
+}
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	Width, Height int // routers; the paper uses 4x4 for 16 tiles
+	SwitchLatency int // cycles per hop (switch-to-switch), paper: 6
+	LocalLatency  int // cycles for messages between endpoints on one tile
+	DataFlits     int // flits in a data message, paper: 5
+	CtrlFlits     int // flits in a control message, paper: 1
+	// JitterMax adds a uniform random 0..JitterMax extra cycles to every
+	// message. Zero for performance runs; litmus runs use it to explore
+	// interleavings. Deterministic given the seed.
+	JitterMax int
+}
+
+// DefaultConfig returns the paper's Table 6 network configuration for n
+// tiles (n must be a perfect square for a square mesh; 16 in the paper).
+func DefaultConfig(tiles int) Config {
+	w := 1
+	for w*w < tiles {
+		w++
+	}
+	h := (tiles + w - 1) / w
+	return Config{
+		Width:         w,
+		Height:        h,
+		SwitchLatency: 6,
+		LocalLatency:  2,
+		DataFlits:     5,
+		CtrlFlits:     1,
+	}
+}
+
+// link identifies a directed channel between adjacent routers on a vnet.
+type link struct {
+	from, to int
+	vnet     VNet
+}
+
+// Stats aggregates traffic accounting for Figure 9.
+type Stats struct {
+	Messages    uint64
+	Flits       uint64
+	FlitHops    uint64 // flits x links traversed: the traffic metric
+	PerVNet     [NumVNets]uint64
+	MaxInFlight int
+}
+
+// Mesh is the interconnect instance.
+type Mesh struct {
+	cfg      Config
+	rng      *sim.Rand
+	routerOf map[Endpoint]int
+	recvOf   map[Endpoint]Receiver
+	linkFree map[link]sim.Cycle
+	inFlight msgHeap
+	seq      uint64
+	stats    Stats
+}
+
+// NewMesh builds a mesh for the given configuration. rng may be nil when
+// JitterMax is zero.
+func NewMesh(cfg Config, rng *sim.Rand) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("network: mesh dimensions must be positive")
+	}
+	if cfg.JitterMax > 0 && rng == nil {
+		panic("network: jitter requires an RNG")
+	}
+	return &Mesh{
+		cfg:      cfg,
+		rng:      rng,
+		routerOf: make(map[Endpoint]int),
+		recvOf:   make(map[Endpoint]Receiver),
+		linkFree: make(map[link]sim.Cycle),
+	}
+}
+
+// Attach registers an endpoint at a router (0..Width*Height-1) with its
+// receiver. It panics on duplicate registration or out-of-range router.
+func (m *Mesh) Attach(ep Endpoint, router int, r Receiver) {
+	if router < 0 || router >= m.cfg.Width*m.cfg.Height {
+		panic(fmt.Sprintf("network: router %d out of range", router))
+	}
+	if _, dup := m.routerOf[ep]; dup {
+		panic(fmt.Sprintf("network: endpoint %d attached twice", ep))
+	}
+	m.routerOf[ep] = router
+	m.recvOf[ep] = r
+}
+
+// Routers reports the number of routers in the mesh.
+func (m *Mesh) Routers() int { return m.cfg.Width * m.cfg.Height }
+
+// route returns the sequence of directed router-to-router links on the
+// X-Y path from router a to router b.
+func (m *Mesh) route(a, b int) []link {
+	if a == b {
+		return nil
+	}
+	var links []link
+	ax, ay := a%m.cfg.Width, a/m.cfg.Width
+	bx, by := b%m.cfg.Width, b/m.cfg.Width
+	cx, cy := ax, ay
+	for cx != bx {
+		nx := cx + 1
+		if bx < cx {
+			nx = cx - 1
+		}
+		links = append(links, link{from: cy*m.cfg.Width + cx, to: cy*m.cfg.Width + nx})
+		cx = nx
+	}
+	for cy != by {
+		ny := cy + 1
+		if by < cy {
+			ny = cy - 1
+		}
+		links = append(links, link{from: cy*m.cfg.Width + cx, to: ny*m.cfg.Width + cx})
+		cy = ny
+	}
+	return links
+}
+
+// HopCount returns the number of links between two endpoints' routers.
+func (m *Mesh) HopCount(a, b Endpoint) int {
+	return len(m.route(m.mustRouter(a), m.mustRouter(b)))
+}
+
+func (m *Mesh) mustRouter(ep Endpoint) int {
+	r, ok := m.routerOf[ep]
+	if !ok {
+		panic(fmt.Sprintf("network: endpoint %d not attached", ep))
+	}
+	return r
+}
+
+// Send injects a message at cycle now. Delivery happens on a later Tick.
+func (m *Mesh) Send(now sim.Cycle, msg *Message) {
+	if msg.Flits <= 0 {
+		panic("network: message with no flits")
+	}
+	src := m.mustRouter(msg.Src)
+	dst := m.mustRouter(msg.Dst)
+	path := m.route(src, dst)
+
+	flits := sim.Cycle(msg.Flits)
+	head := now + 1
+	if len(path) == 0 {
+		head += sim.Cycle(m.cfg.LocalLatency)
+	}
+	for _, l := range path {
+		l.vnet = msg.VNet
+		if free := m.linkFree[l]; free > head {
+			head = free
+		}
+		m.linkFree[l] = head + flits
+		head += sim.Cycle(m.cfg.SwitchLatency)
+	}
+	arrival := head + flits - 1
+	if m.cfg.JitterMax > 0 {
+		arrival += sim.Cycle(m.rng.Intn(m.cfg.JitterMax + 1))
+	}
+
+	msg.arrival = arrival
+	msg.seq = m.seq
+	m.seq++
+	heap.Push(&m.inFlight, msg)
+
+	m.stats.Messages++
+	m.stats.Flits += uint64(msg.Flits)
+	m.stats.FlitHops += uint64(msg.Flits) * uint64(max(1, len(path)))
+	m.stats.PerVNet[msg.VNet] += uint64(msg.Flits)
+	if n := m.inFlight.Len(); n > m.stats.MaxInFlight {
+		m.stats.MaxInFlight = n
+	}
+}
+
+// Tick delivers every message whose arrival cycle has been reached, in
+// deterministic (arrival, injection) order.
+func (m *Mesh) Tick(now sim.Cycle) {
+	for m.inFlight.Len() > 0 {
+		next := m.inFlight[0]
+		if next.arrival > now {
+			return
+		}
+		heap.Pop(&m.inFlight)
+		r, ok := m.recvOf[next.Dst]
+		if !ok {
+			panic(fmt.Sprintf("network: message to unattached endpoint %d", next.Dst))
+		}
+		r.Receive(now, next)
+	}
+}
+
+// Quiescent reports whether no messages are in flight.
+func (m *Mesh) Quiescent() bool { return m.inFlight.Len() == 0 }
+
+// Stats returns a copy of the traffic statistics.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// msgHeap orders messages by (arrival, seq) for deterministic delivery.
+type msgHeap []*Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].arrival != h[j].arrival {
+		return h[i].arrival < h[j].arrival
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(*Message)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	msg := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return msg
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package sim
+
+import "container/heap"
+
+// EventQueue schedules deferred actions inside a component (for example a
+// cache responding after its hit latency). Events fire in (cycle,
+// insertion) order, keeping runs deterministic.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+// At schedules fn to run at cycle at (which must not be in the past when
+// Run is called for the current cycle).
+func (q *EventQueue) At(at Cycle, fn func()) {
+	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// After schedules fn to run delay cycles after now.
+func (q *EventQueue) After(now Cycle, delay Cycle, fn func()) {
+	q.At(now+delay, fn)
+}
+
+// Run fires every event due at or before now, in order. Events scheduled
+// while running (for the same cycle) also fire.
+func (q *EventQueue) Run(now Cycle) {
+	for q.h.Len() > 0 && q.h[0].at <= now {
+		e := heap.Pop(&q.h).(event)
+		e.fn()
+	}
+}
+
+// Empty reports whether no events are pending.
+func (q *EventQueue) Empty() bool { return q.h.Len() == 0 }
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return q.h.Len() }
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,188 @@
+// Package stats provides the counters, per-reason accounting, and table
+// formatting used to reproduce the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is an ordered bag of named uint64 counters. Iteration order is
+// sorted, so rendered tables are stable.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter bag.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta uint64) { c.m[name] += delta }
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.m[name]++ }
+
+// Get returns counter name (zero if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Set overwrites counter name.
+func (c *Counters) Set(name string, v uint64) { c.m[name] = v }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter of other into c.
+func (c *Counters) Merge(other *Counters) {
+	for n, v := range other.m {
+		c.m[n] += v
+	}
+}
+
+// String renders the counters one per line.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&b, "%-40s %12d\n", n, c.m[n])
+	}
+	return b.String()
+}
+
+// PerMille returns 1000*num/den as a float, the "events per kilo-X" unit
+// the paper's Figure 8 uses. A zero denominator yields 0.
+func PerMille(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 1000 * float64(num) / float64(den)
+}
+
+// Ratio returns num/den as a float (0 when den is 0).
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Table is a simple fixed-column text table used by the experiment
+// harnesses to print figure data as rows.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i.
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, cell := range r {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of xs (values <= 0 are skipped; 0
+// if none remain). The paper reports average improvements; geometric
+// mean over normalized execution times is the conventional aggregation.
+func GeoMean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 if empty).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}

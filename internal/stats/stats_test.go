@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a")
+	c.Add("a", 4)
+	c.Set("b", 7)
+	if c.Get("a") != 5 || c.Get("b") != 7 || c.Get("missing") != 0 {
+		t.Fatalf("counters: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names: %v", names)
+	}
+	other := NewCounters()
+	other.Set("a", 10)
+	other.Set("c", 1)
+	c.Merge(other)
+	if c.Get("a") != 15 || c.Get("c") != 1 {
+		t.Fatal("merge failed")
+	}
+	if !strings.Contains(c.String(), "a") {
+		t.Fatal("String missing counter")
+	}
+}
+
+func TestPerMille(t *testing.T) {
+	if PerMille(5, 1000) != 5 {
+		t.Fatal("PerMille(5,1000)")
+	}
+	if PerMille(1, 0) != 0 {
+		t.Fatal("PerMille zero denominator")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != 0.5 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer-name", 42)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.Row(0)[1] != "1.500" {
+		t.Fatalf("float formatting: %q", tb.Row(0)[1])
+	}
+	s := tb.String()
+	for _, want := range []string{"demo", "name", "value", "longer-name", "1.500", "42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("geomean of ones = %v", g)
+	}
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Fatalf("geomean of nonpositives = %v", g)
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// The geometric mean lies between min and max.
+	if err := quick.Check(func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 || Mean(nil) != 0 {
+		t.Fatal("Mean")
+	}
+	if Max([]float64{3, 1, 2}) != 3 || Max(nil) != 0 {
+		t.Fatal("Max")
+	}
+	if Max([]float64{-5, -2}) != -2 {
+		t.Fatal("Max of negatives")
+	}
+}

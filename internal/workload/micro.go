@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+)
+
+// Microbenchmarks used by the examples and protocol stress tests.
+
+func init() {
+	register(Workload{
+		Name: "pingpong", Suite: "micro",
+		Pattern: "one line ping-pongs between two cores (worst-case invalidations)",
+		Build:   buildPingpong,
+	})
+	register(Workload{
+		Name: "spinflag", Suite: "micro",
+		Pattern: "producer sets a flag the consumers spin on (tear-off stress)",
+		Build:   buildSpinflag,
+	})
+	register(Workload{
+		Name: "falseshare", Suite: "micro",
+		Pattern: "cores write distinct words of the same line",
+		Build:   buildFalseshare,
+	})
+}
+
+// buildPingpong: cores alternately increment one shared word guarded by
+// turn-taking (lock-free handoff via the value parity for 2 cores; lock
+// for more).
+func buildPingpong(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	rounds := 20 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("pingpong", id, cores)
+		b.MovImm(5, mem.Word(sharedAddr(0)))
+		b.MovImm(15, mem.Word(rounds))
+		loop := b.Here()
+		emitLock(b)
+		b.Load(1, 5, 0)
+		b.ALUI(isa.FnAdd, 1, 1, 1)
+		b.Store(5, 0, 1)
+		emitUnlock(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, loop)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildSpinflag: core 0 performs long work phases and publishes a
+// generation flag; the others spin on it — the reads that arrive while
+// the flag's write is blocked exercise tear-off copies.
+func buildSpinflag(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	rounds := 10 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("spinflag", id, cores)
+		b.MovImm(5, mem.Word(sharedAddr(0))) // flag
+		b.MovImm(6, mem.Word(privAddr(id)))
+		b.MovImm(14, 0)
+		b.MovImm(15, mem.Word(rounds))
+		loop := b.Here()
+		b.ALUI(isa.FnAdd, 14, 14, 1)
+		if id == 0 {
+			emitSweep(b, 6, 32, 8, 3, true)
+			b.Store(5, 0, 14) // publish generation
+		} else {
+			spin := b.Here()
+			b.Load(1, 5, 0)
+			b.Branch(isa.FnLT, 1, 14, spin)
+			emitSweep(b, 6, 8, 8, 2, true)
+		}
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, loop)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildFalseshare: every core read-modify-writes its own word of the same
+// cache line.
+func buildFalseshare(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	rounds := 30 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("falseshare", id, cores)
+		b.MovImm(5, mem.Word(sharedAddr(id%mem.LineWords)))
+		b.MovImm(15, mem.Word(rounds))
+		loop := b.Here()
+		b.Load(1, 5, 0)
+		b.ALUI(isa.FnAdd, 1, 1, 1)
+		b.Store(5, 0, 1)
+		b.Work(4, 4, 4, 2)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, loop)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}

@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+)
+
+// PARSEC 3.0 analogs.
+
+func init() {
+	register(Workload{
+		Name: "blackscholes", Suite: "parsec",
+		Pattern: "embarrassingly parallel option pricing (streaming private data)",
+		Build:   buildBlackscholes,
+	})
+	register(Workload{
+		Name: "bodytrack", Suite: "parsec",
+		Pattern: "shared read-mostly model + dependent-miss particle evaluation + frequent barriers",
+		Build:   buildBodytrack, Init: initScrambledChase,
+	})
+	register(Workload{
+		Name: "canneal", Suite: "parsec",
+		Pattern: "randomized element swaps across a large shared array",
+		Build:   buildCanneal,
+	})
+	register(Workload{
+		Name: "dedup", Suite: "parsec",
+		Pattern: "producer-consumer pipeline over flagged ring buffers",
+		Build:   buildDedup,
+	})
+	register(Workload{
+		Name: "fluidanimate", Suite: "parsec",
+		Pattern: "per-cell locks; neighbor-cell updates migrate lines",
+		Build:   buildFluidanimate,
+	})
+	register(Workload{
+		Name: "freqmine", Suite: "parsec",
+		Pattern: "shared FP-tree pointer chase + shared counters",
+		Build:   buildFreqmine, Init: initScrambledChase,
+	})
+	register(Workload{
+		Name: "streamcluster", Suite: "parsec",
+		Pattern: "barrier storm: many tiny phases (most blocked writes in the paper)",
+		Build:   buildStreamcluster,
+	})
+	register(Workload{
+		Name: "swaptions", Suite: "parsec",
+		Pattern: "private Monte-Carlo simulation, no sharing",
+		Build:   buildSwaptions,
+	})
+}
+
+// buildBlackscholes: each core streams over a private option array larger
+// than its L2, with heavy FP-like work per element.
+func buildBlackscholes(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("blackscholes", id, cores)
+		b.MovImm(5, mem.Word(privAddr(id)))
+		passes := 2 * scale
+		b.MovImm(15, mem.Word(passes))
+		outer := b.Here()
+		emitSweep(b, 5, 2048, 1, 5, true)
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildBodytrack: each frame, every core evaluates particles against the
+// shared model: a dependent pointer chase (serial misses that block the
+// ROB head — the case out-of-order commit helps most), a private update,
+// and a barrier per processing stage.
+func buildBodytrack(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("bodytrack", id, cores)
+		b.MovImm(5, mem.Word(sharedBase+mem.Addr((id*61)%chaseWords)*mem.WordBytes*8))
+		b.MovImm(6, mem.Word(privAddr(id)))
+		frames := 2 * scale
+		b.MovImm(15, mem.Word(frames))
+		outer := b.Here()
+		for stage := 0; stage < 2; stage++ {
+			emitChase(b, 5, 160, 1)          // model likelihood (dependent misses)
+			emitSweep(b, 6, 384, 1, 2, true) // particle weights
+			emitBarrier(b)
+		}
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildCanneal: randomized reads/writes over a big shared array under a
+// striped set of locks — remote misses and invalidation traffic.
+func buildCanneal(cores, scale int) []*isa.Program {
+	const elements = 65536 // 512KB shared array
+	progs := make([]*isa.Program, cores)
+	swaps := 60 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("canneal", id, cores)
+		b.MovImm(5, mem.Word(sharedBase))
+		b.MovImm(9, mem.Word(uint64(id)*0x9e3779b9+7)) // lcg
+		b.MovImm(15, mem.Word(swaps))
+		loop := b.Here()
+		// pick a = lcg()%elements, lock stripe (a%8), swap-ish RMW
+		b.ALUI(isa.FnMul, 9, 9, 6364136223846793005)
+		b.ALUI(isa.FnAdd, 9, 9, 1442695040888963407)
+		b.ALUI(isa.FnShr, 8, 9, 29)
+		b.ALUI(isa.FnAnd, 8, 8, elements-1)
+		b.ALUI(isa.FnShl, 8, 8, 3)
+		b.ALU(isa.FnAdd, 8, 8, 5) // address a
+		// 64 line-granular lock stripes: real canneal locks individual
+		// elements, so lock contention is nearly zero; a handful of
+		// stripes would overstate it badly at 16 cores.
+		b.ALUI(isa.FnShr, 7, 8, 6)
+		b.ALUI(isa.FnAnd, 7, 7, 63)
+		b.ALUI(isa.FnShl, 7, 7, 6) // stripe lock offset (line-spaced)
+		b.MovImm(rLock, mem.Word(syncAddr(128)))
+		b.ALU(isa.FnAdd, rLock, rLock, 7)
+		emitLock(b)
+		b.Load(1, 8, 0)
+		b.ALUI(isa.FnXor, 1, 1, 0x5a)
+		b.Store(8, 0, 1)
+		emitUnlock(b)
+		b.MovImm(10, mem.Word(privAddr(id)))
+		emitSweep(b, 10, 64, 1, 2, true)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, loop)
+		emitBarrier(b)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildDedup: a pipeline: core i produces 8-word blocks into a ring
+// shared with core i+1, guarded by full/empty flags (spin-wait). The last
+// core consumes and accumulates.
+func buildDedup(cores, scale int) []*isa.Program {
+	ringBase := func(i int) mem.Addr { return sharedBase + mem.Addr(i)*1024 }
+	flagSlot := func(i int) int { return 60 + i }
+	progs := make([]*isa.Program, cores)
+	blocks := 25 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("dedup", id, cores)
+		b.MovImm(15, mem.Word(blocks))
+		if cores == 1 {
+			// Degenerate: compress blocks locally.
+			b.MovImm(5, mem.Word(privAddr(0)))
+			outer := b.Here()
+			emitSweep(b, 5, 128, 1, 3, true)
+			b.ALUI(isa.FnSub, 15, 15, 1)
+			b.BranchI(isa.FnNE, 15, 0, outer)
+			b.Halt()
+			progs[id] = b.Program()
+			continue
+		}
+		inFlag := mem.Word(syncAddr(flagSlot(id)))
+		outFlag := mem.Word(syncAddr(flagSlot(id + 1)))
+		b.MovImm(5, mem.Word(ringBase(id)))   // input ring (produced by id-1)
+		b.MovImm(6, mem.Word(ringBase(id+1))) // output ring
+		b.MovImm(7, inFlag)
+		b.MovImm(8, outFlag)
+		b.MovImm(14, 0) // sequence number
+		outer := b.Here()
+		b.ALUI(isa.FnAdd, 14, 14, 1)
+		if id > 0 {
+			// Consume: wait for the producer's flag to reach my seq.
+			spin := b.Here()
+			b.Load(9, 7, 0)
+			b.Branch(isa.FnLT, 9, 14, spin)
+			emitSweep(b, 5, 32, 1, 2, false) // read the block
+		} else {
+			b.MovImm(10, mem.Word(privAddr(id)))
+			emitSweep(b, 10, 48, 1, 3, true) // source: generate data
+		}
+		// Per-stage compression work dominates, as in the original.
+		b.MovImm(10, mem.Word(privAddr(id)+0x8000))
+		emitSweep(b, 10, 64, 1, 3, true)
+		if id < cores-1 {
+			emitSweep(b, 6, 32, 1, 2, true) // write the block
+			b.Store(8, 0, 14)               // publish
+		} else {
+			b.Work(4, 4, 4, 4) // sink: final hash
+		}
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		emitBarrier(b)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildFluidanimate: each core owns a set of cells; updating a cell also
+// updates one neighbor cell owned by another core, under the cells'
+// locks — migratory lines with lock handoff.
+func buildFluidanimate(cores, scale int) []*isa.Program {
+	const cells = 32
+	cellLock := func(c int) int { return 70 + c }
+	cellData := func(c int) mem.Addr { return sharedBase + mem.Addr(256*1024) + mem.Addr(c)*2*mem.LineBytes }
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("fluidanimate", id, cores)
+		steps := 2 * scale
+		b.MovImm(15, mem.Word(steps))
+		outer := b.Here()
+		for k := 0; k < 6; k++ {
+			mine := (id*6 + k) % cells
+			neigh := (mine + 1) % cells
+			for _, cell := range []int{mine, neigh} {
+				b.MovImm(rLock, mem.Word(syncAddr(cellLock(cell))))
+				b.MovImm(5, mem.Word(cellData(cell)))
+				emitLock(b)
+				emitSweep(b, 5, 16, 1, 2, true)
+				emitUnlock(b)
+			}
+			b.MovImm(11, mem.Word(privAddr(id)))
+			emitSweep(b, 11, 96, 1, 2, true)
+		}
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildFreqmine: long scrambled chases over the shared FP-tree with
+// shared support-counter atomics; the paper's worst case for uncacheable
+// reads.
+func buildFreqmine(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("freqmine", id, cores)
+		b.MovImm(5, mem.Word(sharedBase+mem.Addr((id*37)%chaseWords)*mem.WordBytes*8))
+		b.MovImm(6, mem.Word(syncAddr(50+(id%4)))) // shared support counters
+		rounds := 4 * scale
+		b.MovImm(15, mem.Word(rounds))
+		outer := b.Here()
+		emitChase(b, 5, 350, 1)
+		b.MovImm(10, mem.Word(privAddr(id)))
+		emitSweep(b, 10, 128, 1, 2, true)
+		b.Atomic(isa.FnFetchAdd, 8, 6, 0, rOne)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		emitBarrier(b)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildStreamcluster: the barrier storm — many minimal phases, each a
+// tiny shared-read + private-update step; spin loops dominate. The paper
+// reports this as the workload with the most blocked writes.
+func buildStreamcluster(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	phases := 12 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("streamcluster", id, cores)
+		b.MovImm(5, mem.Word(sharedBase+mem.Addr(id*8)*mem.WordBytes))
+		b.MovImm(6, mem.Word(privAddr(id)))
+		b.MovImm(7, mem.Word(syncAddr(55))) // shared "open center" word
+		b.MovImm(15, mem.Word(phases))
+		outer := b.Here()
+		emitSweep(b, 6, 96, 1, 2, true) // local distance computation
+		b.Load(1, 7, 0)                 // read the shared decision word
+		// One core per phase updates the shared word (write-shared line).
+		if id == 0 {
+			b.ALUI(isa.FnAdd, 1, 1, 1)
+			b.Store(7, 0, 1)
+		}
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildSwaptions: pure private Monte-Carlo: register LCG + private
+// accumulation; essentially no coherence traffic.
+func buildSwaptions(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	trials := 40 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("swaptions", id, cores)
+		b.MovImm(5, mem.Word(privAddr(id)))
+		b.MovImm(9, mem.Word(uint64(id)+0xabcdef))
+		b.MovImm(15, mem.Word(trials))
+		outer := b.Here()
+		b.ALUI(isa.FnMul, 9, 9, 6364136223846793005)
+		b.ALUI(isa.FnAdd, 9, 9, 1442695040888963407)
+		b.Work(4, 4, 9, 4)
+		emitSweep(b, 5, 64, 1, 2, true)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}

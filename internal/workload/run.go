@@ -1,0 +1,17 @@
+package workload
+
+import (
+	"wbsim/internal/core"
+)
+
+// Run builds a system for the workload and executes it to completion,
+// returning the system (for inspection) and the collected results.
+func Run(w Workload, cfg core.Config, scale int) (*core.System, core.Results, error) {
+	progs := w.Build(cfg.Cores, scale)
+	sys := core.NewSystem(cfg, progs)
+	if w.Init != nil {
+		w.Init(sys.Memory, cfg.Cores, scale)
+	}
+	_, err := sys.Run()
+	return sys, sys.Collect(), err
+}

@@ -1,0 +1,24 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wbsim/internal/core"
+)
+
+func TestSpeed(t *testing.T) {
+	for _, name := range []string{"fft", "bodytrack", "streamcluster", "water_nsq"} {
+		w, _ := Get(name)
+		start := time.Now()
+		cfg := core.DefaultConfig(core.SLM, core.OoOWB)
+		_, res, err := Run(w, cfg, 1)
+		el := time.Since(start)
+		fmt.Printf("%-14s cycles=%8d committed=%9d wall=%8v  (%.2f Mcyc/s)  blockedW=%d uncache=%d\n",
+			name, res.Cycles, res.Committed, el.Round(time.Millisecond), float64(res.Cycles)/el.Seconds()/1e6, res.BlockedWrites, res.UncacheableReads)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

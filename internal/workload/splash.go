@@ -1,0 +1,407 @@
+package workload
+
+import (
+	"fmt"
+
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+)
+
+// SPLASH-3 analogs. Each kernel reproduces the dominant sharing pattern
+// of the original benchmark; see the per-kernel comments.
+
+func init() {
+	register(Workload{
+		Name: "barnes", Suite: "splash3",
+		Pattern: "read-mostly shared tree (pointer chase) + barriers",
+		Build:   buildBarnes, Init: initSharedChase,
+	})
+	register(Workload{
+		Name: "fft", Suite: "splash3",
+		Pattern: "private butterflies + all-to-all transpose + barriers",
+		Build:   buildFFT,
+	})
+	register(Workload{
+		Name: "lu_cb", Suite: "splash3",
+		Pattern: "rotating owner publishes a block; readers consume (contiguous blocks)",
+		Build:   func(c, s int) []*isa.Program { return buildLU(c, s, true) },
+	})
+	register(Workload{
+		Name: "lu_ncb", Suite: "splash3",
+		Pattern: "as lu_cb but updates go to one shared matrix (more invalidations)",
+		Build:   func(c, s int) []*isa.Program { return buildLU(c, s, false) },
+	})
+	register(Workload{
+		Name: "ocean_cp", Suite: "splash3",
+		Pattern: "private stencil partitions + boundary exchange",
+		Build:   func(c, s int) []*isa.Program { return buildOcean(c, s, true) },
+	})
+	register(Workload{
+		Name: "ocean_ncp", Suite: "splash3",
+		Pattern: "shared-grid stencil: boundary lines ping-pong between cores",
+		Build:   func(c, s int) []*isa.Program { return buildOcean(c, s, false) },
+	})
+	register(Workload{
+		Name: "radiosity", Suite: "splash3",
+		Pattern: "lock-protected task queue + shared scene reads",
+		Build:   buildRadiosity, Init: initSharedChase,
+	})
+	register(Workload{
+		Name: "radix", Suite: "splash3",
+		Pattern: "atomic histogram + scattered permutation writes + barriers",
+		Build:   buildRadix,
+	})
+	register(Workload{
+		Name: "raytrace", Suite: "splash3",
+		Pattern: "read-mostly scene + lock-protected work counter",
+		Build:   buildRaytrace, Init: initSharedChase,
+	})
+	register(Workload{
+		Name: "volrend", Suite: "splash3",
+		Pattern: "scrambled read-only volume chase, private output",
+		Build:   buildVolrend, Init: initScrambledChase,
+	})
+	register(Workload{
+		Name: "water_nsq", Suite: "splash3",
+		Pattern: "migratory molecules under per-molecule locks",
+		Build:   func(c, s int) []*isa.Program { return buildWater(c, s, 4) },
+	})
+	register(Workload{
+		Name: "water_sp", Suite: "splash3",
+		Pattern: "mostly-private molecule updates, sparse neighbor reads",
+		Build:   func(c, s int) []*isa.Program { return buildWater(c, s, 1) },
+	})
+}
+
+// Shared chase list used by tree/scene readers: 4096 words, line-strided.
+const chaseWords = 4096
+
+func initSharedChase(m *mem.Memory, cores, scale int) {
+	initChase(m, sharedBase, chaseWords, 8)
+}
+
+func initScrambledChase(m *mem.Memory, cores, scale int) {
+	initChaseScrambled(m, sharedBase, chaseWords, 0x5eed)
+}
+
+// prologue starts a program with sync registers and core identity (r16).
+func prologue(name string, id, cores int) *isa.Builder {
+	b := isa.NewBuilder(fmt.Sprintf("%s.%d", name, id))
+	emitSyncInit(b, cores, 0, 2)
+	b.MovImm(16, mem.Word(id))
+	b.MovImm(17, mem.Word(cores))
+	return b
+}
+
+// buildBarnes: each core walks the shared "tree" (read-only pointer
+// chase entered at a per-core offset), does force computation (long ALU
+// work), accumulates into private memory, and synchronizes per step.
+func buildBarnes(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("barnes", id, cores)
+		b.MovImm(5, mem.Word(sharedBase+mem.Addr((id*97%chaseWords))*mem.WordBytes*8))
+		b.MovImm(6, mem.Word(privAddr(id)))
+		steps := 2 * scale
+		b.MovImm(15, mem.Word(steps))
+		outer := b.Here()
+		emitChase(b, 5, 300, 3)          // walk the tree
+		emitSweep(b, 6, 512, 1, 2, true) // update private bodies
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildFFT: butterflies on the private chunk, then an all-to-all
+// transpose where each core reads every other core's chunk (strided,
+// bursty remote misses), with barriers between phases.
+func buildFFT(cores, scale int) []*isa.Program {
+	const chunkWords = 2048 // 16KB per core
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("fft", id, cores)
+		myChunk := sharedBase + mem.Addr(id)*chunkWords*mem.WordBytes
+		b.MovImm(5, mem.Word(myChunk))
+		phases := 2 * scale
+		b.MovImm(15, mem.Word(phases))
+		outer := b.Here()
+		// Local butterflies: read-modify-write own chunk.
+		emitSweep(b, 5, 1024, 1, 2, true)
+		emitBarrier(b)
+		// Transpose: read a slice of every core's chunk.
+		for o := 1; o <= cores && o <= 4; o++ {
+			other := (id + o) % cores
+			b.MovImm(6, mem.Word(sharedBase+mem.Addr(other)*chunkWords*mem.WordBytes))
+			emitSweep(b, 6, 192, 1, 1, false)
+		}
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildLU: k rounds; in round k the owner (k mod cores) updates the
+// shared diagonal block and publishes a flag; everyone else spins on the
+// flag, reads the block, and updates their own blocks (contiguous
+// private copies for lu_cb, slices of the one shared matrix for lu_ncb).
+func buildLU(cores, scale int, contiguous bool) []*isa.Program {
+	const blockWords = 256 // 2KB diagonal block
+	diag := sharedBase
+	flagSync := 8 // sync slot for the per-round flag
+	progs := make([]*isa.Program, cores)
+	rounds := 3 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("lu", id, cores)
+		b.MovImm(5, mem.Word(diag))
+		b.MovImm(7, mem.Word(syncAddr(flagSync)))
+		if contiguous {
+			b.MovImm(6, mem.Word(privAddr(id)))
+		} else {
+			b.MovImm(6, mem.Word(sharedBase+mem.Addr(16*1024+id*512)*mem.WordBytes))
+		}
+		b.MovImm(14, 0) // round counter
+		b.MovImm(15, mem.Word(rounds))
+		outer := b.Here()
+		// Owner check: (round % cores) == id, via round - cores*floor —
+		// approximate with a rotating counter r13 (0..cores-1).
+		b.MovImm(13, 0)
+		// r13 = round mod cores computed by subtraction loop.
+		b.Mov(13, 14)
+		modLoop := b.Here()
+		skipSub := b.NewLabel()
+		b.Branch(isa.FnLT, 13, 17, skipSub)
+		b.ALU(isa.FnSub, 13, 13, 17)
+		b.Jump(modLoop)
+		b.Bind(skipSub)
+		notOwner := b.NewLabel()
+		join := b.NewLabel()
+		b.Branch(isa.FnNE, 13, 16, notOwner)
+		// Owner: update the diagonal block, publish round+1.
+		emitSweep(b, 5, blockWords, 1, 2, true)
+		b.ALUI(isa.FnAdd, 12, 14, 1)
+		b.Store(7, 0, 12)
+		b.Jump(join)
+		// Others: spin on the flag, then read the block.
+		b.Bind(notOwner)
+		spin := b.Here()
+		b.Load(12, 7, 0)
+		b.Branch(isa.FnGE, 14, 12, spin) // wait until flag > round
+		emitSweep(b, 5, blockWords, 1, 1, false)
+		b.Bind(join)
+		// Everyone updates their panel.
+		emitSweep(b, 6, 512, 1, 2, true)
+		emitBarrier(b)
+		b.ALUI(isa.FnAdd, 14, 14, 1)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildOcean: red-black stencil steps. Each core sweeps its partition
+// and then reads the boundary rows of both neighbors. In the
+// non-contiguous variant the partitions live in one shared grid, so
+// boundary lines are write-shared and ping-pong.
+func buildOcean(cores, scale int, contiguous bool) []*isa.Program {
+	const partWords = 1024
+	progs := make([]*isa.Program, cores)
+	base := func(id int) mem.Addr {
+		if contiguous {
+			return privAddr(id)
+		}
+		return sharedBase + mem.Addr(id*partWords)*mem.WordBytes
+	}
+	for id := 0; id < cores; id++ {
+		b := prologue("ocean", id, cores)
+		b.MovImm(5, mem.Word(base(id)))
+		left := (id + cores - 1) % cores
+		right := (id + 1) % cores
+		// Neighbor boundary rows (last/first 8 words of their part).
+		b.MovImm(6, mem.Word(base(left)+mem.Addr(partWords-8)*mem.WordBytes))
+		b.MovImm(7, mem.Word(base(right)))
+		steps := 2 * scale
+		b.MovImm(15, mem.Word(steps))
+		outer := b.Here()
+		emitSweep(b, 5, partWords, 1, 2, true) // relax own partition
+		emitBarrier(b)
+		emitSweep(b, 6, 8, 1, 1, false) // read left boundary
+		emitSweep(b, 7, 8, 1, 1, false) // read right boundary
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildRadiosity: a lock-protected shared task counter distributes work;
+// each task reads the shared scene and updates a lock-protected shared
+// accumulator occasionally.
+func buildRadiosity(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	tasks := 8 * scale * cores
+	for id := 0; id < cores; id++ {
+		b := prologue("radiosity", id, cores)
+		b.MovImm(5, mem.Word(syncAddr(4))) // task counter address
+		b.MovImm(6, mem.Word(sharedBase+mem.Addr(id*64)*mem.WordBytes*8))
+		// Energy accumulators and their locks are striped four-ways, as
+		// the original's per-patch locks keep contention moderate.
+		b.MovImm(7, mem.Word(syncAddr(24+id%4)))
+		b.MovImm(rLock, mem.Word(syncAddr(16+id%4)))
+		loop := b.Here()
+		done := b.NewLabel()
+		b.Atomic(isa.FnFetchAdd, 8, 5, 0, rOne) // task = counter++
+		b.BranchI(isa.FnGE, 8, mem.Word(tasks), done)
+		emitChase(b, 6, 150, 3) // shade patch against the scene
+		b.MovImm(10, mem.Word(privAddr(id)))
+		emitSweep(b, 10, 128, 1, 2, true) // update local form factors
+		// Merge energy under the striped lock.
+		emitLock(b)
+		b.Load(9, 7, 0)
+		b.ALUI(isa.FnAdd, 9, 9, 1)
+		b.Store(7, 0, 9)
+		emitUnlock(b)
+		b.Jump(loop)
+		b.Bind(done)
+		emitBarrier(b)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildRadix: per-key atomic increments into a shared 256-bin histogram,
+// a barrier, then scattered writes into a shared output array.
+func buildRadix(cores, scale int) []*isa.Program {
+	const bins = 256
+	histBase := sharedBase
+	outBase := sharedBase + mem.Addr(64*1024)
+	progs := make([]*isa.Program, cores)
+	keys := 350 * scale
+	for id := 0; id < cores; id++ {
+		b := prologue("radix", id, cores)
+		b.MovImm(5, mem.Word(histBase))
+		b.MovImm(6, mem.Word(outBase))
+		b.MovImm(9, mem.Word(uint64(id)*2654435761+12345)) // lcg state
+		b.MovImm(15, mem.Word(keys))
+		count := b.Here()
+		// key = lcg() % bins (mask with bins-1)
+		b.ALUI(isa.FnMul, 9, 9, 6364136223846793005)
+		b.ALUI(isa.FnAdd, 9, 9, 1442695040888963407)
+		b.ALUI(isa.FnShr, 8, 9, 33)
+		b.ALUI(isa.FnAnd, 8, 8, bins-1)
+		b.ALUI(isa.FnShl, 8, 8, 3) // *8 bytes
+		b.ALU(isa.FnAdd, 8, 8, 5)
+		b.Atomic(isa.FnFetchAdd, 7, 8, 0, rOne)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, count)
+		emitBarrier(b)
+		// Permutation: scattered stores into the shared output.
+		b.MovImm(15, mem.Word(keys))
+		perm := b.Here()
+		b.ALUI(isa.FnMul, 9, 9, 6364136223846793005)
+		b.ALUI(isa.FnAdd, 9, 9, 1442695040888963407)
+		b.ALUI(isa.FnShr, 8, 9, 30)
+		b.ALUI(isa.FnAnd, 8, 8, 8191) // 8K-word output region
+		b.ALUI(isa.FnShl, 8, 8, 3)
+		b.ALU(isa.FnAdd, 8, 8, 6)
+		b.Store(8, 0, 15)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, perm)
+		emitBarrier(b)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildRaytrace: shared read-mostly scene; rays distributed by an atomic
+// counter; private framebuffer writes.
+func buildRaytrace(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	rays := 10 * scale * cores
+	for id := 0; id < cores; id++ {
+		b := prologue("raytrace", id, cores)
+		b.MovImm(5, mem.Word(syncAddr(4)))
+		b.MovImm(6, mem.Word(sharedBase+mem.Addr((id*31)%chaseWords)*mem.WordBytes*8))
+		b.MovImm(7, mem.Word(privAddr(id)))
+		loop := b.Here()
+		done := b.NewLabel()
+		b.Atomic(isa.FnFetchAdd, 8, 5, 0, rOne)
+		b.BranchI(isa.FnGE, 8, mem.Word(rays), done)
+		emitChase(b, 6, 120, 2)         // trace through the scene
+		emitSweep(b, 7, 64, 1, 1, true) // write pixels
+		b.Jump(loop)
+		b.Bind(done)
+		emitBarrier(b)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildVolrend: scrambled read-only chase (poor locality) with private
+// output and a couple of frame barriers.
+func buildVolrend(cores, scale int) []*isa.Program {
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("volrend", id, cores)
+		b.MovImm(5, mem.Word(sharedBase+mem.Addr((id*131)%chaseWords)*mem.WordBytes*8))
+		b.MovImm(6, mem.Word(privAddr(id)))
+		frames := 2 * scale
+		b.MovImm(15, mem.Word(frames))
+		outer := b.Here()
+		emitChase(b, 5, 500, 1)
+		emitSweep(b, 6, 256, 1, 1, true)
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}
+
+// buildWater: M molecules, each with its own lock and 4 lines of state.
+// Cores iterate over molecules round-robin from different offsets, so
+// molecule lines migrate core-to-core (locality factor 1 keeps most
+// updates on the home core for water_sp).
+func buildWater(cores, scale, spread int) []*isa.Program {
+	const molecules = 32
+	molLock := func(m int) int { return 8 + m } // sync slots
+	molData := func(m int) mem.Addr { return sharedBase + mem.Addr(128*1024) + mem.Addr(m)*4*mem.LineBytes }
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("water", id, cores)
+		steps := 2 * scale
+		b.MovImm(15, mem.Word(steps))
+		outer := b.Here()
+		for k := 0; k < 8; k++ {
+			m := (id + k*spread) % molecules
+			b.MovImm(rLock, mem.Word(syncAddr(molLock(m))))
+			b.MovImm(5, mem.Word(molData(m)))
+			emitLock(b)
+			emitSweep(b, 5, 4*mem.LineWords, 1, 2, true)
+			emitUnlock(b)
+			// Local force computation between interactions.
+			b.MovImm(11, mem.Word(privAddr(id)))
+			emitSweep(b, 11, 128, 1, 2, true)
+		}
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	return progs
+}

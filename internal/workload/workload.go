@@ -1,0 +1,234 @@
+// Package workload provides the parallel kernels used to reproduce the
+// paper's evaluation. The paper runs SPLASH-3 and PARSEC 3.0 with
+// simsmall inputs; those x86 binaries cannot run on this simulator, so
+// each benchmark is replaced by a synthetic analog written in the
+// simulator's ISA that reproduces the *sharing and miss behaviour* the
+// real program stresses: data-parallel sweeps, barrier-synchronized
+// phases, lock-protected reductions, producer-consumer pipelines,
+// migratory objects, read-mostly tables, and pointer chasing. The mapping
+// is documented per benchmark and in DESIGN.md.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+)
+
+// Workload is one benchmark: a program generator plus memory initializer.
+type Workload struct {
+	Name  string
+	Suite string // "splash3" or "parsec" or "micro"
+	// Pattern summarizes the sharing behaviour being modelled.
+	Pattern string
+	// Build returns one program per core. scale controls iteration
+	// counts (1 = benchmark-suite default used by the figures).
+	Build func(cores, scale int) []*isa.Program
+	// Init pre-initializes memory (data structures, pointers). May be nil.
+	Init func(m *mem.Memory, cores, scale int)
+}
+
+// registry of all workloads, populated by init() in splash.go/parsec.go.
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// Get returns a workload by name.
+func Get(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	var names []string
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BySuite returns the workloads of one suite in sorted order.
+func BySuite(suite string) []Workload {
+	var ws []Workload
+	for _, n := range Names() {
+		if registry[n].Suite == suite {
+			ws = append(ws, registry[n])
+		}
+	}
+	return ws
+}
+
+// All returns every workload in sorted order.
+func All() []Workload {
+	var ws []Workload
+	for _, n := range Names() {
+		ws = append(ws, registry[n])
+	}
+	return ws
+}
+
+// Evaluation returns the 20 benchmarks of the paper's figures
+// (SPLASH-3 followed by PARSEC).
+func Evaluation() []Workload {
+	return append(BySuite("splash3"), BySuite("parsec")...)
+}
+
+// ---------------------------------------------------------------------
+// Memory layout
+// ---------------------------------------------------------------------
+
+// Address regions. Synchronization variables each occupy a full line.
+const (
+	syncBase   = mem.Addr(0x0001_0000) // barriers, locks, flags
+	sharedBase = mem.Addr(0x0100_0000) // shared data
+	privBase   = mem.Addr(0x1000_0000) // per-core private data
+	privStride = mem.Addr(0x0040_0000) // 4MB per core
+)
+
+// syncAddr returns the address of sync variable i (one per line).
+func syncAddr(i int) mem.Addr { return syncBase + mem.Addr(i)*mem.LineBytes }
+
+// privAddr returns the base of core c's private region.
+func privAddr(c int) mem.Addr { return privBase + mem.Addr(c)*privStride }
+
+// sharedAddr returns an address in the shared region at word offset w.
+func sharedAddr(w int) mem.Addr { return sharedBase + mem.Addr(w)*mem.WordBytes }
+
+// Register conventions used by the emit helpers. Data code uses r1..r9
+// and loop counters r10..r15; the helpers below own r20..r29.
+const (
+	rOne     = isa.Reg(22) // constant 1
+	rNm1     = isa.Reg(21) // cores-1
+	rBarCnt  = isa.Reg(25) // barrier counter address
+	rBarGen  = isa.Reg(26) // barrier generation address
+	rBarMine = isa.Reg(27) // my expected generation
+	rBarTmp  = isa.Reg(28)
+	rLock    = isa.Reg(23) // lock address
+	rLockTmp = isa.Reg(24)
+	rCursor  = isa.Reg(20) // address cursor for sweeps
+)
+
+// emitSyncInit sets up the helper registers. Call once per program before
+// using emitBarrier/emitLock.
+func emitSyncInit(b *isa.Builder, cores int, barrierSync, lockSync int) {
+	b.MovImm(rOne, 1)
+	b.MovImm(rNm1, mem.Word(cores-1))
+	b.MovImm(rBarCnt, mem.Word(syncAddr(barrierSync)))
+	b.MovImm(rBarGen, mem.Word(syncAddr(barrierSync+1)))
+	b.MovImm(rBarMine, 0)
+	b.MovImm(rLock, mem.Word(syncAddr(lockSync)))
+}
+
+// emitBarrier emits a centralized sense-counting barrier: the last core
+// to arrive resets the counter and publishes the new generation; the
+// rest spin on the generation word. Store order (reset before publish)
+// is guaranteed by TSO.
+func emitBarrier(b *isa.Builder) {
+	b.ALUI(isa.FnAdd, rBarMine, rBarMine, 1)
+	b.Atomic(isa.FnFetchAdd, rBarTmp, rBarCnt, 0, rOne)
+	spin := b.NewLabel()
+	done := b.NewLabel()
+	b.Branch(isa.FnNE, rBarTmp, rNm1, spin)
+	// Last arriver: reset counter, release the others.
+	b.Store(rBarCnt, 0, isa.R0)
+	b.Store(rBarGen, 0, rBarMine)
+	b.Jump(done)
+	b.Bind(spin)
+	b.Load(rBarTmp, rBarGen, 0)
+	b.Branch(isa.FnLT, rBarTmp, rBarMine, spin)
+	b.Bind(done)
+}
+
+// emitLock acquires the test-and-set lock (rLock).
+func emitLock(b *isa.Builder) {
+	b.SpinLock(rLock, 0, rOne, rLockTmp)
+}
+
+// emitUnlock releases the lock.
+func emitUnlock(b *isa.Builder) {
+	b.SpinUnlock(rLock, 0)
+}
+
+// emitSweep emits a load(+optional work)(+optional store) loop over
+// `elems` words starting at the address in addrReg, advancing by
+// strideWords each iteration. Uses r10 (counter), rCursor, r1, r2.
+func emitSweep(b *isa.Builder, addrReg isa.Reg, elems, strideWords, workLat int, store bool) {
+	if elems <= 0 {
+		return
+	}
+	b.Mov(rCursor, addrReg)
+	b.MovImm(10, mem.Word(elems))
+	loop := b.Here()
+	b.Load(1, rCursor, 0)
+	if workLat > 0 {
+		b.Work(2, 1, 2, workLat)
+	}
+	if store {
+		b.Store(rCursor, 0, 2)
+	}
+	b.AddI(rCursor, rCursor, mem.Word(strideWords*mem.WordBytes))
+	b.ALUI(isa.FnSub, 10, 10, 1)
+	b.BranchI(isa.FnNE, 10, 0, loop)
+}
+
+// emitChase emits a pointer chase of n steps starting from the address in
+// addrReg; memory must be initialized as a linked list (each word holds
+// the next address). Uses r10 and r3.
+func emitChase(b *isa.Builder, addrReg isa.Reg, n, workLat int) {
+	b.Mov(3, addrReg)
+	b.MovImm(10, mem.Word(n))
+	loop := b.Here()
+	b.Load(3, 3, 0)
+	if workLat > 0 {
+		b.Work(4, 4, 3, workLat)
+	}
+	b.ALUI(isa.FnSub, 10, 10, 1)
+	b.BranchI(isa.FnNE, 10, 0, loop)
+}
+
+// initChase builds a pointer-chase ring over `words` words spaced
+// `strideWords` apart starting at base.
+func initChase(m *mem.Memory, base mem.Addr, words, strideWords int) {
+	step := mem.Addr(strideWords * mem.WordBytes)
+	for i := 0; i < words; i++ {
+		cur := base + mem.Addr(i)*step
+		next := base + mem.Addr((i+1)%words)*step
+		m.WriteWord(cur, mem.Word(next))
+	}
+}
+
+// lcg is a tiny deterministic generator for scrambled layouts.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = lcg(uint64(*l)*6364136223846793005 + 1442695040888963407)
+	return uint64(*l)
+}
+
+// initChaseScrambled builds a pointer-chase over a random permutation of
+// `words` slots to defeat spatial locality (volrend/freqmine style).
+func initChaseScrambled(m *mem.Memory, base mem.Addr, words int, seed uint64) {
+	perm := make([]int, words)
+	for i := range perm {
+		perm[i] = i
+	}
+	r := lcg(seed | 1)
+	for i := words - 1; i > 0; i-- {
+		j := int(r.next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < words; i++ {
+		cur := base + mem.Addr(perm[i])*mem.WordBytes*8
+		next := base + mem.Addr(perm[(i+1)%words])*mem.WordBytes*8
+		m.WriteWord(cur, mem.Word(next))
+	}
+}

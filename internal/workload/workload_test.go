@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"testing"
+
+	"wbsim/internal/core"
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+)
+
+// TestAllWorkloadsComplete runs every workload to completion on 4 cores
+// under every sound variant: no deadlocks, work actually happens.
+func TestAllWorkloadsComplete(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, v := range core.Variants {
+				cfg := core.SmallConfig(4, v)
+				cfg.MaxCycles = 20_000_000
+				_, res, err := Run(w, cfg, 1)
+				if err != nil {
+					t.Fatalf("%v: %v", v, err)
+				}
+				if res.Committed == 0 || res.CommittedLoads == 0 {
+					t.Errorf("%v: no work done: %+v", v, res)
+				}
+				// Conservation: every withheld invalidation ack must have
+				// been delivered by the end of the run.
+				if res.Nacks != res.DelayedAcks {
+					t.Errorf("%v: %d nacks but %d delayed acks", v, res.Nacks, res.DelayedAcks)
+				}
+				// In-order commit must never commit out of order; the
+				// squash-based variants must never export lockdowns.
+				switch v {
+				case core.InOrderBase, core.InOrderWB:
+					if res.CommittedOoO != 0 {
+						t.Errorf("%v: %d OoO commits under in-order commit", v, res.CommittedOoO)
+					}
+				case core.OoOBase:
+					if res.MSpecCommits != 0 {
+						t.Errorf("%v: %d M-speculative commits under safe OoO", v, res.MSpecCommits)
+					}
+				}
+				if v != core.OoOWB && v != core.InOrderWB {
+					if res.Nacks != 0 {
+						t.Errorf("%v: nacks under the base protocol", v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsDeterministic verifies a run is a pure function of its
+// seed: identical cycle counts and instruction counts across repeats.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, name := range []string{"fft", "streamcluster", "canneal"} {
+		w, ok := Get(name)
+		if !ok {
+			t.Fatalf("missing workload %q", name)
+		}
+		var first core.Results
+		for trial := 0; trial < 2; trial++ {
+			cfg := core.SmallConfig(4, core.OoOWB)
+			cfg.Seed = 7
+			cfg.JitterMax = 8
+			_, res, err := Run(w, cfg, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if trial == 0 {
+				first = res
+			} else if res != first {
+				t.Errorf("%s: nondeterministic results:\n%+v\n%+v", name, first, res)
+			}
+		}
+	}
+}
+
+// TestWorkloadsFullMachine runs a subset on the paper's 16-core machine
+// with full-size caches to validate the default configuration end to end.
+func TestWorkloadsFullMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full machine run")
+	}
+	for _, name := range []string{"fft", "bodytrack"} {
+		w, _ := Get(name)
+		for _, v := range []core.Variant{core.InOrderBase, core.OoOWB} {
+			cfg := core.DefaultConfig(core.SLM, v)
+			_, res, err := Run(w, cfg, 1)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, v, err)
+			}
+			if res.Committed == 0 {
+				t.Errorf("%s/%v: nothing committed", name, v)
+			}
+		}
+	}
+}
+
+// TestSuiteRosters checks the evaluation set matches the paper: 12
+// SPLASH-3 + 8 PARSEC benchmarks.
+func TestSuiteRosters(t *testing.T) {
+	if n := len(BySuite("splash3")); n != 12 {
+		t.Errorf("splash3 has %d benchmarks, want 12", n)
+	}
+	if n := len(BySuite("parsec")); n != 8 {
+		t.Errorf("parsec has %d benchmarks, want 8", n)
+	}
+	if n := len(Evaluation()); n != 20 {
+		t.Errorf("evaluation set has %d, want 20", n)
+	}
+}
+
+// TestWorkloadCharacteristics checks each kernel family produces the
+// sharing behaviour it models (so the figure inputs are meaningful).
+func TestWorkloadCharacteristics(t *testing.T) {
+	run := func(name string, v core.Variant) (*core.System, core.Results) {
+		t.Helper()
+		w, ok := Get(name)
+		if !ok {
+			t.Fatalf("missing workload %q", name)
+		}
+		cfg := core.DefaultConfig(core.SLM, v)
+		cfg.Cores = 8
+		sys, res, err := Run(w, cfg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return sys, res
+	}
+
+	t.Run("swaptions is private", func(t *testing.T) {
+		sys, res := run("swaptions", core.InOrderBase)
+		var invs uint64
+		for _, p := range sys.PCUs {
+			invs += p.Stats.InvsReceived
+		}
+		if invs > res.Committed/1000 {
+			t.Errorf("private workload saw %d invalidations", invs)
+		}
+	})
+	t.Run("pingpong invalidates", func(t *testing.T) {
+		sys, _ := run("pingpong", core.InOrderBase)
+		var invs uint64
+		for _, p := range sys.PCUs {
+			invs += p.Stats.InvsReceived
+		}
+		if invs < 50 {
+			t.Errorf("ping-pong produced only %d invalidations", invs)
+		}
+	})
+	t.Run("canneal produces remote misses", func(t *testing.T) {
+		sys, _ := run("canneal", core.InOrderBase)
+		var misses uint64
+		for _, p := range sys.PCUs {
+			misses += p.Stats.LoadMisses
+		}
+		if misses < 100 {
+			t.Errorf("canneal missed only %d times", misses)
+		}
+	})
+	t.Run("streamcluster nacks under wb", func(t *testing.T) {
+		_, res := run("streamcluster", core.OoOWB)
+		if res.Nacks == 0 && res.BlockedWrites == 0 {
+			t.Skip("no blocked writes sampled at this size (rare events)")
+		}
+		if res.DelayedAcks != res.Nacks {
+			t.Errorf("nacks=%d but delayed acks=%d (every lockdown must lift)",
+				res.Nacks, res.DelayedAcks)
+		}
+	})
+	t.Run("atomic counters exact", func(t *testing.T) {
+		// radix's histogram is built with fetch-adds: the bin sums must
+		// equal the number of keys counted.
+		w, _ := Get("radix")
+		cfg := core.DefaultConfig(core.SLM, core.OoOWB)
+		cfg.Cores = 4
+		sys, _, err := Run(w, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum mem.Word
+		for b := 0; b < 256; b++ {
+			sum += sys.ReadWord(sharedBase + mem.Addr(b)*mem.WordBytes)
+		}
+		if sum != 4*350 {
+			t.Errorf("histogram sum = %d, want %d", sum, 4*350)
+		}
+	})
+}
+
+// TestBarrierExactness: the barrier helper must deliver every core
+// through exactly the same number of phases — verified by a kernel where
+// each core bumps a private phase counter in memory after each barrier.
+func TestBarrierExactness(t *testing.T) {
+	const phases = 7
+	cores := 4
+	progs := make([]*isa.Program, cores)
+	for id := 0; id < cores; id++ {
+		b := prologue("barriertest", id, cores)
+		b.MovImm(5, mem.Word(privAddr(id)))
+		b.MovImm(15, phases)
+		outer := b.Here()
+		b.Load(6, 5, 0)
+		b.ALUI(isa.FnAdd, 6, 6, 1)
+		b.Store(5, 0, 6)
+		emitBarrier(b)
+		b.ALUI(isa.FnSub, 15, 15, 1)
+		b.BranchI(isa.FnNE, 15, 0, outer)
+		b.Halt()
+		progs[id] = b.Program()
+	}
+	for _, v := range core.Variants {
+		cfg := core.SmallConfig(cores, v)
+		sys := core.NewSystem(cfg, progs)
+		if _, err := sys.Run(); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		for id := 0; id < cores; id++ {
+			if got := sys.ReadWord(privAddr(id)); got != phases {
+				t.Errorf("%v: core %d completed %d phases, want %d", v, id, got, phases)
+			}
+		}
+		// The barrier generation word must equal the phase count.
+		if gen := sys.ReadWord(syncAddr(1)); gen != phases {
+			t.Errorf("%v: final generation = %d", v, gen)
+		}
+	}
+}
+
+// TestChaseInit verifies the pointer-chase initializers build closed
+// rings of the right length.
+func TestChaseInit(t *testing.T) {
+	m := mem.NewMemory()
+	initChase(m, 0x1000, 64, 8)
+	cur := mem.Addr(0x1000)
+	for i := 0; i < 64; i++ {
+		cur = mem.Addr(m.ReadWord(cur))
+	}
+	if cur != 0x1000 {
+		t.Fatalf("chase ring not closed: ended at %v", cur)
+	}
+	m2 := mem.NewMemory()
+	initChaseScrambled(m2, 0x1000, 64, 7)
+	cur = 0x1000
+	seen := map[mem.Addr]bool{}
+	for i := 0; i < 64; i++ {
+		if seen[cur] {
+			t.Fatalf("scrambled ring revisits %v at step %d", cur, i)
+		}
+		seen[cur] = true
+		cur = mem.Addr(m2.ReadWord(cur))
+	}
+	if cur != 0x1000 {
+		t.Fatalf("scrambled ring not closed: ended at %v", cur)
+	}
+}

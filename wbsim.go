@@ -1,0 +1,122 @@
+// Package wbsim is a cycle-driven multicore simulator reproducing
+// "Non-Speculative Load-Load Reordering in TSO" (Ros, Carlson, Alipour,
+// Kaxiras — ISCA 2017): out-of-order cores with TSO, a MESI directory
+// protocol over a 2D-mesh NoC, and the paper's WritersBlock coherence
+// extension that hides load-load reordering from other cores so that
+// M-speculative loads can be irrevocably bound (committed out of order)
+// without squash-and-re-execute.
+//
+// The root package is a thin facade over the implementation packages:
+//
+//   - internal/core       — machine assembly, Table 6 configurations
+//   - internal/cpu        — the out-of-order core (ROB/LQ/SQ/SB/LDT)
+//   - internal/coherence  — directory + private caches + WritersBlock
+//   - internal/network    — the 2D-mesh interconnect
+//   - internal/isa        — the small register ISA and program builder
+//   - internal/workload   — SPLASH-3/PARSEC analog kernels
+//   - internal/litmus     — TSO litmus framework
+//   - internal/experiments— Figure 8/9/10 regeneration
+//
+// Quick start:
+//
+//	cfg := wbsim.DefaultConfig(wbsim.SLM, wbsim.OoOWB)
+//	w, _ := wbsim.GetWorkload("fft")
+//	sys, res, err := wbsim.RunWorkload(w, cfg, 1)
+//	_ = sys; _ = res; _ = err
+package wbsim
+
+import (
+	"wbsim/internal/core"
+	"wbsim/internal/isa"
+	"wbsim/internal/litmus"
+	"wbsim/internal/workload"
+)
+
+// Machine configuration (see internal/core).
+type (
+	// Config describes a whole machine (cores, class, variant, memory
+	// system, network, seed).
+	Config = core.Config
+	// Class is a core aggressiveness class from Table 6.
+	Class = core.Class
+	// Variant selects the commit policy + coherence mode pair.
+	Variant = core.Variant
+	// System is an assembled machine.
+	System = core.System
+	// Results are the aggregate statistics of a finished run.
+	Results = core.Results
+)
+
+// Core classes (Table 6).
+const (
+	SLM = core.SLM
+	NHM = core.NHM
+	HSW = core.HSW
+)
+
+// System variants.
+const (
+	// InOrderBase: in-order commit, base directory protocol.
+	InOrderBase = core.InOrderBase
+	// InOrderWB: in-order commit over WritersBlock coherence.
+	InOrderWB = core.InOrderWB
+	// OoOBase: Bell-Lipasti safe out-of-order commit, base protocol.
+	OoOBase = core.OoOBase
+	// OoOWB: the paper's contribution — OoO commit + WritersBlock.
+	OoOWB = core.OoOWB
+	// OoOUnsafe: deliberately unsound baseline for the violation demo.
+	OoOUnsafe = core.OoOUnsafe
+)
+
+// DefaultConfig returns the paper's 16-core machine for a class/variant.
+func DefaultConfig(class Class, variant Variant) Config {
+	return core.DefaultConfig(class, variant)
+}
+
+// SmallConfig returns a downsized machine for fast experimentation.
+func SmallConfig(cores int, variant Variant) Config {
+	return core.SmallConfig(cores, variant)
+}
+
+// NewSystem assembles a machine running one program per core.
+func NewSystem(cfg Config, programs []*isa.Program) *System {
+	return core.NewSystem(cfg, programs)
+}
+
+// Workloads.
+type Workload = workload.Workload
+
+// GetWorkload looks up a benchmark by name (see WorkloadNames).
+func GetWorkload(name string) (Workload, bool) { return workload.Get(name) }
+
+// WorkloadNames lists every registered benchmark.
+func WorkloadNames() []string { return workload.Names() }
+
+// EvaluationWorkloads returns the paper's 20-benchmark evaluation set.
+func EvaluationWorkloads() []Workload { return workload.Evaluation() }
+
+// RunWorkload builds and runs a workload to completion.
+func RunWorkload(w Workload, cfg Config, scale int) (*System, Results, error) {
+	return workload.Run(w, cfg, scale)
+}
+
+// Litmus testing.
+type (
+	// LitmusTest is one litmus test (program shape + forbidden outcomes).
+	LitmusTest = litmus.Test
+	// LitmusResult aggregates outcomes across seeds.
+	LitmusResult = litmus.Result
+	// LitmusOptions control a litmus campaign.
+	LitmusOptions = litmus.Options
+)
+
+// LitmusSuite returns the full TSO litmus suite.
+func LitmusSuite() []LitmusTest { return litmus.Suite() }
+
+// RunLitmus executes a litmus test under a system variant.
+func RunLitmus(t LitmusTest, v Variant, opts LitmusOptions) LitmusResult {
+	return litmus.Run(t, v, opts)
+}
+
+// NewProgramBuilder starts a new program in the simulator's ISA.
+func NewProgramBuilder(name string) *isa.Builder { return isa.NewBuilder(name) }

@@ -1,0 +1,70 @@
+package wbsim_test
+
+import (
+	"testing"
+
+	"wbsim"
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: build a
+// custom program, run it under the paper's variant, inspect results.
+func TestFacadeQuickstart(t *testing.T) {
+	const counter = mem.Addr(0x1000)
+	b := wbsim.NewProgramBuilder("facade")
+	b.MovImm(1, mem.Word(counter))
+	b.MovImm(2, 1)
+	b.MovImm(10, 10)
+	loop := b.Here()
+	b.Atomic(isa.FnFetchAdd, 3, 1, 0, 2)
+	b.ALUI(isa.FnSub, 10, 10, 1)
+	b.BranchI(isa.FnNE, 10, 0, loop)
+	b.Halt()
+
+	cfg := wbsim.SmallConfig(1, wbsim.OoOWB)
+	sys := wbsim.NewSystem(cfg, []*isa.Program{b.Program()})
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadWord(counter); got != 10 {
+		t.Fatalf("counter = %d", got)
+	}
+	if res := sys.Collect(); res.Committed == 0 {
+		t.Fatal("no commits reported")
+	}
+}
+
+// TestFacadeWorkloads checks the workload registry surface.
+func TestFacadeWorkloads(t *testing.T) {
+	if len(wbsim.WorkloadNames()) < 20 {
+		t.Fatalf("only %d workloads", len(wbsim.WorkloadNames()))
+	}
+	if len(wbsim.EvaluationWorkloads()) != 20 {
+		t.Fatalf("evaluation set = %d", len(wbsim.EvaluationWorkloads()))
+	}
+	w, ok := wbsim.GetWorkload("streamcluster")
+	if !ok {
+		t.Fatal("streamcluster missing")
+	}
+	cfg := wbsim.SmallConfig(2, wbsim.InOrderBase)
+	_, res, err := wbsim.RunWorkload(w, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("workload did no work")
+	}
+}
+
+// TestFacadeLitmus runs one litmus test through the facade.
+func TestFacadeLitmus(t *testing.T) {
+	suite := wbsim.LitmusSuite()
+	if len(suite) < 10 {
+		t.Fatalf("suite has %d tests", len(suite))
+	}
+	res := wbsim.RunLitmus(suite[0], wbsim.OoOWB, wbsim.LitmusOptions{Seeds: 10, Jitter: 8})
+	if res.Runs != 10 || res.Violations != 0 {
+		t.Fatalf("litmus: %+v", res)
+	}
+}
