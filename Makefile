@@ -1,0 +1,30 @@
+# Verification entry points.
+#
+# `make verify` is the tier-1 gate plus the concurrency checks that came
+# with the parallel experiment engine: go vet across the module and the
+# race detector (short mode) on the packages that fan simulations across
+# goroutines.
+
+GO ?= go
+
+.PHONY: verify build test vet race bench
+
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The engine, experiment, and litmus packages run real concurrency; keep
+# them clean under the race detector. Short mode skips the big experiment
+# matrices but still exercises the pool, memo cache, and parallel litmus.
+race:
+	$(GO) test -race -short ./internal/runner ./internal/experiments ./internal/litmus
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -11,9 +11,15 @@
 //	experiments all           # everything
 //
 // Flags -cores, -scale, -seed adjust the machine and workload sizes.
+// -parallel bounds the simulations run concurrently (default: one per
+// CPU); tables are byte-identical at any setting. -json emits the tables
+// plus engine counters as one JSON document instead of text. The engine
+// report (simulations run, memo-cache hits, wall-clock) goes to stderr
+// in text mode so stdout stays a clean table stream.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,68 +30,99 @@ import (
 
 func main() {
 	var (
-		cores = flag.Int("cores", 16, "number of cores")
-		scale = flag.Int("scale", 2, "workload scale factor")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		cores    = flag.Int("cores", 16, "number of cores")
+		scale    = flag.Int("scale", 2, "workload scale factor")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (<=0: GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit tables and engine counters as JSON")
 	)
 	flag.Parse()
 	opt := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed}
+	eng := experiments.NewEngine(*parallel)
 
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
 	run := func(name string) bool { return what == "all" || what == name }
+
+	var tables []*stats.Table
+	metrics := map[string]float64{}
+	emit := func(t *stats.Table) {
+		tables = append(tables, t)
+		if !*jsonOut {
+			fmt.Println(t)
+		}
+	}
 	any := false
 
 	if run("fig8") {
 		any = true
-		t, err := experiments.Fig8(opt)
+		t, err := eng.Fig8(opt)
 		exitOn(err)
-		fmt.Println(t)
+		emit(t)
 	}
 	if run("fig9") {
 		any = true
-		t, err := experiments.Fig9(opt)
+		t, err := eng.Fig9(opt)
 		exitOn(err)
-		fmt.Println(t)
+		emit(t)
 	}
 	if run("fig10") {
 		any = true
-		t, err := experiments.Fig10Stalls(opt)
+		t, err := eng.Fig10Stalls(opt)
 		exitOn(err)
-		fmt.Println(t)
-		r, err := experiments.Fig10Time(opt)
+		emit(t)
+		r, err := eng.Fig10Time(opt)
 		exitOn(err)
-		fmt.Println(r.Table)
-		fmt.Printf("OoO+WritersBlock vs in-order commit: %.1f%% avg, %.1f%% max\n",
-			r.AvgVsInOrder, r.MaxVsInOrder)
-		fmt.Printf("OoO+WritersBlock vs safe OoO commit: %.1f%% avg, %.1f%% max\n",
-			r.AvgVsOoO, r.MaxVsOoO)
-		fmt.Printf("(paper: 15.4%% avg / 41.9%% max, and 10.2%% avg / 28.3%% max)\n\n")
+		emit(r.Table)
+		metrics["fig10.avg-vs-inorder-pct"] = r.AvgVsInOrder
+		metrics["fig10.max-vs-inorder-pct"] = r.MaxVsInOrder
+		metrics["fig10.avg-vs-ooo-pct"] = r.AvgVsOoO
+		metrics["fig10.max-vs-ooo-pct"] = r.MaxVsOoO
+		if !*jsonOut {
+			fmt.Printf("OoO+WritersBlock vs in-order commit: %.1f%% avg, %.1f%% max\n",
+				r.AvgVsInOrder, r.MaxVsInOrder)
+			fmt.Printf("OoO+WritersBlock vs safe OoO commit: %.1f%% avg, %.1f%% max\n",
+				r.AvgVsOoO, r.MaxVsOoO)
+			fmt.Printf("(paper: 15.4%% avg / 41.9%% max, and 10.2%% avg / 28.3%% max)\n\n")
+		}
 	}
 	if run("squash") {
 		any = true
-		t, err := experiments.Squashes(opt)
+		t, err := eng.Squashes(opt)
 		exitOn(err)
-		fmt.Println(t)
+		emit(t)
 	}
 	if run("ablations") {
 		any = true
 		for _, f := range []func(experiments.Options) (*stats.Table, error){
-			experiments.AblateEvictionPolicy,
-			experiments.AblateLDTSize,
-			experiments.AblateReservedMSHRs,
-			experiments.ClassSweep,
+			eng.AblateEvictionPolicy,
+			eng.AblateLDTSize,
+			eng.AblateReservedMSHRs,
+			eng.ClassSweep,
 		} {
 			t, err := f(opt)
 			exitOn(err)
-			fmt.Println(t)
+			emit(t)
 		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (fig8|fig9|fig10|squash|ablations|all)\n", what)
 		os.Exit(2)
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Tables  []*stats.Table     `json:"tables"`
+			Metrics map[string]float64 `json:"metrics,omitempty"`
+			Engine  *stats.Counters    `json:"engine"`
+		}{tables, metrics, eng.Report()}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		exitOn(err)
+		fmt.Println(string(out))
+	} else {
+		fmt.Fprintf(os.Stderr, "-- engine report --\n%s", eng.Report())
 	}
 }
 

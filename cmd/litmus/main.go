@@ -7,6 +7,7 @@
 //	litmus -test MP        # one test
 //	litmus -unsafe         # also demonstrate violations under ooo-unsafe
 //	litmus -seeds 200      # more interleavings
+//	litmus -parallel 8     # fan seeds across 8 workers (outcomes unchanged)
 package main
 
 import (
@@ -20,14 +21,15 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("test", "", "run only the named test")
-		seeds  = flag.Int("seeds", 60, "independent runs per test/variant")
-		jitter = flag.Int("jitter", 24, "max random extra network latency")
-		unsafe = flag.Bool("unsafe", false, "also run the ooo-unsafe violation demo")
+		name     = flag.String("test", "", "run only the named test")
+		seeds    = flag.Int("seeds", 60, "independent runs per test/variant")
+		jitter   = flag.Int("jitter", 24, "max random extra network latency")
+		parallel = flag.Int("parallel", 0, "max concurrent seed simulations (<=0: GOMAXPROCS)")
+		unsafe   = flag.Bool("unsafe", false, "also run the ooo-unsafe violation demo")
 	)
 	flag.Parse()
 
-	opts := litmus.Options{Seeds: *seeds, Jitter: *jitter}
+	opts := litmus.Options{Seeds: *seeds, Jitter: *jitter, Parallel: *parallel}
 	failed := false
 	for _, t := range litmus.Suite() {
 		if *name != "" && t.Name != *name {

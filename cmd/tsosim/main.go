@@ -1,33 +1,40 @@
-// Command tsosim runs one workload on the simulated multicore and prints
-// the run statistics.
+// Command tsosim runs one or more workloads on the simulated multicore
+// and prints the run statistics.
 //
 // Usage:
 //
 //	tsosim -workload fft -class SLM -variant ooo-wb -cores 16 -scale 1
+//	tsosim -workload fft,lu,radix -parallel 4   # several, fanned across workers
+//	tsosim -workload all                        # every registered workload
 //
 // Variants: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe.
-// Classes: SLM, NHM, HSW (Table 6 of the paper).
+// Classes: SLM, NHM, HSW (Table 6 of the paper). With several workloads,
+// -parallel bounds the simulations run concurrently; reports are printed
+// in the order the workloads were named regardless of completion order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"wbsim/internal/core"
+	"wbsim/internal/runner"
 	"wbsim/internal/workload"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "fft", "workload name (see -list)")
-		class   = flag.String("class", "SLM", "core class: SLM, NHM, HSW")
-		variant = flag.String("variant", "ooo-wb", "system variant: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe")
-		cores   = flag.Int("cores", 16, "number of cores")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		list    = flag.Bool("list", false, "list available workloads and exit")
+		names    = flag.String("workload", "fft", "comma-separated workload names, or \"all\" (see -list)")
+		class    = flag.String("class", "SLM", "core class: SLM, NHM, HSW")
+		variant  = flag.String("variant", "ooo-wb", "system variant: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe")
+		cores    = flag.Int("cores", 16, "number of cores")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (<=0: GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
 
@@ -38,23 +45,52 @@ func main() {
 		return
 	}
 
-	w, ok := workload.Get(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tsosim: unknown workload %q (use -list)\n", *name)
-		os.Exit(1)
+	var ws []workload.Workload
+	if *names == "all" {
+		ws = workload.All()
+	} else {
+		for _, name := range strings.Split(*names, ",") {
+			name = strings.TrimSpace(name)
+			w, ok := workload.Get(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tsosim: unknown workload %q (use -list)\n", name)
+				os.Exit(1)
+			}
+			ws = append(ws, w)
+		}
 	}
+
 	cfg := core.DefaultConfig(core.Class(strings.ToUpper(*class)), core.Variant(*variant))
 	cfg.Cores = *cores
 	cfg.Seed = *seed
 
-	sys, res, err := workload.Run(w, cfg, *scale)
+	// Fan the independent simulations across workers; results land in
+	// per-workload slots so reports print in the order named.
+	results := make([]core.Results, len(ws))
+	err := runner.ForEach(context.Background(), *parallel, len(ws), func(_ context.Context, i int) error {
+		_, res, err := workload.Run(ws[i], cfg, *scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ws[i].Name, err)
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tsosim: %v\n", err)
 		os.Exit(1)
 	}
 
+	for i, w := range ws {
+		if i > 0 {
+			fmt.Println()
+		}
+		printRun(w, cfg, *class, *variant, results[i])
+	}
+}
+
+func printRun(w workload.Workload, cfg core.Config, class, variant string, res core.Results) {
 	fmt.Printf("workload            %s (%s)\n", w.Name, w.Pattern)
-	fmt.Printf("machine             %d cores, %s-class, %s\n", cfg.Cores, *class, *variant)
+	fmt.Printf("machine             %d cores, %s-class, %s\n", cfg.Cores, class, variant)
 	fmt.Printf("cycles              %d\n", res.Cycles)
 	fmt.Printf("instructions        %d (%.3f IPC/core)\n", res.Committed,
 		float64(res.Committed)/float64(res.Cycles)/float64(cfg.Cores))
@@ -71,7 +107,6 @@ func main() {
 		res.NetMessages, res.NetFlits, res.NetFlitHops)
 	fmt.Printf("stall cycles        ROB=%d LQ=%d SQ=%d other=%d (of %d core-cycles)\n",
 		res.StallROB, res.StallLQ, res.StallSQ, res.StallOther, res.CoreCycles)
-	_ = sys
 }
 
 func permille(n, d uint64) float64 {

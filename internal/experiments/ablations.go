@@ -10,7 +10,14 @@ import (
 
 // This file contains the ablation studies DESIGN.md calls out: design
 // choices the paper makes (or references) whose effect can be isolated
-// in the simulator.
+// in the simulator. Like the figures, each ablation submits its whole
+// simulation matrix to the engine and assembles rows by index.
+
+// AblateEvictionPolicy runs Engine.AblateEvictionPolicy on a fresh
+// default engine.
+func AblateEvictionPolicy(opt Options) (*stats.Table, error) {
+	return NewEngine(0).AblateEvictionPolicy(opt)
+}
 
 // AblateEvictionPolicy reproduces the Section 3.8 claim that silent
 // shared-line evictions lower coherence traffic (the paper cites 9.6% on
@@ -20,29 +27,40 @@ import (
 // comparison is run with 16KB private caches, where capacity evictions
 // of shared lines actually occur. It reports non-silent traffic
 // normalized to silent traffic per benchmark.
-func AblateEvictionPolicy(opt Options) (*stats.Table, error) {
-	t := stats.NewTable("Ablation: non-silent shared evictions, 16KB private caches (normalized to silent)",
-		"benchmark", "traffic", "exec-time")
-	run := func(w workload.Workload, nonSilent bool) (core.Results, error) {
-		cfg := core.DefaultConfig(core.SLM, core.InOrderBase)
-		cfg.Cores = opt.Cores
-		cfg.Seed = opt.Seed
+func (e *Engine) AblateEvictionPolicy(opt Options) (*stats.Table, error) {
+	cfgFor := func(nonSilent bool) core.Config {
+		cfg := figConfig(core.SLM, core.InOrderBase, opt)
 		cfg.Mem.L2Lines = 256 // 16KB coherence point
 		cfg.Mem.L1Lines = 64
 		cfg.Mem.NonSilentSharedEvictions = nonSilent
-		_, res, err := workload.Run(w, cfg, opt.Scale)
-		return res, err
+		return cfg
 	}
+	ws := workload.Evaluation()
+	var jobs []simJob
+	for _, w := range ws {
+		jobs = append(jobs,
+			simJob{
+				label: fmt.Sprintf("ablate-evict %s", w.Name),
+				w:     w,
+				cfg:   cfgFor(false),
+				scale: opt.Scale,
+			},
+			simJob{
+				label: fmt.Sprintf("ablate-evict %s non-silent", w.Name),
+				w:     w,
+				cfg:   cfgFor(true),
+				scale: opt.Scale,
+			})
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: non-silent shared evictions, 16KB private caches (normalized to silent)",
+		"benchmark", "traffic", "exec-time")
 	var traffic []float64
-	for _, w := range workload.Evaluation() {
-		silent, err := run(w, false)
-		if err != nil {
-			return nil, fmt.Errorf("ablate-evict %s: %w", w.Name, err)
-		}
-		noisy, err := run(w, true)
-		if err != nil {
-			return nil, fmt.Errorf("ablate-evict %s non-silent: %w", w.Name, err)
-		}
+	for i, w := range ws {
+		silent, noisy := results[2*i], results[2*i+1]
 		tr := stats.Ratio(float64(noisy.NetFlitHops), float64(silent.NetFlitHops))
 		traffic = append(traffic, tr)
 		t.AddRow(w.Name, tr, stats.Ratio(float64(noisy.Cycles), float64(silent.Cycles)))
@@ -51,33 +69,45 @@ func AblateEvictionPolicy(opt Options) (*stats.Table, error) {
 	return t, nil
 }
 
+// AblateLDTSize runs Engine.AblateLDTSize on a fresh default engine.
+func AblateLDTSize(opt Options) (*stats.Table, error) { return NewEngine(0).AblateLDTSize(opt) }
+
 // AblateLDTSize sweeps the Lockdown Table size for OoO+WritersBlock on a
 // hit-under-miss heavy subset, reporting execution time normalized to
 // the paper's 32-entry LDT. The paper argues a small LDT suffices
 // because the Bell-Lipasti conditions throttle M-speculative commits.
-func AblateLDTSize(opt Options) (*stats.Table, error) {
-	t := stats.NewTable("Ablation: LDT size (execution time normalized to 32 entries)",
-		"benchmark", "ldt=1", "ldt=2", "ldt=4", "ldt=8", "ldt=32")
+func (e *Engine) AblateLDTSize(opt Options) (*stats.Table, error) {
 	subset := []string{"blackscholes", "fft", "bodytrack", "streamcluster"}
 	sizes := []int{1, 2, 4, 8, 32}
+	var jobs []simJob
 	for _, name := range subset {
 		w, ok := workload.Get(name)
 		if !ok {
 			return nil, fmt.Errorf("ablate-ldt: unknown workload %q", name)
 		}
-		cycles := make([]float64, len(sizes))
-		for i, n := range sizes {
+		for _, n := range sizes {
 			cc := core.CoreConfig(core.SLM)
 			cc.LDTSize = n
-			cfg := core.DefaultConfig(core.SLM, core.OoOWB)
-			cfg.Cores = opt.Cores
-			cfg.Seed = opt.Seed
+			cfg := figConfig(core.SLM, core.OoOWB, opt)
 			cfg.CoreOverride = &cc
-			_, res, err := workload.Run(w, cfg, opt.Scale)
-			if err != nil {
-				return nil, fmt.Errorf("ablate-ldt %s/%d: %w", name, n, err)
-			}
-			cycles[i] = float64(res.Cycles)
+			jobs = append(jobs, simJob{
+				label: fmt.Sprintf("ablate-ldt %s/%d", name, n),
+				w:     w,
+				cfg:   cfg,
+				scale: opt.Scale,
+			})
+		}
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: LDT size (execution time normalized to 32 entries)",
+		"benchmark", "ldt=1", "ldt=2", "ldt=4", "ldt=8", "ldt=32")
+	for i, name := range subset {
+		cycles := make([]float64, len(sizes))
+		for j := range sizes {
+			cycles[j] = float64(results[i*len(sizes)+j].Cycles)
 		}
 		base := cycles[len(cycles)-1]
 		t.AddRow(name,
@@ -86,52 +116,88 @@ func AblateLDTSize(opt Options) (*stats.Table, error) {
 	return t, nil
 }
 
+// AblateReservedMSHRs runs Engine.AblateReservedMSHRs on a fresh default
+// engine.
+func AblateReservedMSHRs(opt Options) (*stats.Table, error) {
+	return NewEngine(0).AblateReservedMSHRs(opt)
+}
+
 // AblateReservedMSHRs sweeps the SoS-reserved MSHR count (Section 3.5.2
 // requires at least one; more trades store MLP for load latency).
-func AblateReservedMSHRs(opt Options) (*stats.Table, error) {
-	t := stats.NewTable("Ablation: reserved MSHRs (execution time normalized to 2)",
-		"benchmark", "reserve=1", "reserve=2", "reserve=4")
+func (e *Engine) AblateReservedMSHRs(opt Options) (*stats.Table, error) {
 	subset := []string{"canneal", "streamcluster", "water_nsq"}
 	reserves := []int{1, 2, 4}
+	var jobs []simJob
 	for _, name := range subset {
 		w, ok := workload.Get(name)
 		if !ok {
 			return nil, fmt.Errorf("ablate-mshr: unknown workload %q", name)
 		}
-		cycles := make([]float64, len(reserves))
-		for i, n := range reserves {
-			cfg := core.DefaultConfig(core.SLM, core.OoOWB)
-			cfg.Cores = opt.Cores
-			cfg.Seed = opt.Seed
+		for _, n := range reserves {
+			cfg := figConfig(core.SLM, core.OoOWB, opt)
 			cfg.Mem.ReservedMSHRs = n
-			_, res, err := workload.Run(w, cfg, opt.Scale)
-			if err != nil {
-				return nil, fmt.Errorf("ablate-mshr %s/%d: %w", name, n, err)
-			}
-			cycles[i] = float64(res.Cycles)
+			jobs = append(jobs, simJob{
+				label: fmt.Sprintf("ablate-mshr %s/%d", name, n),
+				w:     w,
+				cfg:   cfg,
+				scale: opt.Scale,
+			})
+		}
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: reserved MSHRs (execution time normalized to 2)",
+		"benchmark", "reserve=1", "reserve=2", "reserve=4")
+	for i, name := range subset {
+		cycles := make([]float64, len(reserves))
+		for j := range reserves {
+			cycles[j] = float64(results[i*len(reserves)+j].Cycles)
 		}
 		t.AddRow(name, cycles[0]/cycles[1], 1.0, cycles[2]/cycles[1])
 	}
 	return t, nil
 }
 
+// ClassSweep runs Engine.ClassSweep on a fresh default engine.
+func ClassSweep(opt Options) (*stats.Table, error) { return NewEngine(0).ClassSweep(opt) }
+
 // ClassSweep extends Figure 10 to the NHM and HSW classes (the paper
 // shows Figure 10 for SLM only, noting WritersBlock sensitivity to LQ
 // depth): normalized execution time of OoO+WB vs in-order per class.
-func ClassSweep(opt Options) (*stats.Table, error) {
+func (e *Engine) ClassSweep(opt Options) (*stats.Table, error) {
+	ws := workload.Evaluation()
+	var jobs []simJob
+	for _, w := range ws {
+		for _, class := range core.Classes {
+			jobs = append(jobs,
+				simJob{
+					label: fmt.Sprintf("class-sweep %s/%s", w.Name, class),
+					w:     w,
+					cfg:   figConfig(class, core.InOrderBase, opt),
+					scale: opt.Scale,
+				},
+				simJob{
+					label: fmt.Sprintf("class-sweep %s/%s", w.Name, class),
+					w:     w,
+					cfg:   figConfig(class, core.OoOWB, opt),
+					scale: opt.Scale,
+				})
+		}
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Extension: OoO+WritersBlock speedup vs in-order commit, per core class",
 		"benchmark", "SLM", "NHM", "HSW")
-	for _, w := range workload.Evaluation() {
+	i := 0
+	for _, w := range ws {
 		row := []interface{}{w.Name}
-		for _, class := range core.Classes {
-			in, err := runOne(w, class, core.InOrderBase, opt)
-			if err != nil {
-				return nil, fmt.Errorf("class-sweep %s/%s: %w", w.Name, class, err)
-			}
-			wb, err := runOne(w, class, core.OoOWB, opt)
-			if err != nil {
-				return nil, fmt.Errorf("class-sweep %s/%s: %w", w.Name, class, err)
-			}
+		for range core.Classes {
+			in, wb := results[i], results[i+1]
+			i += 2
 			row = append(row, stats.Ratio(float64(wb.Cycles), float64(in.Cycles)))
 		}
 		t.AddRow(row...)

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"wbsim/internal/core"
+	"wbsim/internal/runner"
+	"wbsim/internal/stats"
+	"wbsim/internal/workload"
+)
+
+// Engine executes the simulations behind the figures: independent
+// (workload, config, scale) jobs fan out across a bounded worker pool,
+// and a memo cache keyed by the canonical simulation identity guarantees
+// that a combination shared by several figures (Fig10Stalls, Fig10Time
+// and Squashes all need SLM×OoOBase/OoOWB, the bench harness regenerates
+// Fig8 twice) is simulated exactly once. Results are assembled by job
+// index, so every table is byte-identical to the sequential output
+// regardless of parallelism.
+type Engine struct {
+	parallel int
+	memo     *runner.Memo[core.Results]
+	wallNs   atomic.Int64
+}
+
+// NewEngine returns an engine running at most parallel simulations
+// concurrently; parallel <= 0 selects runner.DefaultParallel().
+func NewEngine(parallel int) *Engine {
+	if parallel <= 0 {
+		parallel = runner.DefaultParallel()
+	}
+	return &Engine{parallel: parallel, memo: runner.NewMemo[core.Results]()}
+}
+
+// Parallel reports the engine's worker bound.
+func (e *Engine) Parallel() int { return e.parallel }
+
+// Report returns the engine's execution counters: simulations actually
+// run, calls served from the memo cache, the worker bound, and the
+// cumulative wall-clock spent inside batches.
+func (e *Engine) Report() *stats.Counters {
+	c := stats.NewCounters()
+	jobs, hits := e.memo.Stats()
+	c.Set("engine.jobs-run", jobs)
+	c.Set("engine.cache-hits", hits)
+	c.Set("engine.parallel", uint64(e.parallel))
+	c.Set("engine.wall-ms", uint64(e.wallNs.Load()/int64(time.Millisecond)))
+	return c
+}
+
+// simJob identifies one simulation in a batch. label carries the
+// (figure, workload, class/variant) identity used in error messages.
+type simJob struct {
+	label string
+	w     workload.Workload
+	cfg   core.Config
+	scale int
+}
+
+// simKey canonicalizes everything that determines a simulation's result:
+// workload name, scale, and the full machine configuration (with the
+// CoreOverride pointer flattened to its contents so identical overrides
+// hash identically).
+func simKey(name string, cfg core.Config, scale int) string {
+	var override string
+	if cfg.CoreOverride != nil {
+		override = fmt.Sprintf("%+v", *cfg.CoreOverride)
+	}
+	flat := cfg
+	flat.CoreOverride = nil
+	return fmt.Sprintf("%s|scale=%d|%+v|override=%s", name, scale, flat, override)
+}
+
+// run executes a batch of jobs on the pool, memoizing by canonical key,
+// and returns results indexed like jobs. The first failure cancels the
+// rest of the batch and is returned with its job identity.
+func (e *Engine) run(jobs []simJob) ([]core.Results, error) {
+	out := make([]core.Results, len(jobs))
+	start := time.Now()
+	err := runner.ForEach(context.Background(), e.parallel, len(jobs), func(_ context.Context, i int) error {
+		j := jobs[i]
+		res, err := e.memo.Do(simKey(j.w.Name, j.cfg, j.scale), func() (core.Results, error) {
+			_, res, err := workload.Run(j.w, j.cfg, j.scale)
+			return res, err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.label, err)
+		}
+		out[i] = res
+		return nil
+	})
+	e.wallNs.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// figConfig is the paper-default machine for a figure simulation.
+func figConfig(class core.Class, v core.Variant, opt Options) core.Config {
+	cfg := core.DefaultConfig(class, v)
+	cfg.Cores = opt.Cores
+	cfg.Seed = opt.Seed
+	return cfg
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wbsim/internal/core"
+	"wbsim/internal/workload"
+)
+
+// tinyOptions shrink the machine further than smokeOptions so the
+// engine tests also run in -short mode (they are the concurrency
+// coverage for `go test -race -short`).
+func tinyOptions() Options { return Options{Cores: 2, Scale: 1, Seed: 1} }
+
+// TestEngineDeterminism is the acceptance bar of the parallel engine:
+// tables must be byte-identical at -parallel 1 and -parallel 8.
+func TestEngineDeterminism(t *testing.T) {
+	opt := tinyOptions()
+	type render struct{ fig8, fig10 string }
+	renders := make(map[int]render)
+	for _, parallel := range []int{1, 8} {
+		e := NewEngine(parallel)
+		t8, err := e.Fig8(opt)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		r10, err := e.Fig10Time(opt)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		renders[parallel] = render{t8.String(), r10.Table.String()}
+	}
+	if renders[1].fig8 != renders[8].fig8 {
+		t.Errorf("Fig8 differs between -parallel 1 and 8:\n--- p=1 ---\n%s--- p=8 ---\n%s",
+			renders[1].fig8, renders[8].fig8)
+	}
+	if renders[1].fig10 != renders[8].fig10 {
+		t.Errorf("Fig10Time differs between -parallel 1 and 8:\n--- p=1 ---\n%s--- p=8 ---\n%s",
+			renders[1].fig10, renders[8].fig10)
+	}
+}
+
+// TestEngineMemoizesAcrossFigures asserts the cross-figure cache wins:
+// Fig10Stalls, Fig10Time and Squashes all need SLM×{OoOBase, OoOWB}
+// runs, so a shared engine must simulate each combo once.
+func TestEngineMemoizesAcrossFigures(t *testing.T) {
+	opt := tinyOptions()
+	e := NewEngine(4)
+	if _, err := e.Fig10Stalls(opt); err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(len(workload.Evaluation()))
+	jobs, hits := e.Report().Get("engine.jobs-run"), e.Report().Get("engine.cache-hits")
+	if jobs != 3*n || hits != 0 {
+		t.Fatalf("after Fig10Stalls: %d jobs / %d hits, want %d / 0", jobs, hits, 3*n)
+	}
+	// Fig10Time needs exactly the same 3n combos: all hits, no new jobs.
+	if _, err := e.Fig10Time(opt); err != nil {
+		t.Fatal(err)
+	}
+	jobs, hits = e.Report().Get("engine.jobs-run"), e.Report().Get("engine.cache-hits")
+	if jobs != 3*n || hits != 3*n {
+		t.Fatalf("after Fig10Time: %d jobs / %d hits, want %d / %d", jobs, hits, 3*n, 3*n)
+	}
+	// Squashes needs the OoOBase/OoOWB subset: 2n more hits.
+	if _, err := e.Squashes(opt); err != nil {
+		t.Fatal(err)
+	}
+	jobs, hits = e.Report().Get("engine.jobs-run"), e.Report().Get("engine.cache-hits")
+	if jobs != 3*n || hits != 5*n {
+		t.Fatalf("after Squashes: %d jobs / %d hits, want %d / %d", jobs, hits, 3*n, 5*n)
+	}
+}
+
+// TestBenchEngineSharing covers the benchmark-harness satellite: the two
+// Fig8 benchmarks regenerate the same table on the shared engine, so the
+// second regeneration must be served entirely from the memo cache.
+func TestBenchEngineSharing(t *testing.T) {
+	opt := tinyOptions()
+	e := NewEngine(4)
+	first, err := e.Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsBefore := e.Report().Get("engine.jobs-run")
+	second, err := e.Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsAfter, hits := e.Report().Get("engine.jobs-run"), e.Report().Get("engine.cache-hits")
+	if jobsAfter != jobsBefore {
+		t.Errorf("second Fig8 ran %d new simulations, want 0", jobsAfter-jobsBefore)
+	}
+	if want := jobsBefore; hits != want {
+		t.Errorf("cache hits = %d, want %d (one per job of the repeated figure)", hits, want)
+	}
+	if first.String() != second.String() {
+		t.Error("cached Fig8 table differs from the first run")
+	}
+}
+
+// TestEngineKeyDistinguishesConfigs guards the memo key: configurations
+// differing only in an override or a nested knob must not collide.
+func TestEngineKeyDistinguishesConfigs(t *testing.T) {
+	base := core.DefaultConfig(core.SLM, core.OoOWB)
+
+	mshr := base
+	mshr.Mem.ReservedMSHRs = 4
+	if simKey("fft", base, 1) == simKey("fft", mshr, 1) {
+		t.Error("key ignores Mem.ReservedMSHRs")
+	}
+
+	cc := core.CoreConfig(core.SLM)
+	cc.LDTSize = 2
+	over := base
+	over.CoreOverride = &cc
+	if simKey("fft", base, 1) == simKey("fft", over, 1) {
+		t.Error("key ignores CoreOverride")
+	}
+
+	cc2 := cc // identical override contents behind a different pointer
+	over2 := base
+	over2.CoreOverride = &cc2
+	if simKey("fft", over, 1) != simKey("fft", over2, 1) {
+		t.Error("key depends on the CoreOverride pointer, not its contents")
+	}
+
+	if simKey("fft", base, 1) == simKey("fft", base, 2) {
+		t.Error("key ignores scale")
+	}
+	if simKey("fft", base, 1) == simKey("lu", base, 1) {
+		t.Error("key ignores workload name")
+	}
+}
+
+// TestEngineErrorIdentity checks worker-error propagation: the failure
+// keeps its (figure, workload, class) identity, and with several
+// failures the lowest-index one is reported, as a sequential loop would.
+func TestEngineErrorIdentity(t *testing.T) {
+	w, ok := workload.Get("fft")
+	if !ok {
+		t.Fatal("fft workload missing")
+	}
+	good := figConfig(core.SLM, core.OoOWB, tinyOptions())
+	bad := good
+	bad.MaxCycles = 1 // trips the livelock detector immediately
+	e := NewEngine(4)
+	_, err := e.run([]simJob{
+		{label: "fig8 fft/SLM", w: w, cfg: good, scale: 1},
+		{label: "fig8 fft/NHM", w: w, cfg: bad, scale: 1},
+		{label: "fig8 fft/HSW", w: w, cfg: bad, scale: 2},
+	})
+	if err == nil {
+		t.Fatal("batch with MaxCycles=1 jobs succeeded")
+	}
+	if !strings.HasPrefix(err.Error(), "fig8 fft/NHM: ") {
+		t.Errorf("error = %q, want the lowest-index failure with its identity", err)
+	}
+}

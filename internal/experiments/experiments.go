@@ -5,6 +5,13 @@
 // normalized execution time of out-of-order commit), and the auxiliary
 // squash-elimination study. Each experiment returns stats tables whose
 // rows correspond to the figure's bars/series.
+//
+// All experiments run on an Engine: the independent simulations of a
+// figure fan out across a worker pool and duplicate (workload, config)
+// combinations are memoized, while tables stay byte-identical to a
+// sequential run. The package-level functions are conveniences that run
+// on a fresh default engine; share one Engine across experiments to
+// dedupe simulations between figures.
 package experiments
 
 import (
@@ -25,28 +32,37 @@ type Options struct {
 // DefaultOptions mirror the paper's 16-core runs.
 func DefaultOptions() Options { return Options{Cores: 16, Scale: 2, Seed: 1} }
 
-// runOne executes a workload under (class, variant) and returns results.
-func runOne(w workload.Workload, class core.Class, v core.Variant, opt Options) (core.Results, error) {
-	cfg := core.DefaultConfig(class, v)
-	cfg.Cores = opt.Cores
-	cfg.Seed = opt.Seed
-	_, res, err := workload.Run(w, cfg, opt.Scale)
-	return res, err
-}
+// Fig8 runs Engine.Fig8 on a fresh default engine.
+func Fig8(opt Options) (*stats.Table, error) { return NewEngine(0).Fig8(opt) }
 
 // Fig8 reproduces Figure 8: per benchmark and core class, write requests
 // blocked per kilo-store (top graph) and uncacheable tear-off reads per
 // kilo-load (bottom graph), measured under out-of-order commit with
 // WritersBlock coherence.
-func Fig8(opt Options) (*stats.Table, error) {
+func (e *Engine) Fig8(opt Options) (*stats.Table, error) {
+	ws := workload.Evaluation()
+	var jobs []simJob
+	for _, w := range ws {
+		for _, class := range core.Classes {
+			jobs = append(jobs, simJob{
+				label: fmt.Sprintf("fig8 %s/%s", w.Name, class),
+				w:     w,
+				cfg:   figConfig(class, core.OoOWB, opt),
+				scale: opt.Scale,
+			})
+		}
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 8: WritersBlock events (OoO commit + WritersBlock)",
 		"benchmark", "class", "blocked-writes/kstore", "uncacheable-reads/kload")
-	for _, w := range workload.Evaluation() {
+	i := 0
+	for _, w := range ws {
 		for _, class := range core.Classes {
-			res, err := runOne(w, class, core.OoOWB, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s/%s: %w", w.Name, class, err)
-			}
+			res := results[i]
+			i++
 			t.AddRow(w.Name, string(class),
 				stats.PerMille(res.BlockedWrites, res.CommittedStores),
 				stats.PerMille(res.UncacheableReads, res.CommittedLoads))
@@ -55,24 +71,41 @@ func Fig8(opt Options) (*stats.Table, error) {
 	return t, nil
 }
 
+// Fig9 runs Engine.Fig9 on a fresh default engine.
+func Fig9(opt Options) (*stats.Table, error) { return NewEngine(0).Fig9(opt) }
+
 // Fig9 reproduces Figure 9: the overhead of the WritersBlock protocol
 // itself — execution time and network traffic of in-order commit over
 // WritersBlock coherence, normalized to in-order commit over the base
 // directory protocol. Values near 1.0 demonstrate "no perceptible
 // overhead".
-func Fig9(opt Options) (*stats.Table, error) {
+func (e *Engine) Fig9(opt Options) (*stats.Table, error) {
+	ws := workload.Evaluation()
+	var jobs []simJob
+	for _, w := range ws {
+		jobs = append(jobs,
+			simJob{
+				label: fmt.Sprintf("fig9 %s base", w.Name),
+				w:     w,
+				cfg:   figConfig(core.SLM, core.InOrderBase, opt),
+				scale: opt.Scale,
+			},
+			simJob{
+				label: fmt.Sprintf("fig9 %s wb", w.Name),
+				w:     w,
+				cfg:   figConfig(core.SLM, core.InOrderWB, opt),
+				scale: opt.Scale,
+			})
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 9: WritersBlock protocol overhead (normalized to base, in-order commit)",
 		"benchmark", "exec-time", "traffic(flit-hops)")
 	var times, traffic []float64
-	for _, w := range workload.Evaluation() {
-		base, err := runOne(w, core.SLM, core.InOrderBase, opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s base: %w", w.Name, err)
-		}
-		wb, err := runOne(w, core.SLM, core.InOrderWB, opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s wb: %w", w.Name, err)
-		}
+	for i, w := range ws {
+		base, wb := results[2*i], results[2*i+1]
 		tn := stats.Ratio(float64(wb.Cycles), float64(base.Cycles))
 		fn := stats.Ratio(float64(wb.NetFlitHops), float64(base.NetFlitHops))
 		times = append(times, tn)
@@ -83,19 +116,38 @@ func Fig9(opt Options) (*stats.Table, error) {
 	return t, nil
 }
 
+// Fig10Stalls runs Engine.Fig10Stalls on a fresh default engine.
+func Fig10Stalls(opt Options) (*stats.Table, error) { return NewEngine(0).Fig10Stalls(opt) }
+
 // Fig10Stalls reproduces Figure 10 (top): the percentage of cycles in
 // which a core could not commit a single instruction, broken down by the
 // structure that was full (ROB / LQ / SQ), for the SLM-class core under
 // the three commit schemes.
-func Fig10Stalls(opt Options) (*stats.Table, error) {
+func (e *Engine) Fig10Stalls(opt Options) (*stats.Table, error) {
+	ws := workload.Evaluation()
+	variants := []core.Variant{core.InOrderBase, core.OoOBase, core.OoOWB}
+	var jobs []simJob
+	for _, w := range ws {
+		for _, v := range variants {
+			jobs = append(jobs, simJob{
+				label: fmt.Sprintf("fig10 %s/%s", w.Name, v),
+				w:     w,
+				cfg:   figConfig(core.SLM, v, opt),
+				scale: opt.Scale,
+			})
+		}
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 10 (top): % cycles stalled by reason (SLM-class)",
 		"benchmark", "variant", "%ROB-full", "%LQ-full", "%SQ-full", "%other")
-	for _, w := range workload.Evaluation() {
-		for _, v := range []core.Variant{core.InOrderBase, core.OoOBase, core.OoOWB} {
-			res, err := runOne(w, core.SLM, v, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s/%s: %w", w.Name, v, err)
-			}
+	i := 0
+	for _, w := range ws {
+		for _, v := range variants {
+			res := results[i]
+			i++
 			cc := float64(res.CoreCycles)
 			t.AddRow(w.Name, string(v),
 				100*stats.Ratio(float64(res.StallROB), cc),
@@ -118,28 +170,47 @@ type Fig10Results struct {
 	MaxVsOoO     float64
 }
 
+// Fig10Time runs Engine.Fig10Time on a fresh default engine.
+func Fig10Time(opt Options) (*Fig10Results, error) { return NewEngine(0).Fig10Time(opt) }
+
 // Fig10Time reproduces Figure 10 (bottom): execution time of safe OoO
 // commit and OoO commit + WritersBlock, normalized to in-order commit
 // (SLM-class). The paper reports 15.4% average (max 41.9%) improvement
 // over in-order and 10.2% average (max 28.3%) over safe OoO commit.
-func Fig10Time(opt Options) (*Fig10Results, error) {
+func (e *Engine) Fig10Time(opt Options) (*Fig10Results, error) {
+	ws := workload.Evaluation()
+	var jobs []simJob
+	for _, w := range ws {
+		jobs = append(jobs,
+			simJob{
+				label: fmt.Sprintf("fig10 %s inorder", w.Name),
+				w:     w,
+				cfg:   figConfig(core.SLM, core.InOrderBase, opt),
+				scale: opt.Scale,
+			},
+			simJob{
+				label: fmt.Sprintf("fig10 %s ooo", w.Name),
+				w:     w,
+				cfg:   figConfig(core.SLM, core.OoOBase, opt),
+				scale: opt.Scale,
+			},
+			simJob{
+				label: fmt.Sprintf("fig10 %s wb", w.Name),
+				w:     w,
+				cfg:   figConfig(core.SLM, core.OoOWB, opt),
+				scale: opt.Scale,
+			})
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 10 (bottom): normalized execution time (SLM-class)",
 		"benchmark", "inorder", "ooo-base", "ooo-wb")
 	var vsIn, vsOoO []float64
 	var normOoO, normWB []float64
-	for _, w := range workload.Evaluation() {
-		in, err := runOne(w, core.SLM, core.InOrderBase, opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s inorder: %w", w.Name, err)
-		}
-		ooo, err := runOne(w, core.SLM, core.OoOBase, opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s ooo: %w", w.Name, err)
-		}
-		wb, err := runOne(w, core.SLM, core.OoOWB, opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s wb: %w", w.Name, err)
-		}
+	for i, w := range ws {
+		in, ooo, wb := results[3*i], results[3*i+1], results[3*i+2]
 		nO := stats.Ratio(float64(ooo.Cycles), float64(in.Cycles))
 		nW := stats.Ratio(float64(wb.Cycles), float64(in.Cycles))
 		t.AddRow(w.Name, 1.0, nO, nW)
@@ -158,21 +229,38 @@ func Fig10Time(opt Options) (*Fig10Results, error) {
 	}, nil
 }
 
+// Squashes runs Engine.Squashes on a fresh default engine.
+func Squashes(opt Options) (*stats.Table, error) { return NewEngine(0).Squashes(opt) }
+
 // Squashes reproduces the motivational claim of Section 1: WritersBlock
 // eliminates consistency squashes (invalidation- and eviction-triggered
 // replays) entirely, where the squash-based baseline pays for them.
-func Squashes(opt Options) (*stats.Table, error) {
+func (e *Engine) Squashes(opt Options) (*stats.Table, error) {
+	ws := workload.Evaluation()
+	var jobs []simJob
+	for _, w := range ws {
+		jobs = append(jobs,
+			simJob{
+				label: fmt.Sprintf("squash %s base", w.Name),
+				w:     w,
+				cfg:   figConfig(core.SLM, core.OoOBase, opt),
+				scale: opt.Scale,
+			},
+			simJob{
+				label: fmt.Sprintf("squash %s wb", w.Name),
+				w:     w,
+				cfg:   figConfig(core.SLM, core.OoOWB, opt),
+				scale: opt.Scale,
+			})
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Consistency squashes per million committed instructions",
 		"benchmark", "ooo-base", "ooo-wb")
-	for _, w := range workload.Evaluation() {
-		base, err := runOne(w, core.SLM, core.OoOBase, opt)
-		if err != nil {
-			return nil, fmt.Errorf("squash %s base: %w", w.Name, err)
-		}
-		wb, err := runOne(w, core.SLM, core.OoOWB, opt)
-		if err != nil {
-			return nil, fmt.Errorf("squash %s wb: %w", w.Name, err)
-		}
+	for i, w := range ws {
+		base, wb := results[2*i], results[2*i+1]
 		t.AddRow(w.Name,
 			1000*stats.PerMille(base.SquashInv+base.SquashEvict, base.Committed),
 			1000*stats.PerMille(wb.SquashInv+wb.SquashEvict, wb.Committed))

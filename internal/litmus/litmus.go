@@ -10,6 +10,7 @@
 package litmus
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"wbsim/internal/core"
 	"wbsim/internal/isa"
 	"wbsim/internal/mem"
+	"wbsim/internal/runner"
 	"wbsim/internal/sim"
 )
 
@@ -77,48 +79,78 @@ func (r *Result) String() string {
 type Options struct {
 	Seeds  int // number of independent runs
 	Jitter int // max random extra network latency per message
+	// Parallel bounds the worker goroutines fanning the seeds across
+	// cores; <= 0 selects runner.DefaultParallel(). Each seed is a fully
+	// independent, deterministic simulation, and seed results are folded
+	// into the Result in seed order, so the outcome histogram, violation
+	// count, and error list are identical at any parallelism.
+	Parallel int
 }
 
 // DefaultOptions are suitable for CI tests.
 func DefaultOptions() Options { return Options{Seeds: 60, Jitter: 24} }
 
-// Run executes the test under the given system variant.
+// seedOutcome is the result of one seed's run, produced by a worker and
+// folded into the Result in seed order.
+type seedOutcome struct {
+	key       string
+	forbidden bool
+	err       error
+}
+
+// Run executes the test under the given system variant, fanning the
+// Seeds independent simulations across Parallel workers.
 func Run(t Test, variant core.Variant, opts Options) Result {
+	outs := make([]seedOutcome, opts.Seeds)
+	_ = runner.ForEach(context.Background(), opts.Parallel, opts.Seeds, func(_ context.Context, i int) error {
+		outs[i] = runSeed(t, variant, uint64(i+1), opts.Jitter)
+		return nil // per-seed errors are part of the Result, not fatal
+	})
 	res := Result{Test: t.Name, Outcomes: make(map[string]int)}
-	for seed := uint64(1); seed <= uint64(opts.Seeds); seed++ {
-		cfg := core.SmallConfig(t.Cores, variant)
-		cfg.Seed = seed
-		cfg.JitterMax = opts.Jitter
-		rng := sim.NewRand(seed * 0x9e37)
-		programs := t.Build(rng)
-		sys := core.NewSystem(cfg, programs)
-		for a, w := range t.InitMem {
-			sys.InitWord(a, w)
-		}
-		if _, err := sys.Run(); err != nil {
-			res.Errors = append(res.Errors, fmt.Errorf("seed %d: %w", seed, err))
+	for _, o := range outs {
+		if o.err != nil {
+			res.Errors = append(res.Errors, o.err)
 			continue
 		}
-		vals := make(map[string]mem.Word)
-		var parts []string
-		for _, o := range t.Observers {
-			v := sys.Cores[o.Core].Reg(o.Reg)
-			vals[o.Name] = v
-			parts = append(parts, fmt.Sprintf("%s=%d", o.Name, v))
-		}
-		for _, o := range t.MemObservers {
-			v := finalWord(sys, o.Addr)
-			vals[o.Name] = v
-			parts = append(parts, fmt.Sprintf("%s=%d", o.Name, v))
-		}
-		key := strings.Join(parts, " ")
-		res.Outcomes[key]++
+		res.Outcomes[o.key]++
 		res.Runs++
-		if t.Forbidden != nil && t.Forbidden(vals) {
+		if o.forbidden {
 			res.Violations++
 		}
 	}
 	return res
+}
+
+// runSeed executes one fully independent simulation of the test.
+func runSeed(t Test, variant core.Variant, seed uint64, jitter int) seedOutcome {
+	cfg := core.SmallConfig(t.Cores, variant)
+	cfg.Seed = seed
+	cfg.JitterMax = jitter
+	rng := sim.NewRand(seed * 0x9e37)
+	programs := t.Build(rng)
+	sys := core.NewSystem(cfg, programs)
+	for a, w := range t.InitMem {
+		sys.InitWord(a, w)
+	}
+	if _, err := sys.Run(); err != nil {
+		return seedOutcome{err: fmt.Errorf("seed %d: %w", seed, err)}
+	}
+	vals := make(map[string]mem.Word)
+	var parts []string
+	for _, o := range t.Observers {
+		v := sys.Cores[o.Core].Reg(o.Reg)
+		vals[o.Name] = v
+		parts = append(parts, fmt.Sprintf("%s=%d", o.Name, v))
+	}
+	for _, o := range t.MemObservers {
+		v := finalWord(sys, o.Addr)
+		vals[o.Name] = v
+		parts = append(parts, fmt.Sprintf("%s=%d", o.Name, v))
+	}
+	return seedOutcome{
+		key:       strings.Join(parts, " "),
+		forbidden: t.Forbidden != nil && t.Forbidden(vals),
+	}
 }
 
 // finalWord reads the architecturally final value of a word.

@@ -108,6 +108,31 @@ func TestExtraSuiteTSO(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminism asserts the engine acceptance bar for litmus:
+// fanning seeds across workers must not change the rendered outcome
+// histogram, violation count, or error list in any way.
+func TestParallelDeterminism(t *testing.T) {
+	test := MPHitUnderMiss()
+	seeds := 40
+	if testing.Short() {
+		seeds = 15
+	}
+	for _, v := range []core.Variant{core.OoOWB, core.OoOUnsafe} {
+		sequential := Run(test, v, Options{Seeds: seeds, Jitter: 24, Parallel: 1})
+		parallel := Run(test, v, Options{Seeds: seeds, Jitter: 24, Parallel: 8})
+		if s, p := sequential.String(), parallel.String(); s != p {
+			t.Errorf("%v: output differs between -parallel 1 and 8:\n--- p=1 ---\n%s--- p=8 ---\n%s", v, s, p)
+		}
+		if sequential.Violations != parallel.Violations || sequential.Runs != parallel.Runs {
+			t.Errorf("%v: runs/violations differ: %d/%d vs %d/%d", v,
+				sequential.Runs, sequential.Violations, parallel.Runs, parallel.Violations)
+		}
+		if len(sequential.Errors) != len(parallel.Errors) {
+			t.Errorf("%v: error lists differ: %d vs %d", v, len(sequential.Errors), len(parallel.Errors))
+		}
+	}
+}
+
 // TestStoreBufferingObservable checks the model is not over-strict: the
 // TSO-allowed SB outcome {0,0} (both loads miss both stores thanks to
 // store buffering) must actually be observable.

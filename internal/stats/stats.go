@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -54,6 +55,12 @@ func (c *Counters) String() string {
 		fmt.Fprintf(&b, "%-40s %12d\n", n, c.m[n])
 	}
 	return b.String()
+}
+
+// MarshalJSON renders the counters as a flat name→value object (keys in
+// sorted order, as encoding/json sorts map keys).
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.m)
 }
 
 // PerMille returns 1000*num/den as a float, the "events per kilo-X" unit
@@ -143,6 +150,21 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// MarshalJSON renders the table as {"title", "columns", "rows"} with
+// rows as arrays of formatted cell strings — the same cell text String()
+// prints, so JSON consumers see byte-identical values.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, rows})
 }
 
 // GeoMean returns the geometric mean of xs (values <= 0 are skipped; 0

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -104,5 +105,40 @@ func TestMeanMax(t *testing.T) {
 	}
 	if Max([]float64{-5, -2}) != -2 {
 		t.Fatal("Max of negatives")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow("x", 1.23456)
+	tb.AddRow("y", 7)
+	out, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"T","columns":["name","value"],"rows":[["x","1.235"],["y","7"]]}`
+	if string(out) != want {
+		t.Errorf("json = %s, want %s", out, want)
+	}
+	empty := NewTable("E", "c")
+	out, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"title":"E","columns":["c"],"rows":[]}`; string(out) != want {
+		t.Errorf("empty json = %s, want %s", out, want)
+	}
+}
+
+func TestCountersJSON(t *testing.T) {
+	c := NewCounters()
+	c.Set("b", 2)
+	c.Set("a", 1)
+	out, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"a":1,"b":2}`; string(out) != want {
+		t.Errorf("json = %s, want %s", out, want)
 	}
 }
