@@ -1,21 +1,33 @@
 # Verification entry points.
 #
 # `make verify` is the tier-1 gate plus the concurrency checks that came
-# with the parallel experiment engine: go vet across the module and the
-# race detector (short mode) on the packages that fan simulations across
-# goroutines.
+# with the parallel experiment engine (go vet + race detector in short
+# mode), the static analyzers that are installed on this machine, and a
+# small chaos campaign (fault plans × litmus suite × seeds) from the
+# fault-injection subsystem.
 
 GO ?= go
 
-.PHONY: verify build test vet race bench
+.PHONY: verify build test vet lint race bench chaos-short chaos
 
-verify: build vet test race
+verify: build vet lint test race chaos-short
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Optional analyzers: run whichever of staticcheck / govulncheck exist
+# on PATH, skip cleanly otherwise (the build environment does not ship
+# them and nothing may be installed).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo govulncheck ./...; govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -25,6 +37,16 @@ test:
 # matrices but still exercises the pool, memo cache, and parallel litmus.
 race:
 	$(GO) test -race -short ./internal/runner ./internal/experiments ./internal/litmus
+
+# Small chaos campaign: every catalog fault plan over the full litmus
+# suite on the two WritersBlock variants. Zero violations, zero hangs,
+# zero panics or the exit status is non-zero.
+chaos-short:
+	$(GO) run ./cmd/litmus -chaos -seeds 4 -variants inorder-wb,ooo-wb
+
+# Full campaign: all plans × all sound variants × more seeds.
+chaos:
+	$(GO) run ./cmd/litmus -chaos -seeds 12
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -8,34 +8,97 @@
 //	litmus -unsafe         # also demonstrate violations under ooo-unsafe
 //	litmus -seeds 200      # more interleavings
 //	litmus -parallel 8     # fan seeds across 8 workers (outcomes unchanged)
+//	litmus -chaos          # fault-plan × suite × seeds campaign
+//	litmus -chaos -plans delay-spikes,reorder -seeds 8
+//	litmus -plan hostile -test MP -seeds 1 -max-cycles 1000000
+//
+// The last form replays one (plan, test, seed) cell — e.g. a hang found
+// by the chaos campaign — in a single invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"wbsim/internal/core"
+	"wbsim/internal/faults"
 	"wbsim/internal/litmus"
+	"wbsim/internal/sim"
 )
 
 func main() {
 	var (
-		name     = flag.String("test", "", "run only the named test")
-		seeds    = flag.Int("seeds", 60, "independent runs per test/variant")
-		jitter   = flag.Int("jitter", 24, "max random extra network latency")
-		parallel = flag.Int("parallel", 0, "max concurrent seed simulations (<=0: GOMAXPROCS)")
-		unsafe   = flag.Bool("unsafe", false, "also run the ooo-unsafe violation demo")
+		name      = flag.String("test", "", "run only the named test")
+		seeds     = flag.Int("seeds", 60, "independent runs per test/variant")
+		jitter    = flag.Int("jitter", 24, "max random extra network latency")
+		parallel  = flag.Int("parallel", 0, "max concurrent seed simulations (<=0: GOMAXPROCS)")
+		unsafe    = flag.Bool("unsafe", false, "also run the ooo-unsafe violation demo")
+		chaos     = flag.Bool("chaos", false, "run the fault-plan chaos campaign instead of the plain suite")
+		plans     = flag.String("plans", "", "comma-separated fault-plan names for -chaos (default: whole catalog)")
+		planName  = flag.String("plan", "", "inject one fault plan into a plain suite run (chaos repro)")
+		variants  = flag.String("variants", "", "comma-separated variants (default: all sound variants)")
+		maxCycles = flag.Uint64("max-cycles", 0, "cycle budget per run (0: config default)")
 	)
 	flag.Parse()
 
-	opts := litmus.Options{Seeds: *seeds, Jitter: *jitter, Parallel: *parallel}
-	failed := false
-	for _, t := range litmus.Suite() {
-		if *name != "" && t.Name != *name {
-			continue
+	opts := litmus.Options{
+		Seeds:     *seeds,
+		Jitter:    *jitter,
+		Parallel:  *parallel,
+		MaxCycles: sim.Cycle(*maxCycles),
+	}
+	if *planName != "" {
+		p, err := faults.ByName(*planName)
+		exitOn(err)
+		opts.Plan = &p
+	}
+
+	vs := core.Variants
+	if *variants != "" {
+		vs = nil
+		for _, v := range strings.Split(*variants, ",") {
+			vs = append(vs, core.Variant(strings.TrimSpace(v)))
 		}
-		for _, v := range core.Variants {
+	}
+
+	tests := litmus.Suite()
+	if *name != "" {
+		var keep []litmus.Test
+		for _, t := range tests {
+			if t.Name == *name {
+				keep = append(keep, t)
+			}
+		}
+		if len(keep) == 0 {
+			fmt.Fprintf(os.Stderr, "litmus: unknown test %q\n", *name)
+			os.Exit(2)
+		}
+		tests = keep
+	}
+
+	if *chaos {
+		catalog := faults.Catalog()
+		if *plans != "" {
+			catalog = nil
+			for _, n := range strings.Split(*plans, ",") {
+				p, err := faults.ByName(strings.TrimSpace(n))
+				exitOn(err)
+				catalog = append(catalog, p)
+			}
+		}
+		summary := litmus.Chaos(tests, vs, catalog, opts)
+		fmt.Print(summary.String())
+		if summary.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := false
+	for _, t := range tests {
+		for _, v := range vs {
 			res := litmus.Run(t, v, opts)
 			status := "ok"
 			if res.Violations > 0 {
@@ -43,10 +106,17 @@ func main() {
 				failed = true
 			}
 			if len(res.Errors) > 0 {
-				status = fmt.Sprintf("ERRORS (%d)", len(res.Errors))
+				status = fmt.Sprintf("ERRORS (%d hangs, %d panics)", res.Hangs, res.Panics)
 				failed = true
 			}
 			fmt.Printf("%-20s %-13s %-14s %s", t.Name, v, status, res.String())
+			for _, err := range res.Errors {
+				if se, ok := faults.AsSimError(err); ok {
+					fmt.Print(se.Detail())
+				} else {
+					fmt.Printf("  error: %v\n", err)
+				}
+			}
 		}
 	}
 	if *unsafe {
@@ -59,5 +129,12 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+		os.Exit(2)
 	}
 }

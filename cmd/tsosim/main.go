@@ -6,11 +6,15 @@
 //	tsosim -workload fft -class SLM -variant ooo-wb -cores 16 -scale 1
 //	tsosim -workload fft,lu,radix -parallel 4   # several, fanned across workers
 //	tsosim -workload all                        # every registered workload
+//	tsosim -workload fft -plan hostile -seed 7 -max-cycles 2000000
 //
 // Variants: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe.
 // Classes: SLM, NHM, HSW (Table 6 of the paper). With several workloads,
 // -parallel bounds the simulations run concurrently; reports are printed
 // in the order the workloads were named regardless of completion order.
+// -plan injects a named fault plan and -seed/-max-cycles pin the exact
+// machine, so a hang found by the chaos campaign reproduces in one
+// invocation; a hang or contained panic prints its full HangReport.
 package main
 
 import (
@@ -21,7 +25,9 @@ import (
 	"strings"
 
 	"wbsim/internal/core"
+	"wbsim/internal/faults"
 	"wbsim/internal/runner"
+	"wbsim/internal/sim"
 	"wbsim/internal/workload"
 )
 
@@ -32,9 +38,11 @@ func main() {
 		variant  = flag.String("variant", "ooo-wb", "system variant: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe")
 		cores    = flag.Int("cores", 16, "number of cores")
 		scale    = flag.Int("scale", 1, "workload scale factor")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (<=0: GOMAXPROCS)")
-		list     = flag.Bool("list", false, "list available workloads and exit")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (<=0: GOMAXPROCS)")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+		maxCycles = flag.Uint64("max-cycles", 0, "cycle budget per run (0: config default)")
+		planName  = flag.String("plan", "", "inject a named fault plan (see internal/faults)")
 	)
 	flag.Parse()
 
@@ -63,6 +71,17 @@ func main() {
 	cfg := core.DefaultConfig(core.Class(strings.ToUpper(*class)), core.Variant(*variant))
 	cfg.Cores = *cores
 	cfg.Seed = *seed
+	if *maxCycles > 0 {
+		cfg.MaxCycles = sim.Cycle(*maxCycles)
+	}
+	if *planName != "" {
+		p, err := faults.ByName(*planName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsosim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &p
+	}
 
 	// Fan the independent simulations across workers; results land in
 	// per-workload slots so reports print in the order named.
@@ -77,6 +96,9 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tsosim: %v\n", err)
+		if se, ok := faults.AsSimError(err); ok {
+			fmt.Fprint(os.Stderr, se.Detail())
+		}
 		os.Exit(1)
 	}
 

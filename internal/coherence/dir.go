@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"wbsim/internal/cache"
 	"wbsim/internal/mem"
@@ -80,6 +81,24 @@ type dirLine struct {
 	pending   []*Msg // queued requests (writes while WB; everything while Busy/Fetching)
 	inEvBuf   bool
 	frame     *cache.Entry
+
+	// since stamps the cycle the line last entered a transient state
+	// (Fetching/Busy/WB); the watchdog bounds its age.
+	since sim.Cycle
+}
+
+// transient reports whether k is a non-stable directory state.
+func (k dirKind) transient() bool {
+	return k == dirFetching || k == dirBusy || k == dirWB
+}
+
+// setKind transitions a line's state, stamping the entry cycle on a
+// stable-to-transient edge so hang reports can age transient entries.
+func (b *Bank) setKind(dl *dirLine, k dirKind) {
+	if k.transient() && !dl.kind.transient() {
+		dl.since = b.now
+	}
+	dl.kind = k
 }
 
 // BankStats counts the protocol events that Figures 8 and 9 report.
@@ -242,19 +261,19 @@ func (b *Bank) handleRead(m *Msg) {
 		if !dl.dataValid {
 			panic(fmt.Sprintf("bank %d: %v invalid without data", b.id, m.Line))
 		}
-		dl.kind = dirBusy
+		b.setKind(dl, dirBusy)
 		dl.txn = &dirTxn{requester: m.Requester, grantExcl: true}
 		b.sendAfter(b.params.LLCLatency, m.Requester,
 			&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true, Excl: true})
 	case dirShared:
-		dl.kind = dirBusy
+		b.setKind(dl, dirBusy)
 		dl.txn = &dirTxn{requester: m.Requester}
 		b.sendAfter(b.params.LLCLatency, m.Requester,
 			&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
 	case dirExclusive:
 		// 3-hop read: forward to the owner, who sends data to the
 		// requester and a clean copy back to the directory.
-		dl.kind = dirBusy
+		b.setKind(dl, dirBusy)
 		dl.txn = &dirTxn{requester: m.Requester, fwd: true, oldOwner: dl.owner}
 		b.sendAfter(b.params.TagLatency, dl.owner,
 			&Msg{Type: MsgFwdGetS, Line: m.Line, Requester: m.Requester})
@@ -316,7 +335,7 @@ func (b *Bank) allocateAndFetch(m *Msg) {
 		b.startEviction(victim)
 	}
 	frame := b.array.Install(victim, m.Line)
-	dl := &dirLine{line: m.Line, kind: dirFetching, frame: frame}
+	dl := &dirLine{line: m.Line, kind: dirFetching, frame: frame, since: b.now}
 	dl.pending = append(dl.pending, m)
 	b.lines[m.Line] = dl
 	b.Stats.MemReads++
@@ -342,7 +361,7 @@ func (b *Bank) handleWrite(m *Msg) {
 	}
 	switch dl.kind {
 	case dirInvalid:
-		dl.kind = dirBusy
+		b.setKind(dl, dirBusy)
 		dl.txn = &dirTxn{write: true, requester: m.Requester}
 		b.sendAfter(b.params.LLCLatency, m.Requester,
 			&Msg{Type: MsgDataExcl, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
@@ -361,7 +380,7 @@ func (b *Bank) handleWrite(m *Msg) {
 		// sharer list an over-approximation, and an invalidation racing
 		// with the upgrade may have removed the requester already).
 		upgrade := m.Upgrade && b.isSharer(dl, m.Requester)
-		dl.kind = dirBusy
+		b.setKind(dl, dirBusy)
 		dl.txn = &dirTxn{write: true, requester: m.Requester}
 		dl.sharers = nil
 		for _, s := range invs {
@@ -381,7 +400,7 @@ func (b *Bank) handleWrite(m *Msg) {
 		// data to the writer and Nack+Data to the directory when a
 		// lockdown is hit).
 		old := dl.owner
-		dl.kind = dirBusy
+		b.setKind(dl, dirBusy)
 		dl.txn = &dirTxn{write: true, requester: m.Requester, fwd: true, oldOwner: old}
 		dl.owner = m.Requester // for stale-Put detection
 		b.sendAfter(b.params.TagLatency, old,
@@ -425,7 +444,7 @@ func (b *Bank) handleNack(m *Msg) {
 	if txn.eviction {
 		txn.acksPending--
 		if dl.kind != dirWB {
-			dl.kind = dirWB
+			b.setKind(dl, dirWB)
 			b.Stats.WBEntries++
 			b.Stats.EvictionsWB++
 			b.drainPendingReads(dl)
@@ -433,7 +452,7 @@ func (b *Bank) handleNack(m *Msg) {
 		return
 	}
 	if dl.kind != dirWB {
-		dl.kind = dirWB
+		b.setKind(dl, dirWB)
 		b.Stats.WBEntries++
 		b.Stats.BlockedWrites++
 		// Release any reads that were queued while Busy: WritersBlock
@@ -660,7 +679,7 @@ func (b *Bank) startEviction(frame *cache.Entry) {
 	dl.frame = nil
 
 	kind := dl.kind
-	dl.kind = dirBusy // requests arriving mid-eviction queue in pending
+	b.setKind(dl, dirBusy) // requests arriving mid-eviction queue in pending
 	switch kind {
 	case dirInvalid:
 		if dl.dirty {
@@ -762,6 +781,86 @@ func (b *Bank) CheckInvariants() {
 			}
 		}
 	}
+}
+
+// TransientLine describes one directory entry in a transient state, for
+// hang diagnosis: which line, how long it has been transient, who the
+// blocked requester is, and how much work is queued behind it.
+type TransientLine struct {
+	Bank      network.Endpoint
+	Line      mem.Line
+	State     string
+	Age       sim.Cycle
+	Pending   int // queued requests (e.g. writes behind a WritersBlock)
+	HasTxn    bool
+	Write     bool             // transaction is a write (the blocked writer)
+	Eviction  bool             // transaction is a directory eviction
+	Requester network.Endpoint // transaction requester (valid when HasTxn)
+	AcksLeft  int              // invalidation acks outstanding
+	Delayed   int              // DelayedAcks outstanding from lockdowns
+	InEvBuf   bool
+}
+
+// String renders one transient entry compactly.
+func (t TransientLine) String() string {
+	s := fmt.Sprintf("bank %d line=%v state=%s age=%d pending=%d", t.Bank, t.Line, t.State, t.Age, t.Pending)
+	if t.HasTxn {
+		role := "read"
+		if t.Write {
+			role = "write"
+		}
+		if t.Eviction {
+			role = "evict"
+		}
+		s += fmt.Sprintf(" txn{%s req=%d acksLeft=%d delayed=%d}", role, t.Requester, t.AcksLeft, t.Delayed)
+	}
+	if t.InEvBuf {
+		s += " evbuf"
+	}
+	return s
+}
+
+// TransientLines returns the bank's transient directory entries (including
+// the eviction buffer), oldest first. The order is deterministic.
+func (b *Bank) TransientLines(now sim.Cycle) []TransientLine {
+	var out []TransientLine
+	collect := func(dl *dirLine) {
+		if !dl.kind.transient() && dl.txn == nil && len(dl.pending) == 0 {
+			return
+		}
+		t := TransientLine{
+			Bank:    b.id,
+			Line:    dl.line,
+			State:   dl.kind.String(),
+			Age:     now - dl.since,
+			Pending: len(dl.pending),
+			InEvBuf: dl.inEvBuf,
+		}
+		if dl.txn != nil {
+			t.HasTxn = true
+			t.Write = dl.txn.write
+			t.Eviction = dl.txn.eviction
+			t.Requester = dl.txn.requester
+			t.AcksLeft = dl.txn.acksPending
+			t.Delayed = dl.txn.delayedPending
+		}
+		out = append(out, t)
+	}
+	for _, dl := range b.lines {
+		collect(dl)
+	}
+	for _, dl := range b.evbuf {
+		if _, dup := b.lines[dl.line]; !dup {
+			collect(dl)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Age != out[j].Age {
+			return out[i].Age > out[j].Age
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 // DumpState renders non-stable directory entries for debugging.

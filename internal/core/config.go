@@ -9,6 +9,7 @@ import (
 
 	"wbsim/internal/coherence"
 	"wbsim/internal/cpu"
+	"wbsim/internal/faults"
 	"wbsim/internal/network"
 	"wbsim/internal/sim"
 )
@@ -111,9 +112,17 @@ type Config struct {
 	Seed      uint64
 	JitterMax int // network jitter for litmus interleaving exploration
 
-	// MaxCycles bounds the run; exceeding it is reported as an error
-	// (deadlock/livelock detector in tests).
+	// MaxCycles bounds the run; exceeding it is reported as a hang
+	// SimError (the watchdog usually trips far earlier).
 	MaxCycles sim.Cycle
+
+	// Faults, when non-nil, injects the plan's timing adversity and
+	// resource pressure into the built machine (chaos campaigns).
+	Faults *faults.Plan
+
+	// Watchdog configures the progress detector replacing the bare
+	// MaxCycles check; the zero value selects generous defaults.
+	Watchdog faults.WatchdogConfig
 }
 
 // DefaultConfig returns the paper's 16-core machine for a class/variant.

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wbsim/internal/faults"
+	"wbsim/internal/isa"
+	"wbsim/internal/mem"
+	"wbsim/internal/sim"
+)
+
+// stallProgram computes briefly, then issues a load that cold-misses all
+// the way to memory (MemLatency 160), opening a long commit gap with a
+// transient directory entry in flight.
+func stallProgram(addr mem.Addr) *isa.Program {
+	b := isa.NewBuilder("stall")
+	b.MovImm(1, mem.Word(addr))
+	b.Load(2, 1, 0)
+	b.Halt()
+	return b.Program()
+}
+
+// TestWatchdogCommitStall is the acceptance scenario: with a tiny stall
+// bound, the memory-latency commit gap trips the watchdog, and the
+// HangReport names the stuck core and the oldest transient directory
+// entry (the line being fetched).
+func TestWatchdogCommitStall(t *testing.T) {
+	const addr = mem.Addr(0x10040)
+	cfg := SmallConfig(1, OoOWB)
+	cfg.Watchdog = faults.WatchdogConfig{StallBound: 20, CheckPeriod: 32, TransientEvery: 1}
+	sys := NewSystem(cfg, []*isa.Program{stallProgram(addr)})
+	_, err := sys.Run()
+	se, ok := faults.AsSimError(err)
+	if !ok || se.Kind != faults.KindHang {
+		t.Fatalf("want hang SimError, got %v", err)
+	}
+	r := se.Report
+	if r == nil || r.Reason != "commit-stall" {
+		t.Fatalf("report: %+v", r)
+	}
+	if r.StuckCore != 0 || r.StallAge <= 20 {
+		t.Errorf("stuck core %d age %d", r.StuckCore, r.StallAge)
+	}
+	if len(r.Cores) != 1 || r.Cores[0].ID != 0 {
+		t.Fatalf("core snapshots: %+v", r.Cores)
+	}
+	ot, ok := r.OldestTransient()
+	if !ok {
+		t.Fatal("no transient directory entry in the report")
+	}
+	if ot.Line != mem.LineOf(addr) {
+		t.Errorf("oldest transient names line %v, want %v", ot.Line, mem.LineOf(addr))
+	}
+	if !strings.Contains(se.Detail(), "* core 0:") {
+		t.Errorf("detail does not mark the stuck core:\n%s", se.Detail())
+	}
+}
+
+// TestWatchdogTransientAge: with an infinite stall bound but a tiny
+// transient-age bound, the aged Fetching entry trips the scan.
+func TestWatchdogTransientAge(t *testing.T) {
+	const addr = mem.Addr(0x10040)
+	cfg := SmallConfig(1, OoOWB)
+	cfg.Watchdog = faults.WatchdogConfig{
+		StallBound: 1 << 40, TransientBound: 10, CheckPeriod: 32, TransientEvery: 1,
+	}
+	sys := NewSystem(cfg, []*isa.Program{stallProgram(addr)})
+	_, err := sys.Run()
+	se, ok := faults.AsSimError(err)
+	if !ok || se.Kind != faults.KindHang || se.Report.Reason != "transient-age" {
+		t.Fatalf("want transient-age hang, got %v", err)
+	}
+	if ot, ok := se.Report.OldestTransient(); !ok || ot.Age <= 10 {
+		t.Fatalf("oldest transient: %+v ok=%v", ot, ok)
+	}
+}
+
+// TestWatchdogQuietOnHealthyRun: aggressive check cadence with sane
+// bounds must not trip on a normal program.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	cfg := SmallConfig(1, OoOWB)
+	cfg.Watchdog = faults.WatchdogConfig{StallBound: 10_000, TransientBound: 10_000, CheckPeriod: 8, TransientEvery: 1}
+	sys := NewSystem(cfg, []*isa.Program{stallProgram(0x10040)})
+	if _, err := sys.Run(); err != nil {
+		t.Fatalf("healthy run tripped: %v", err)
+	}
+}
+
+// TestMaxCyclesIsHangError: the cycle budget now reports through the
+// same structured path as the watchdog.
+func TestMaxCyclesIsHangError(t *testing.T) {
+	cfg := SmallConfig(1, OoOWB)
+	cfg.MaxCycles = 40 // the cold miss takes ~200 cycles
+	sys := NewSystem(cfg, []*isa.Program{stallProgram(0x10040)})
+	_, err := sys.Run()
+	se, ok := faults.AsSimError(err)
+	if !ok || se.Kind != faults.KindHang || se.Report.Reason != "max-cycles" {
+		t.Fatalf("want max-cycles hang, got %v", err)
+	}
+	if se.Report.MaxCycles != 40 {
+		t.Errorf("report budget = %d", se.Report.MaxCycles)
+	}
+}
+
+// TestPanicContainment: a panic from anywhere inside Step is converted
+// into a typed SimError carrying the machine snapshot and the stack of
+// the panic site, instead of unwinding into the caller.
+func TestPanicContainment(t *testing.T) {
+	cfg := SmallConfig(1, OoOWB)
+	sys := NewSystem(cfg, []*isa.Program{stallProgram(0x10040)})
+	sys.stepHook = func(now sim.Cycle) {
+		if now == 50 {
+			panic("injected fault at cycle 50")
+		}
+	}
+	cycles, err := sys.Run()
+	se, ok := faults.AsSimError(err)
+	if !ok || se.Kind != faults.KindPanic {
+		t.Fatalf("want panic SimError, got %v", err)
+	}
+	if cycles != 50 {
+		t.Errorf("reported cycle %d, want 50", cycles)
+	}
+	if !strings.Contains(se.Msg, "injected fault") {
+		t.Errorf("message lost the panic value: %q", se.Msg)
+	}
+	if se.Report == nil || se.Report.Reason != "panic" || len(se.Report.Cores) != 1 {
+		t.Fatalf("panic report: %+v", se.Report)
+	}
+	if !strings.Contains(se.Stack, "TestPanicContainment") {
+		t.Error("stack does not reach the panic site")
+	}
+}
+
+// TestFaultPlanThreadsThroughConfig: a plan on core.Config must reach
+// the network (spikes counted), the memory system, and the core.
+func TestFaultPlanThreadsThroughConfig(t *testing.T) {
+	plan := &faults.Plan{
+		Name: "test", SpikeProb: 1, SpikeCycles: 50,
+		MSHRs: 2, ReservedMSHRs: 1, LDTSize: 2,
+	}
+	cfg := SmallConfig(2, OoOWB)
+	cfg.Faults = plan
+	progs := []*isa.Program{stallProgram(0x10040), stallProgram(0x20080)}
+	sys := NewSystem(cfg, progs)
+	if _, err := sys.Run(); err != nil {
+		t.Fatalf("planned run failed: %v", err)
+	}
+	if sys.Mesh.Stats().Spikes == 0 {
+		t.Error("plan's delay spikes never fired")
+	}
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"wbsim/internal/coherence"
 	"wbsim/internal/cpu"
+	"wbsim/internal/faults"
 	"wbsim/internal/isa"
 	"wbsim/internal/mem"
 	"wbsim/internal/network"
@@ -22,6 +24,10 @@ type System struct {
 	Banks  []*coherence.Bank
 
 	rng *sim.Rand
+
+	// stepHook, when set (tests), runs at the top of every Step — used to
+	// inject panics and probe the recover boundary.
+	stepHook func(sim.Cycle)
 }
 
 // NewSystem builds a machine. programs must have exactly Cfg.Cores
@@ -36,6 +42,7 @@ func NewSystem(cfg Config, programs []*isa.Program) *System {
 	rng := sim.NewRand(cfg.Seed)
 	netCfg := cfg.Net
 	netCfg.JitterMax = cfg.JitterMax
+	cfg.Faults.ApplyNet(&netCfg)
 	mesh := network.NewMesh(netCfg, rng.Fork(0xae5))
 	memory := mem.NewMemory()
 
@@ -46,11 +53,13 @@ func NewSystem(cfg Config, programs []*isa.Program) *System {
 		return network.Endpoint(n + int(uint64(l)%uint64(n)))
 	}
 	memParams := cfg.Mem
+	cfg.Faults.ApplyMem(&memParams)
 
 	coreCfg := CoreConfig(cfg.Class)
 	if cfg.CoreOverride != nil {
 		coreCfg = *cfg.CoreOverride
 	}
+	cfg.Faults.ApplyCore(&coreCfg)
 	cfg.Variant.Apply(&coreCfg)
 	protoMode := coherence.ModeSquash
 	if coreCfg.Lockdown {
@@ -101,6 +110,9 @@ func (s *System) ReadWord(addr mem.Addr) mem.Word {
 // Step advances the machine one cycle.
 func (s *System) Step() {
 	now := s.Clock.Advance()
+	if s.stepHook != nil {
+		s.stepHook(now)
+	}
 	s.Mesh.Tick(now)
 	for _, b := range s.Banks {
 		b.Tick(now)
@@ -132,13 +144,31 @@ func (s *System) Done() bool {
 	return true
 }
 
-// Run executes until completion or MaxCycles, returning the cycle count.
-// Exceeding MaxCycles returns an error (it indicates a deadlock, a
-// livelock, or an undersized budget).
-func (s *System) Run() (sim.Cycle, error) {
+// Run executes until completion, a watchdog trip, or MaxCycles,
+// returning the cycle count. A hang (commit stall, aged transient
+// directory entry, or exhausted cycle budget) returns a
+// *faults.SimError carrying a HangReport; an internal panic anywhere in
+// the machine is contained at this boundary and returned as a
+// *faults.SimError of KindPanic with the same snapshot, so one bad
+// (workload, config, seed) job fails alone instead of killing the
+// process running a fleet of them.
+func (s *System) Run() (cycles sim.Cycle, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cycles = s.Clock.Now()
+			err = faults.PanicError(r, s.HangReport("panic", -1, 0))
+		}
+	}()
+	wd := faults.NewWatchdog(s.Cfg.Watchdog, len(s.Cores))
 	for !s.Done() {
-		if s.Clock.Now() >= s.Cfg.MaxCycles {
-			return s.Clock.Now(), fmt.Errorf("core: run exceeded %d cycles (possible deadlock)", s.Cfg.MaxCycles)
+		now := s.Clock.Now()
+		if now >= s.Cfg.MaxCycles {
+			return now, faults.HangError(s.HangReport("max-cycles", -1, 0))
+		}
+		if wd.Due(now) {
+			if err := s.checkProgress(wd, now); err != nil {
+				return now, err
+			}
 		}
 		s.Step()
 	}
@@ -146,6 +176,60 @@ func (s *System) Run() (sim.Cycle, error) {
 		b.CheckInvariants()
 	}
 	return s.Clock.Now(), nil
+}
+
+// checkProgress runs one watchdog inspection: per-core commit watermarks
+// every check, directory transient-state ages on the sparser cadence.
+func (s *System) checkProgress(wd *faults.Watchdog, now sim.Cycle) error {
+	scanTransients := wd.BeginCheck()
+	for i, c := range s.Cores {
+		if age, tripped := wd.ObserveCore(now, i, c.Done(), c.Stats.Committed); tripped {
+			return faults.HangError(s.HangReport("commit-stall", i, age))
+		}
+	}
+	if scanTransients {
+		bound := wd.Config().TransientBound
+		for _, b := range s.Banks {
+			for _, t := range b.TransientLines(now) {
+				if t.Age > bound {
+					return faults.HangError(s.HangReport("transient-age", -1, 0))
+				}
+				break // entries are oldest-first; only the head can exceed
+			}
+		}
+	}
+	return nil
+}
+
+// HangReport snapshots the machine for hang/panic diagnosis: per-core
+// commit-path state, transient directory entries (oldest first), and the
+// in-flight message census by virtual network.
+func (s *System) HangReport(reason string, stuckCore int, stallAge sim.Cycle) *faults.HangReport {
+	now := s.Clock.Now()
+	r := &faults.HangReport{
+		Reason:    reason,
+		Cycle:     now,
+		MaxCycles: s.Cfg.MaxCycles,
+		StuckCore: stuckCore,
+		StallAge:  stallAge,
+	}
+	for _, c := range s.Cores {
+		r.Cores = append(r.Cores, c.Snapshot())
+	}
+	for _, b := range s.Banks {
+		r.Transients = append(r.Transients, b.TransientLines(now)...)
+	}
+	sort.Slice(r.Transients, func(i, j int) bool {
+		if r.Transients[i].Age != r.Transients[j].Age {
+			return r.Transients[i].Age > r.Transients[j].Age
+		}
+		if r.Transients[i].Bank != r.Transients[j].Bank {
+			return r.Transients[i].Bank < r.Transients[j].Bank
+		}
+		return r.Transients[i].Line < r.Transients[j].Line
+	})
+	r.NetPerVNet, r.NetInFlight = s.Mesh.InFlightCensus()
+	return r
 }
 
 // RunFor executes exactly n additional cycles (for tests that inspect

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"wbsim/internal/core"
+	"wbsim/internal/sim"
 	"wbsim/internal/stats"
 	"wbsim/internal/workload"
 )
@@ -27,6 +28,9 @@ type Options struct {
 	Cores int
 	Scale int // workload scale factor
 	Seed  uint64
+	// MaxCycles overrides the per-run cycle budget when > 0, so a hang
+	// found by the chaos campaign reproduces quickly from the CLI.
+	MaxCycles sim.Cycle
 }
 
 // DefaultOptions mirror the paper's 16-core runs.

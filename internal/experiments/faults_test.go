@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wbsim/internal/core"
+	"wbsim/internal/workload"
+)
+
+// TestEngineFailedJobDoesNotAbortSiblings: one hanging job in a batch
+// must fail alone — siblings run to completion, the failure is recorded
+// with its reproduction identity, and the batch error names the job.
+func TestEngineFailedJobDoesNotAbortSiblings(t *testing.T) {
+	e := NewEngine(2)
+	w, ok := workload.Get("fft")
+	if !ok {
+		t.Fatal("fft workload missing")
+	}
+	good := figConfig(core.SLM, core.OoOWB, tinyOptions())
+	bad := good
+	bad.MaxCycles = 10 // guaranteed budget hang
+	jobs := []simJob{
+		{label: "batch good-a", w: w, cfg: good, scale: 1},
+		{label: "batch bad", w: w, cfg: bad, scale: 1},
+		{label: "batch good-b", w: w, cfg: good, scale: 1},
+	}
+	_, err := e.run(jobs)
+	if err == nil || !strings.Contains(err.Error(), "batch bad") {
+		t.Fatalf("batch error does not name the failed job: %v", err)
+	}
+	// Both distinct configs actually simulated: the good config once
+	// (plus one cache hit for its duplicate) and the bad one once.
+	if ran, hits := e.memo.Stats(); ran != 2 || hits != 1 {
+		t.Fatalf("jobs-run=%d cache-hits=%d, want 2/1 (siblings must complete)", ran, hits)
+	}
+	fails := e.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("failures recorded: %+v", fails)
+	}
+	f := fails[0]
+	if f.Label != "batch bad" || f.Kind != "hang" || f.Workload != "fft" ||
+		f.Class != core.SLM || f.Variant != core.OoOWB || f.Seed != 1 || f.Scale != 1 {
+		t.Fatalf("failure identity incomplete: %+v", f)
+	}
+	if c := e.Report().Get("engine.jobs-failed"); c != 1 {
+		t.Fatalf("engine.jobs-failed = %d", c)
+	}
+
+	// The failure was never cached: resubmitting the identical bad job
+	// recomputes (deterministically failing again) instead of serving a
+	// poisoned entry.
+	if _, err := e.run([]simJob{{label: "batch retry", w: w, cfg: bad, scale: 1}}); err == nil {
+		t.Fatal("deterministic hang vanished on retry")
+	}
+	if ran, _ := e.memo.Stats(); ran != 3 {
+		t.Fatalf("jobs-run=%d after retry, want 3 (error must not be cached)", ran)
+	}
+}

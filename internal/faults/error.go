@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"wbsim/internal/coherence"
+	"wbsim/internal/cpu"
+	"wbsim/internal/network"
+	"wbsim/internal/sim"
+)
+
+// HangReport is the structured snapshot emitted when the watchdog trips,
+// the cycle budget expires, or a panic is contained: enough machine state
+// to name the stuck component without re-running under a debugger.
+type HangReport struct {
+	Reason    string    // "commit-stall", "transient-age", "max-cycles", "panic"
+	Cycle     sim.Cycle // when the report was taken
+	MaxCycles sim.Cycle // the run's cycle budget
+	StuckCore int       // index of the tripping core, -1 when not core-specific
+	StallAge  sim.Cycle // cycles since the stuck core last committed
+
+	Cores      []cpu.Snapshot            // per-core LSQ/ROB/commit snapshot
+	Transients []coherence.TransientLine // transient directory entries, oldest first
+
+	NetPerVNet  [network.NumVNets]int // in-flight message census by virtual network
+	NetInFlight int
+}
+
+// OldestTransient returns the oldest transient directory entry, if any.
+func (r *HangReport) OldestTransient() (coherence.TransientLine, bool) {
+	if len(r.Transients) == 0 {
+		return coherence.TransientLine{}, false
+	}
+	return r.Transients[0], true
+}
+
+// Headline summarizes the report in one line.
+func (r *HangReport) Headline() string {
+	h := fmt.Sprintf("%s at cycle %d", r.Reason, r.Cycle)
+	if r.StuckCore >= 0 {
+		h += fmt.Sprintf(": core %d made no progress for %d cycles", r.StuckCore, r.StallAge)
+	}
+	if t, ok := r.OldestTransient(); ok {
+		h += fmt.Sprintf("; oldest transient: %s line %v age %d", t.State, t.Line, t.Age)
+	}
+	return h
+}
+
+// String renders the full multi-line report.
+func (r *HangReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HANG REPORT — %s\n", r.Headline())
+	fmt.Fprintf(&b, "network in flight: %d messages (", r.NetInFlight)
+	for v := network.VNet(0); v < network.NumVNets; v++ {
+		if v > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", v, r.NetPerVNet[v])
+	}
+	b.WriteString(")\n")
+	for _, c := range r.Cores {
+		marker := "  "
+		if c.ID == r.StuckCore {
+			marker = "* "
+		}
+		b.WriteString(marker + strings.ReplaceAll(c.String(), "\n", "\n  ") + "\n")
+	}
+	if len(r.Transients) > 0 {
+		fmt.Fprintf(&b, "transient directory entries (oldest first, %d total):\n", len(r.Transients))
+		for i, t := range r.Transients {
+			if i >= 8 {
+				fmt.Fprintf(&b, "  ... %d more\n", len(r.Transients)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  %s\n", t)
+		}
+	}
+	return b.String()
+}
+
+// Kind classifies a SimError.
+type Kind int
+
+// SimError kinds.
+const (
+	// KindHang: the watchdog or cycle budget declared the run stuck.
+	KindHang Kind = iota
+	// KindPanic: an internal panic was contained at the run boundary.
+	KindPanic
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == KindPanic {
+		return "panic"
+	}
+	return "hang"
+}
+
+// SimError is the typed failure of one simulation: what went wrong, the
+// machine snapshot at that moment, and (for contained panics) the stack.
+// It carries full diagnostic context through error-returning interfaces
+// so one failed (workload, config, seed) job reports precisely while the
+// rest of a fleet keeps running.
+type SimError struct {
+	Kind   Kind
+	Msg    string
+	Report *HangReport
+	Stack  string // captured goroutine stack for KindPanic
+}
+
+// Error renders the one-line identity; Report/Stack hold the detail.
+func (e *SimError) Error() string {
+	return fmt.Sprintf("sim %s: %s", e.Kind, e.Msg)
+}
+
+// Detail renders the error with its full report and (for panics) stack.
+func (e *SimError) Detail() string {
+	var b strings.Builder
+	b.WriteString(e.Error())
+	if e.Report != nil {
+		b.WriteString("\n")
+		b.WriteString(e.Report.String())
+	}
+	if e.Stack != "" {
+		b.WriteString("stack:\n")
+		b.WriteString(e.Stack)
+	}
+	return b.String()
+}
+
+// HangError builds a KindHang SimError around a report.
+func HangError(report *HangReport) *SimError {
+	return &SimError{Kind: KindHang, Msg: report.Headline(), Report: report}
+}
+
+// PanicError converts a recovered panic value into a SimError, capturing
+// the current goroutine's stack. Call it directly inside the recover
+// branch so the stack still contains the panic site.
+func PanicError(r any, report *HangReport) *SimError {
+	return &SimError{
+		Kind:   KindPanic,
+		Msg:    fmt.Sprint(r),
+		Report: report,
+		Stack:  string(debug.Stack()),
+	}
+}
+
+// AsSimError unwraps err to a SimError if one is in its chain.
+func AsSimError(err error) (*SimError, bool) {
+	var se *SimError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}

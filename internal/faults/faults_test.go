@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wbsim/internal/coherence"
+	"wbsim/internal/cpu"
+	"wbsim/internal/network"
+)
+
+func TestPlanApplyNetMerges(t *testing.T) {
+	p := &Plan{
+		JitterMax:       8,
+		SpikeProb:       0.1,
+		SpikeCycles:     200,
+		VNetJitter:      [network.NumVNets]int{10, 0, 30},
+		PerturbDelivery: true,
+	}
+	cfg := network.Config{JitterMax: 24}
+	cfg.Faults.VNetJitter[1] = 5
+	p.ApplyNet(&cfg)
+	if cfg.JitterMax != 24 {
+		t.Errorf("plan shrank jitter: %d", cfg.JitterMax) // only ever grows
+	}
+	if cfg.Faults.SpikeProb != 0.1 || cfg.Faults.SpikeCycles != 200 {
+		t.Errorf("spikes not applied: %+v", cfg.Faults)
+	}
+	if cfg.Faults.VNetJitter != [network.NumVNets]int{10, 5, 30} {
+		t.Errorf("vnet jitter merge: %v", cfg.Faults.VNetJitter)
+	}
+	if !cfg.Faults.PerturbDelivery {
+		t.Error("perturbation not applied")
+	}
+	// A nil plan is a no-op everywhere.
+	var nilPlan *Plan
+	before := cfg
+	nilPlan.ApplyNet(&cfg)
+	if cfg != before {
+		t.Error("nil plan modified network config")
+	}
+}
+
+func TestPlanApplyMemClamps(t *testing.T) {
+	p := &Plan{MSHRs: 2, ReservedMSHRs: 7, EvictionBuf: 1, L1Lines: 4, L1Ways: 1}
+	par := coherence.Params{MSHRs: 16, ReservedMSHRs: 2, EvictionBuf: 8, L1Lines: 512, L1Ways: 8, LLCLines: 1024}
+	p.ApplyMem(&par)
+	if par.MSHRs != 2 || par.ReservedMSHRs != 1 {
+		t.Errorf("reserved not clamped below capacity: %d/%d", par.ReservedMSHRs, par.MSHRs)
+	}
+	if par.EvictionBuf != 1 || par.L1Lines != 4 || par.L1Ways != 1 {
+		t.Errorf("pressure knobs not applied: %+v", par)
+	}
+	if par.LLCLines != 1024 {
+		t.Errorf("zero knob overrode configured LLC: %d", par.LLCLines)
+	}
+}
+
+func TestPlanApplyCore(t *testing.T) {
+	p := &Plan{LDTSize: 1}
+	c := cpu.Config{LDTSize: 16}
+	p.ApplyCore(&c)
+	if c.LDTSize != 1 {
+		t.Errorf("LDT not shrunk: %d", c.LDTSize)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	plans := Catalog()
+	if len(plans) < 3 {
+		t.Fatalf("catalog has %d plans, want >= 3", len(plans))
+	}
+	seen := map[string]bool{}
+	for _, p := range plans {
+		if p.Name == "" || seen[p.Name] {
+			t.Fatalf("bad or duplicate plan name %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, err := ByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Fatalf("ByName(%q): %v", p.Name, err)
+		}
+	}
+	if _, err := ByName("no-such-plan"); err == nil {
+		t.Fatal("ByName on unknown plan did not error")
+	}
+	if len(Names()) != len(plans) {
+		t.Fatal("Names/Catalog mismatch")
+	}
+}
+
+func TestWatchdogDefaults(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{}, 2)
+	cfg := w.Config()
+	if cfg.StallBound != DefaultStallBound || cfg.TransientBound != DefaultTransientBound ||
+		cfg.CheckPeriod != DefaultCheckPeriod || cfg.TransientEvery != DefaultTransientEvery {
+		t.Fatalf("defaults not resolved: %+v", cfg)
+	}
+	if !w.Due(DefaultCheckPeriod) || w.Due(DefaultCheckPeriod+1) {
+		t.Error("Due cadence wrong")
+	}
+	if NewWatchdog(WatchdogConfig{Disable: true}, 1).Due(DefaultCheckPeriod) {
+		t.Error("disabled watchdog still due")
+	}
+}
+
+func TestWatchdogTripsOnStall(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{StallBound: 100, CheckPeriod: 10}, 1)
+	// Progress keeps resetting the watermark.
+	if _, tripped := w.ObserveCore(10, 0, false, 5); tripped {
+		t.Fatal("tripped on progress")
+	}
+	if _, tripped := w.ObserveCore(200, 0, false, 6); tripped {
+		t.Fatal("tripped despite new commits")
+	}
+	// Stalled but inside the bound.
+	if age, tripped := w.ObserveCore(290, 0, false, 6); tripped || age != 90 {
+		t.Fatalf("age=%d tripped=%v inside bound", age, tripped)
+	}
+	// Past the bound.
+	if age, tripped := w.ObserveCore(310, 0, false, 6); !tripped || age != 110 {
+		t.Fatalf("age=%d tripped=%v past bound", age, tripped)
+	}
+	// A finished core never trips, however long the run continues.
+	if _, tripped := w.ObserveCore(1_000_000, 0, true, 6); tripped {
+		t.Fatal("finished core tripped")
+	}
+}
+
+func TestWatchdogTransientCadence(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{TransientEvery: 4}, 1)
+	var scans int
+	for i := 0; i < 12; i++ {
+		if w.BeginCheck() {
+			scans++
+		}
+	}
+	if scans != 3 {
+		t.Fatalf("scans = %d in 12 checks with TransientEvery=4", scans)
+	}
+}
+
+func sampleReport() *HangReport {
+	return &HangReport{
+		Reason:    "commit-stall",
+		Cycle:     8192,
+		MaxCycles: 1 << 20,
+		StuckCore: 1,
+		StallAge:  4096,
+		Cores: []cpu.Snapshot{
+			{ID: 0, Committed: 120, Done: true},
+			{ID: 1, Committed: 7, ROB: 3, LQ: 2, OldestLQ: "load x"},
+		},
+		Transients: []coherence.TransientLine{
+			{Bank: 5, Line: 0x40, State: "WB", Age: 5000, Pending: 2, HasTxn: true, Write: true, Requester: 1},
+			{Bank: 2, Line: 0x80, State: "Busy", Age: 10},
+		},
+		NetPerVNet:  [network.NumVNets]int{1, 0, 3},
+		NetInFlight: 4,
+	}
+}
+
+func TestHangReportRendering(t *testing.T) {
+	r := sampleReport()
+	if ot, ok := r.OldestTransient(); !ok || ot.State != "WB" {
+		t.Fatalf("oldest transient: %+v ok=%v", ot, ok)
+	}
+	head := r.Headline()
+	for _, want := range []string{"commit-stall", "core 1", "4096 cycles", "WB"} {
+		if !strings.Contains(head, want) {
+			t.Errorf("headline %q missing %q", head, want)
+		}
+	}
+	s := r.String()
+	for _, want := range []string{
+		"HANG REPORT",
+		"* core 1:", // the stuck core is marked
+		"  core 0:", // siblings are not
+		"state=WB",
+		"txn{write req=1",
+		"in flight: 4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHangReportCapsTransientListing(t *testing.T) {
+	r := sampleReport()
+	r.Transients = nil
+	for i := 0; i < 20; i++ {
+		r.Transients = append(r.Transients, coherence.TransientLine{Bank: network.Endpoint(i), State: "Busy"})
+	}
+	s := r.String()
+	if !strings.Contains(s, "... 12 more") {
+		t.Fatalf("long transient list not capped:\n%s", s)
+	}
+}
+
+func TestSimErrorKinds(t *testing.T) {
+	he := HangError(sampleReport())
+	if he.Kind != KindHang || !strings.HasPrefix(he.Error(), "sim hang: commit-stall") {
+		t.Fatalf("hang error: %v", he)
+	}
+	pe := func() (e *SimError) {
+		defer func() { e = PanicError(recover(), nil) }()
+		panic("index out of range [9]")
+	}()
+	if pe.Kind != KindPanic || !strings.Contains(pe.Error(), "index out of range") {
+		t.Fatalf("panic error: %v", pe)
+	}
+	if !strings.Contains(pe.Stack, "TestSimErrorKinds") {
+		t.Error("panic stack does not reach the panic site")
+	}
+	if !strings.Contains(pe.Detail(), "stack:") {
+		t.Error("Detail omits the stack")
+	}
+	if !strings.Contains(he.Detail(), "HANG REPORT") {
+		t.Error("Detail omits the report")
+	}
+
+	// AsSimError sees through wrapping.
+	wrapped := fmt.Errorf("seed 3: %w", he)
+	if se, ok := AsSimError(wrapped); !ok || se != he {
+		t.Fatal("AsSimError failed through a wrap")
+	}
+	if _, ok := AsSimError(fmt.Errorf("plain")); ok {
+		t.Fatal("AsSimError matched a plain error")
+	}
+}

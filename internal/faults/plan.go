@@ -1,0 +1,198 @@
+// Package faults provides the simulator's robustness machinery: the
+// deterministic fault plans that inject timing adversity and resource
+// pressure the coherence protocol must tolerate, the progress watchdog
+// that detects deadlock/livelock long before a cycle budget expires, and
+// the structured hang/panic reports (HangReport, SimError) that turn "the
+// run did not finish" into an actionable diagnosis.
+//
+// The paper's central robustness claim (§3.5) is that WritersBlock
+// lockdowns never deadlock and never let a forbidden TSO outcome escape.
+// Nominal-timing runs barely test that claim: the dangerous windows open
+// only under hostile message timing and exhausted resources. A Plan makes
+// those schedules first-class and reproducible — every knob is driven by
+// the simulation seed, so a failing (plan, workload, seed) triple replays
+// exactly.
+package faults
+
+import (
+	"fmt"
+
+	"wbsim/internal/coherence"
+	"wbsim/internal/cpu"
+	"wbsim/internal/network"
+)
+
+// Plan is one deterministic fault-injection plan. The zero value injects
+// nothing. Timing knobs are applied to the network configuration;
+// resource knobs (when non-zero) override the memory-system and core
+// geometry, shrinking the structures whose exhaustion the protocol's
+// liveness argument (§3.5.1–3.5.2) must survive.
+type Plan struct {
+	Name string
+
+	// Timing adversity (network).
+	JitterMax       int                       // uniform 0..n extra cycles on every message
+	SpikeProb       float64                   // per-message delay-spike probability
+	SpikeCycles     int                       // spike magnitude
+	VNetJitter      [network.NumVNets]int     // per-virtual-network jitter bursts
+	PerturbDelivery bool                      // randomize same-cycle delivery order (unordered pairs only)
+
+	// Resource pressure (zero keeps the configured value).
+	MSHRs         int // private cache unit MSHRs
+	ReservedMSHRs int // MSHRs reserved for SoS loads (applied when MSHRs is set)
+	EvictionBuf   int // directory eviction buffer entries
+	LLCLines      int
+	LLCWays       int
+	L2Lines       int
+	L2Ways        int
+	L1Lines       int
+	L1Ways        int
+	LDTSize       int // lockdown-table entries (the lockdown window)
+}
+
+// ApplyNet merges the plan's timing adversity into a network config.
+// JitterMax only ever grows the configured jitter.
+func (p *Plan) ApplyNet(cfg *network.Config) {
+	if p == nil {
+		return
+	}
+	if p.JitterMax > cfg.JitterMax {
+		cfg.JitterMax = p.JitterMax
+	}
+	if p.SpikeProb > 0 {
+		cfg.Faults.SpikeProb = p.SpikeProb
+		cfg.Faults.SpikeCycles = p.SpikeCycles
+	}
+	for v, j := range p.VNetJitter {
+		if j > cfg.Faults.VNetJitter[v] {
+			cfg.Faults.VNetJitter[v] = j
+		}
+	}
+	if p.PerturbDelivery {
+		cfg.Faults.PerturbDelivery = true
+	}
+}
+
+// ApplyMem overrides the memory-system geometry with the plan's pressure
+// knobs. Invalid combinations are clamped to the smallest legal shape
+// rather than panicking (the point of a plan is adversity, not a crash in
+// the builder).
+func (p *Plan) ApplyMem(par *coherence.Params) {
+	if p == nil {
+		return
+	}
+	if p.MSHRs > 0 {
+		par.MSHRs = p.MSHRs
+		par.ReservedMSHRs = p.ReservedMSHRs
+		if par.ReservedMSHRs >= par.MSHRs {
+			par.ReservedMSHRs = par.MSHRs - 1
+		}
+		if par.ReservedMSHRs < 0 {
+			par.ReservedMSHRs = 0
+		}
+	}
+	if p.EvictionBuf > 0 {
+		par.EvictionBuf = p.EvictionBuf
+	}
+	set := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	set(&par.LLCLines, p.LLCLines)
+	set(&par.LLCWays, p.LLCWays)
+	set(&par.L2Lines, p.L2Lines)
+	set(&par.L2Ways, p.L2Ways)
+	set(&par.L1Lines, p.L1Lines)
+	set(&par.L1Ways, p.L1Ways)
+}
+
+// ApplyCore overrides core geometry touched by the plan (the lockdown
+// window).
+func (p *Plan) ApplyCore(c *cpu.Config) {
+	if p == nil {
+		return
+	}
+	if p.LDTSize > 0 {
+		c.LDTSize = p.LDTSize
+	}
+}
+
+// Catalog returns the built-in fault plans the chaos campaign sweeps.
+// Each plan isolates one adversity class; "hostile" stacks several.
+func Catalog() []Plan {
+	return []Plan{
+		{
+			// Congested links: occasional large per-message delays open
+			// wide windows between a Nack and its DelayedAck.
+			Name:        "delay-spikes",
+			SpikeProb:   0.05,
+			SpikeCycles: 300,
+		},
+		{
+			// Skewed traffic classes: invalidations (fwd) fast, responses
+			// slow, requests slower — stresses the unordered-network
+			// races (DelayedAck overtaking Nack, stale Puts).
+			Name:       "vnet-skew",
+			VNetJitter: [network.NumVNets]int{53, 17, 37},
+		},
+		{
+			// Delivery-order perturbation among unordered endpoint pairs,
+			// plus mild jitter so batches actually form.
+			Name:            "reorder",
+			JitterMax:       16,
+			PerturbDelivery: true,
+		},
+		{
+			// MSHR starvation: two MSHRs, one reserved for SoS loads —
+			// the §3.5.2 deadlock-avoidance reservation is load-bearing.
+			Name:          "starve-mshr",
+			JitterMax:     8,
+			MSHRs:         2,
+			ReservedMSHRs: 1,
+		},
+		{
+			// Direct-mapped, nearly cache-less hierarchy: constant
+			// evictions, every lockdown window contested.
+			Name:    "skinny-cache",
+			L1Lines: 4, L1Ways: 1,
+			L2Lines: 16, L2Ways: 1,
+			LLCLines: 64, LLCWays: 2,
+			EvictionBuf: 2,
+			LDTSize:     2,
+		},
+		{
+			// Everything at once: spikes, perturbed delivery, a
+			// single-entry eviction buffer and lockdown window.
+			Name:            "hostile",
+			SpikeProb:       0.02,
+			SpikeCycles:     200,
+			PerturbDelivery: true,
+			JitterMax:       12,
+			EvictionBuf:     1,
+			LLCLines:        64,
+			LLCWays:         2,
+			LDTSize:         1,
+		},
+	}
+}
+
+// ByName returns the catalog plan with the given name.
+func ByName(name string) (Plan, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Plan{}, fmt.Errorf("faults: unknown plan %q", name)
+}
+
+// Names lists the catalog plan names in order.
+func Names() []string {
+	plans := Catalog()
+	names := make([]string, len(plans))
+	for i, p := range plans {
+		names[i] = p.Name
+	}
+	return names
+}

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"wbsim/internal/sim"
+)
+
+// WatchdogConfig bounds forward progress. The zero value selects the
+// defaults below; Disable turns the watchdog off (the MaxCycles budget
+// then remains the only backstop).
+type WatchdogConfig struct {
+	Disable bool
+	// StallBound is the maximum number of cycles a non-finished core may
+	// go without committing an instruction before the run is declared
+	// hung. The default is generous: every legitimate commit gap (cache
+	// miss chains, contended lockdowns, fault-plan delay spikes) is
+	// orders of magnitude shorter.
+	StallBound sim.Cycle
+	// TransientBound is the maximum age of a directory entry in a
+	// transient state (Fetching/Busy/WB). A WritersBlock entry older than
+	// this has a blocked writer that is never being released.
+	TransientBound sim.Cycle
+	// CheckPeriod is how often (in cycles) core progress is examined.
+	CheckPeriod sim.Cycle
+	// TransientEvery scans directory transient ages every N-th progress
+	// check; the scan walks every directory entry, so it runs far less
+	// often than the O(cores) core check.
+	TransientEvery int
+}
+
+// Defaults for zero fields.
+const (
+	DefaultStallBound     = sim.Cycle(1_000_000)
+	DefaultTransientBound = sim.Cycle(2_000_000)
+	DefaultCheckPeriod    = sim.Cycle(4096)
+	DefaultTransientEvery = 16
+)
+
+// withDefaults resolves zero fields.
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.StallBound == 0 {
+		c.StallBound = DefaultStallBound
+	}
+	if c.TransientBound == 0 {
+		c.TransientBound = DefaultTransientBound
+	}
+	if c.CheckPeriod == 0 {
+		c.CheckPeriod = DefaultCheckPeriod
+	}
+	if c.TransientEvery == 0 {
+		c.TransientEvery = DefaultTransientEvery
+	}
+	return c
+}
+
+// Watchdog tracks per-core committed-instruction watermarks and decides
+// when a run has stopped making progress. It is fed by the system's run
+// loop (single-threaded, like everything inside one simulation).
+type Watchdog struct {
+	cfg    WatchdogConfig
+	marks  []mark
+	checks uint64
+}
+
+type mark struct {
+	committed uint64
+	at        sim.Cycle
+}
+
+// NewWatchdog returns a watchdog for the given number of cores, resolving
+// config defaults.
+func NewWatchdog(cfg WatchdogConfig, cores int) *Watchdog {
+	return &Watchdog{cfg: cfg.withDefaults(), marks: make([]mark, cores)}
+}
+
+// Config returns the resolved configuration.
+func (w *Watchdog) Config() WatchdogConfig { return w.cfg }
+
+// Due reports whether core progress should be examined this cycle.
+func (w *Watchdog) Due(now sim.Cycle) bool {
+	return !w.cfg.Disable && now%w.cfg.CheckPeriod == 0
+}
+
+// BeginCheck counts one progress check and reports whether this check
+// should also scan directory transient ages.
+func (w *Watchdog) BeginCheck() (scanTransients bool) {
+	w.checks++
+	return w.checks%uint64(w.cfg.TransientEvery) == 0
+}
+
+// ObserveCore updates one core's progress watermark and reports the
+// core's current stall age and whether it exceeds the bound. Finished
+// cores never trip (their watermark is pinned to now).
+func (w *Watchdog) ObserveCore(now sim.Cycle, core int, done bool, committed uint64) (age sim.Cycle, tripped bool) {
+	m := &w.marks[core]
+	if done || committed != m.committed {
+		m.committed = committed
+		m.at = now
+		return 0, false
+	}
+	age = now - m.at
+	return age, age > w.cfg.StallBound
+}

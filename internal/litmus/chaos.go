@@ -1,0 +1,132 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wbsim/internal/core"
+	"wbsim/internal/faults"
+)
+
+// ChaosCell is one (plan, test, variant) point of a chaos campaign, with
+// the aggregated multi-seed Result.
+type ChaosCell struct {
+	Plan    string
+	Variant core.Variant
+	Result  Result
+}
+
+// Failed reports whether the cell saw a forbidden outcome, a hang, or a
+// contained panic.
+func (c *ChaosCell) Failed() bool {
+	return c.Result.Violations > 0 || len(c.Result.Errors) > 0
+}
+
+// ChaosSummary aggregates a whole campaign.
+type ChaosSummary struct {
+	Cells      []ChaosCell
+	Runs       int
+	Violations int
+	Hangs      int
+	Panics     int
+}
+
+// Failed reports whether any cell failed.
+func (s *ChaosSummary) Failed() bool {
+	return s.Violations > 0 || s.Hangs > 0 || s.Panics > 0
+}
+
+// FailedCells returns the failing cells.
+func (s *ChaosSummary) FailedCells() []ChaosCell {
+	var out []ChaosCell
+	for _, c := range s.Cells {
+		if c.Failed() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders a per-plan/per-variant roll-up plus a detail line for
+// every failing cell (including the first error's full hang report).
+func (s *ChaosSummary) String() string {
+	type key struct {
+		plan    string
+		variant core.Variant
+	}
+	agg := make(map[key]*ChaosSummary)
+	var order []key
+	for _, c := range s.Cells {
+		k := key{c.Plan, c.Variant}
+		a := agg[k]
+		if a == nil {
+			a = &ChaosSummary{}
+			agg[k] = a
+			order = append(order, k)
+		}
+		a.Runs += c.Result.Runs
+		a.Violations += c.Result.Violations
+		a.Hangs += c.Result.Hangs
+		a.Panics += c.Result.Panics
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].plan != order[j].plan {
+			return order[i].plan < order[j].plan
+		}
+		return order[i].variant < order[j].variant
+	})
+	var b strings.Builder
+	for _, k := range order {
+		a := agg[k]
+		status := "ok"
+		if a.Violations > 0 || a.Hangs > 0 || a.Panics > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-14s %-13s %5d runs  %d violations  %d hangs  %d panics  %s\n",
+			k.plan, k.variant, a.Runs, a.Violations, a.Hangs, a.Panics, status)
+	}
+	for _, c := range s.FailedCells() {
+		fmt.Fprintf(&b, "--- FAILED %s × %s × %s: %d violations, %d hangs, %d panics\n",
+			c.Plan, c.Result.Test, c.Variant, c.Result.Violations, c.Result.Hangs, c.Result.Panics)
+		if len(c.Result.Errors) > 0 {
+			err := c.Result.Errors[0]
+			if se, ok := faults.AsSimError(err); ok {
+				b.WriteString(se.Detail())
+				if !strings.HasSuffix(se.Detail(), "\n") {
+					b.WriteString("\n")
+				}
+			} else {
+				fmt.Fprintf(&b, "%v\n", err)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "chaos: %d runs total — %d violations, %d hangs, %d panics\n",
+		s.Runs, s.Violations, s.Hangs, s.Panics)
+	return b.String()
+}
+
+// Chaos sweeps fault plans × tests × variants, running opts.Seeds
+// independent seeds per cell (each seed perturbs programs, network
+// timing, and the plan's injected adversity deterministically). It is
+// the executable form of the paper's §3.5 claim: under every plan, every
+// sound variant must produce zero forbidden outcomes and zero hangs.
+func Chaos(tests []Test, variants []core.Variant, plans []faults.Plan, opts Options) *ChaosSummary {
+	s := &ChaosSummary{}
+	for _, plan := range plans {
+		p := plan
+		for _, t := range tests {
+			for _, v := range variants {
+				o := opts
+				o.Plan = &p
+				cell := ChaosCell{Plan: p.Name, Variant: v, Result: Run(t, v, o)}
+				s.Cells = append(s.Cells, cell)
+				s.Runs += cell.Result.Runs + len(cell.Result.Errors)
+				s.Violations += cell.Result.Violations
+				s.Hangs += cell.Result.Hangs
+				s.Panics += cell.Result.Panics
+			}
+		}
+	}
+	return s
+}

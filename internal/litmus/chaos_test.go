@@ -1,0 +1,90 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"wbsim/internal/core"
+	"wbsim/internal/faults"
+)
+
+// TestChaosMatrix is the campaign acceptance bar: the full litmus suite
+// under every catalog fault plan and every sound variant must produce
+// zero forbidden outcomes, zero hangs, and zero panics.
+func TestChaosMatrix(t *testing.T) {
+	plans := faults.Catalog()
+	if len(plans) < 3 {
+		t.Fatalf("catalog too small for the campaign: %d plans", len(plans))
+	}
+	opts := Options{Seeds: 8, Jitter: 24}
+	if testing.Short() {
+		opts.Seeds = 3
+	}
+	sum := Chaos(Suite(), core.Variants, plans, opts)
+	if sum.Failed() {
+		t.Fatalf("chaos campaign failed:\n%s", sum.String())
+	}
+	want := len(Suite()) * len(core.Variants) * len(plans) * opts.Seeds
+	if sum.Runs != want {
+		t.Fatalf("runs = %d, want %d", sum.Runs, want)
+	}
+	if len(sum.FailedCells()) != 0 {
+		t.Fatal("Failed() false but FailedCells non-empty")
+	}
+	if !strings.Contains(sum.String(), "runs total") {
+		t.Error("summary rendering lost the totals line")
+	}
+}
+
+// TestChaosInducedHang drops the watchdog stall bound to 1 cycle so
+// every seed trips immediately, and checks that the hang surfaces as a
+// classified count plus a SimError whose report names the stuck core.
+func TestChaosInducedHang(t *testing.T) {
+	opts := Options{
+		Seeds:    2,
+		Jitter:   4,
+		Watchdog: faults.WatchdogConfig{StallBound: 1, CheckPeriod: 2, TransientEvery: 1},
+	}
+	res := Run(Suite()[0], core.OoOWB, opts)
+	if res.Hangs != opts.Seeds || res.Panics != 0 {
+		t.Fatalf("hangs=%d panics=%d, want %d hangs", res.Hangs, res.Panics, opts.Seeds)
+	}
+	if res.Runs != 0 {
+		t.Fatalf("%d runs counted as successful despite tripping", res.Runs)
+	}
+	se, ok := faults.AsSimError(res.Errors[0])
+	if !ok || se.Kind != faults.KindHang {
+		t.Fatalf("want hang SimError, got %v", res.Errors[0])
+	}
+	if se.Report == nil || se.Report.Reason != "commit-stall" || se.Report.StuckCore < 0 {
+		t.Fatalf("report does not name the stuck core: %+v", se.Report)
+	}
+
+	// The same trip shows up in a campaign summary as a FAILED cell with
+	// the full hang report inlined.
+	sum := Chaos(Suite()[:1], []core.Variant{core.OoOWB}, faults.Catalog()[:1], opts)
+	if !sum.Failed() || sum.Hangs == 0 {
+		t.Fatalf("induced hang invisible to the campaign: %+v", sum)
+	}
+	out := sum.String()
+	for _, want := range []string{"FAIL", "--- FAILED", "HANG REPORT", "commit-stall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosDeterministic: a campaign cell is a pure function of its
+// options — identical reruns give identical histograms.
+func TestChaosDeterministic(t *testing.T) {
+	plan, err := faults.ByName("reorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seeds: 10, Jitter: 24, Plan: &plan}
+	a := Run(Suite()[0], core.OoOBase, opts)
+	b := Run(Suite()[0], core.OoOBase, opts)
+	if a.String() != b.String() {
+		t.Fatalf("chaos cell not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

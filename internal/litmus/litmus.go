@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"wbsim/internal/core"
+	"wbsim/internal/faults"
 	"wbsim/internal/isa"
 	"wbsim/internal/mem"
 	"wbsim/internal/runner"
@@ -58,6 +59,8 @@ type Result struct {
 	Outcomes   map[string]int // canonical outcome string -> count
 	Violations int
 	Errors     []error
+	Hangs      int // errors classified as watchdog/budget hangs
+	Panics     int // errors classified as contained panics
 }
 
 // String renders the outcome histogram.
@@ -85,6 +88,15 @@ type Options struct {
 	// into the Result in seed order, so the outcome histogram, violation
 	// count, and error list are identical at any parallelism.
 	Parallel int
+	// Plan, when non-nil, injects the fault plan into every seed's
+	// machine (chaos campaigns).
+	Plan *faults.Plan
+	// MaxCycles overrides the small-config cycle budget when > 0, so a
+	// hang found by the chaos campaign reproduces quickly.
+	MaxCycles sim.Cycle
+	// Watchdog overrides the hang detector (tests set tiny bounds to
+	// induce trips on demand).
+	Watchdog faults.WatchdogConfig
 }
 
 // DefaultOptions are suitable for CI tests.
@@ -103,13 +115,18 @@ type seedOutcome struct {
 func Run(t Test, variant core.Variant, opts Options) Result {
 	outs := make([]seedOutcome, opts.Seeds)
 	_ = runner.ForEach(context.Background(), opts.Parallel, opts.Seeds, func(_ context.Context, i int) error {
-		outs[i] = runSeed(t, variant, uint64(i+1), opts.Jitter)
+		outs[i] = runSeed(t, variant, uint64(i+1), opts)
 		return nil // per-seed errors are part of the Result, not fatal
 	})
 	res := Result{Test: t.Name, Outcomes: make(map[string]int)}
 	for _, o := range outs {
 		if o.err != nil {
 			res.Errors = append(res.Errors, o.err)
+			if se, ok := faults.AsSimError(o.err); ok && se.Kind == faults.KindPanic {
+				res.Panics++
+			} else {
+				res.Hangs++
+			}
 			continue
 		}
 		res.Outcomes[o.key]++
@@ -121,11 +138,23 @@ func Run(t Test, variant core.Variant, opts Options) Result {
 	return res
 }
 
-// runSeed executes one fully independent simulation of the test.
-func runSeed(t Test, variant core.Variant, seed uint64, jitter int) seedOutcome {
+// runSeed executes one fully independent simulation of the test. Panics
+// while building the system are contained here (System.Run has its own
+// recover boundary), so one bad seed cannot kill the campaign.
+func runSeed(t Test, variant core.Variant, seed uint64, opts Options) (out seedOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = seedOutcome{err: fmt.Errorf("seed %d: %w", seed, faults.PanicError(r, nil))}
+		}
+	}()
 	cfg := core.SmallConfig(t.Cores, variant)
 	cfg.Seed = seed
-	cfg.JitterMax = jitter
+	cfg.JitterMax = opts.Jitter
+	cfg.Faults = opts.Plan
+	cfg.Watchdog = opts.Watchdog
+	if opts.MaxCycles > 0 {
+		cfg.MaxCycles = opts.MaxCycles
+	}
 	rng := sim.NewRand(seed * 0x9e37)
 	programs := t.Build(rng)
 	sys := core.NewSystem(cfg, programs)

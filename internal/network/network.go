@@ -72,6 +72,40 @@ type Receiver interface {
 	Receive(now sim.Cycle, msg *Message)
 }
 
+// Faults describes transport-level adversity injected by a fault plan
+// (internal/faults). All knobs are deterministic given the mesh RNG seed,
+// and all of them only exercise freedom the network contract already
+// grants: messages between different endpoint pairs are unordered, and
+// per-message latency carries no protocol meaning beyond forward progress.
+type Faults struct {
+	// SpikeProb is the per-message probability of a delay spike of
+	// SpikeCycles extra cycles (a congested or power-gated link).
+	SpikeProb   float64
+	SpikeCycles int
+	// VNetJitter[v] adds a uniform 0..VNetJitter[v] extra cycles to every
+	// message on virtual network v, skewing one traffic class (e.g. slow
+	// invalidations racing fast responses) independently of the others.
+	VNetJitter [NumVNets]int
+	// PerturbDelivery randomizes the delivery order among messages that
+	// become deliverable on the same cycle. Relative order of messages
+	// between the same (src, dst) pair is preserved, so the perturbation
+	// stays within the unordered-pairs contract.
+	PerturbDelivery bool
+}
+
+// Active reports whether any fault knob is set.
+func (f Faults) Active() bool {
+	if f.SpikeProb > 0 || f.PerturbDelivery {
+		return true
+	}
+	for _, j := range f.VNetJitter {
+		if j > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Config describes the mesh geometry and timing.
 type Config struct {
 	Width, Height int // routers; the paper uses 4x4 for 16 tiles
@@ -83,6 +117,8 @@ type Config struct {
 	// message. Zero for performance runs; litmus runs use it to explore
 	// interleavings. Deterministic given the seed.
 	JitterMax int
+	// Faults injects deterministic timing adversity (fault plans).
+	Faults Faults
 }
 
 // DefaultConfig returns the paper's Table 6 network configuration for n
@@ -116,6 +152,7 @@ type Stats struct {
 	FlitHops    uint64 // flits x links traversed: the traffic metric
 	PerVNet     [NumVNets]uint64
 	MaxInFlight int
+	Spikes      uint64 // injected delay spikes (fault plans)
 }
 
 // Mesh is the interconnect instance.
@@ -136,8 +173,8 @@ func NewMesh(cfg Config, rng *sim.Rand) *Mesh {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		panic("network: mesh dimensions must be positive")
 	}
-	if cfg.JitterMax > 0 && rng == nil {
-		panic("network: jitter requires an RNG")
+	if (cfg.JitterMax > 0 || cfg.Faults.Active()) && rng == nil {
+		panic("network: jitter/faults require an RNG")
 	}
 	return &Mesh{
 		cfg:      cfg,
@@ -232,6 +269,13 @@ func (m *Mesh) Send(now sim.Cycle, msg *Message) {
 	if m.cfg.JitterMax > 0 {
 		arrival += sim.Cycle(m.rng.Intn(m.cfg.JitterMax + 1))
 	}
+	if j := m.cfg.Faults.VNetJitter[msg.VNet]; j > 0 {
+		arrival += sim.Cycle(m.rng.Intn(j + 1))
+	}
+	if p := m.cfg.Faults.SpikeProb; p > 0 && m.rng.Bool(p) {
+		arrival += sim.Cycle(m.cfg.Faults.SpikeCycles)
+		m.stats.Spikes++
+	}
 
 	msg.arrival = arrival
 	msg.seq = m.seq
@@ -248,24 +292,86 @@ func (m *Mesh) Send(now sim.Cycle, msg *Message) {
 }
 
 // Tick delivers every message whose arrival cycle has been reached, in
-// deterministic (arrival, injection) order.
+// deterministic (arrival, injection) order — or, under the
+// PerturbDelivery fault, in a seed-determined random interleaving that
+// preserves per-(src, dst)-pair order.
 func (m *Mesh) Tick(now sim.Cycle) {
+	if m.cfg.Faults.PerturbDelivery {
+		m.tickPerturbed(now)
+		return
+	}
 	for m.inFlight.Len() > 0 {
 		next := m.inFlight[0]
 		if next.arrival > now {
 			return
 		}
 		heap.Pop(&m.inFlight)
-		r, ok := m.recvOf[next.Dst]
-		if !ok {
-			panic(fmt.Sprintf("network: message to unattached endpoint %d", next.Dst))
-		}
-		r.Receive(now, next)
+		m.deliver(now, next)
 	}
+}
+
+// tickPerturbed gathers the cycle's deliverable batch and delivers it in
+// a randomized order. Messages between the same endpoint pair keep their
+// relative (arrival, injection) order — the batch is heap-popped in that
+// order and each pair's queue is consumed front-first — so only the
+// ordering freedom the mesh never promised (between different pairs) is
+// exercised. Deliveries cannot extend the batch: a Receive may Send, but
+// new messages always arrive at a strictly later cycle.
+func (m *Mesh) tickPerturbed(now sim.Cycle) {
+	var batch []*Message
+	for m.inFlight.Len() > 0 && m.inFlight[0].arrival <= now {
+		batch = append(batch, heap.Pop(&m.inFlight).(*Message))
+	}
+	if len(batch) == 0 {
+		return
+	}
+	type pair struct{ src, dst Endpoint }
+	queues := make(map[pair][]*Message)
+	var order []pair
+	for _, msg := range batch {
+		p := pair{msg.Src, msg.Dst}
+		if _, seen := queues[p]; !seen {
+			order = append(order, p)
+		}
+		queues[p] = append(queues[p], msg)
+	}
+	for len(order) > 0 {
+		i := m.rng.Intn(len(order))
+		p := order[i]
+		q := queues[p]
+		msg := q[0]
+		if len(q) == 1 {
+			order[i] = order[len(order)-1]
+			order = order[:len(order)-1]
+			delete(queues, p)
+		} else {
+			queues[p] = q[1:]
+		}
+		m.deliver(now, msg)
+	}
+}
+
+// deliver hands a message to its endpoint's receiver.
+func (m *Mesh) deliver(now sim.Cycle, msg *Message) {
+	r, ok := m.recvOf[msg.Dst]
+	if !ok {
+		panic(fmt.Sprintf("network: message to unattached endpoint %d", msg.Dst))
+	}
+	r.Receive(now, msg)
 }
 
 // Quiescent reports whether no messages are in flight.
 func (m *Mesh) Quiescent() bool { return m.inFlight.Len() == 0 }
+
+// InFlightCensus counts the messages currently in flight on each virtual
+// network (for hang reports).
+func (m *Mesh) InFlightCensus() (perVNet [NumVNets]int, total int) {
+	for _, msg := range m.inFlight {
+		perVNet[msg.VNet]++
+		total++
+	}
+	return perVNet, total
+}
 
 // Stats returns a copy of the traffic statistics.
 func (m *Mesh) Stats() Stats { return m.stats }

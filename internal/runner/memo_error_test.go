@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestMemoDoesNotCacheErrors: a failed computation must not poison its
+// key — the next caller recomputes and can succeed.
+func TestMemoDoesNotCacheErrors(t *testing.T) {
+	m := NewMemo[int]()
+	boom := errors.New("boom")
+	calls := 0
+	fn := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, boom
+		}
+		return 42, nil
+	}
+	if _, err := m.Do("k", fn); err != boom {
+		t.Fatalf("first call: %v", err)
+	}
+	v, err := m.Do("k", fn)
+	if err != nil || v != 42 {
+		t.Fatalf("retry after error: v=%d err=%v", v, err)
+	}
+	// The success IS cached.
+	if v, _ := m.Do("k", fn); v != 42 || calls != 2 {
+		t.Fatalf("success not cached: v=%d calls=%d", v, calls)
+	}
+	if jobs, hits := m.Stats(); jobs != 2 || hits != 1 {
+		t.Fatalf("jobs=%d hits=%d, want 2/1", jobs, hits)
+	}
+}
+
+// TestMemoErrorReleasesWaiters: callers already in flight on a failing
+// key observe its error exactly once, then the key is free to recompute.
+func TestMemoErrorReleasesWaiters(t *testing.T) {
+	m := NewMemo[int]()
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Do("k", func() (int, error) {
+			close(entered)
+			<-release
+			return 0, boom
+		})
+	}()
+	<-entered
+	var waitErrs [3]error
+	for i := range waitErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, waitErrs[i] = m.Do("k", func() (int, error) { return 7, nil })
+		}(i)
+	}
+	// The waiters may either join the in-flight failing computation (and
+	// see boom) or, racing the deletion, recompute and succeed. Either
+	// way nobody hangs and nobody sees a cached failure afterwards.
+	close(release)
+	wg.Wait()
+	for i, err := range waitErrs {
+		if err != nil && err != boom {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if v, err := m.Do("k", func() (int, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("post-error compute: v=%d err=%v", v, err)
+	}
+}

@@ -92,8 +92,11 @@ func ForEach(ctx context.Context, parallel, n int, fn func(ctx context.Context, 
 // computations keyed by canonical strings. The first caller of a key
 // computes; concurrent callers of the same key wait for that computation
 // instead of duplicating it; later callers get the cached value. Errors
-// are cached too: the computations memoized here are deterministic, so
-// re-running a failed one would fail identically.
+// are never cached: callers already in flight on a failing key observe
+// its error once, but the entry is dropped before completing, so the
+// next caller recomputes. A failed or panicked job (hangs, contained
+// panics, resource exhaustion) must not poison the cache for the rest
+// of a campaign — especially one that retries with different budgets.
 type Memo[V any] struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry[V]
@@ -129,6 +132,15 @@ func (m *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
 
 	m.jobs.Add(1)
 	e.val, e.err = fn()
+	if e.err != nil {
+		// Drop the entry before releasing waiters: no future Do call may
+		// be served a cached failure.
+		m.mu.Lock()
+		if m.entries[key] == e {
+			delete(m.entries, key)
+		}
+		m.mu.Unlock()
+	}
 	close(e.done)
 	return e.val, e.err
 }

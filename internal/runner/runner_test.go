@@ -145,7 +145,7 @@ func TestMemoDistinctKeys(t *testing.T) {
 	}
 }
 
-func TestMemoCachesErrors(t *testing.T) {
+func TestMemoRecomputesErrors(t *testing.T) {
 	m := NewMemo[int]()
 	boom := errors.New("boom")
 	var computed atomic.Int64
@@ -158,7 +158,7 @@ func TestMemoCachesErrors(t *testing.T) {
 			t.Fatalf("err = %v", err)
 		}
 	}
-	if c := computed.Load(); c != 1 {
-		t.Fatalf("failed computation ran %d times, want 1 (errors are memoized)", c)
+	if c := computed.Load(); c != 3 {
+		t.Fatalf("failed computation ran %d times, want 3 (errors are never cached)", c)
 	}
 }

@@ -2,16 +2,27 @@ package workload
 
 import (
 	"wbsim/internal/core"
+	"wbsim/internal/faults"
 )
 
 // Run builds a system for the workload and executes it to completion,
 // returning the system (for inspection) and the collected results.
-func Run(w Workload, cfg core.Config, scale int) (*core.System, core.Results, error) {
+//
+// Panics while building the system (bad configuration, bad program) are
+// contained here and returned as *faults.SimError, mirroring the recover
+// boundary inside System.Run, so a fleet of jobs survives any single bad
+// (workload, config, seed) combination.
+func Run(w Workload, cfg core.Config, scale int) (sys *core.System, res core.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = faults.PanicError(r, nil)
+		}
+	}()
 	progs := w.Build(cfg.Cores, scale)
-	sys := core.NewSystem(cfg, progs)
+	sys = core.NewSystem(cfg, progs)
 	if w.Init != nil {
 		w.Init(sys.Memory, cfg.Cores, scale)
 	}
-	_, err := sys.Run()
+	_, err = sys.Run()
 	return sys, sys.Collect(), err
 }
