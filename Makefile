@@ -8,9 +8,10 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint race bench chaos-short chaos
+.PHONY: verify build test vet lint race bench chaos-short chaos \
+	alloc-gate golden-short golden-full profile bench-compare bench-kernel
 
-verify: build vet lint test race chaos-short
+verify: build vet lint test race alloc-gate golden-short chaos-short
 
 build:
 	$(GO) build ./...
@@ -48,5 +49,50 @@ chaos-short:
 chaos:
 	$(GO) run ./cmd/litmus -chaos -seeds 12
 
+# Zero-allocation gates for the event-driven kernel: a warmed-up mesh
+# cycle and a drained System.Step may not allocate (see DESIGN.md,
+# "Simulation kernel & performance model").
+alloc-gate:
+	$(GO) test -count=1 -run 'ZeroAlloc' ./internal/network ./internal/core
+
+# Determinism goldens: tool stdout must be byte-identical to the
+# pre-kernel-change captures in testdata/. golden-short runs the fast
+# ones (litmus suite, chaos campaign, tsosim); golden-full adds the
+# complete evaluation (fig8/9/10 + squash + ablations, ~1.5 min).
+golden-short:
+	$(GO) test -count=1 -run 'TestGoldenOutputs' .
+
+golden-full:
+	WBSIM_GOLDEN_FULL=1 $(GO) test -count=1 -timeout 30m -run 'TestGoldenOutputs' .
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# Kernel microbenchmarks: cycles/sec and allocs/op for the scheduler's
+# inner loop and the mesh (loaded and quiescent).
+bench-kernel:
+	$(GO) test -count=1 -run '^$$' -bench 'SystemStep' -benchtime 50000x -benchmem ./internal/core
+	$(GO) test -count=1 -run '^$$' -bench 'MeshTick' -benchtime 200000x -benchmem ./internal/network
+
+# End-to-end throughput benchmark, compared against the checked-in
+# pre-change record (BENCH_baseline.json). Uses benchstat when it is
+# installed; otherwise prints the new numbers next to the baseline.
+bench-compare:
+	@$(GO) test -count=3 -run '^$$' -bench 'SimulatorThroughput' -benchtime 3x -benchmem . | tee /tmp/wbsim-bench-new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		grep -E '^Benchmark' /tmp/wbsim-bench-new.txt > /tmp/wbsim-bench-new.bench; \
+		python3 -c 'import json;d=json.load(open("BENCH_baseline.json"))["benchmarks"]["BenchmarkSimulatorThroughput"];print("BenchmarkSimulatorThroughput 1 %d ns/op %d B/op %d allocs/op"%(d["ns_per_op"],d["bytes_per_op"],d["allocs_per_op"]))' > /tmp/wbsim-bench-base.bench; \
+		benchstat /tmp/wbsim-bench-base.bench /tmp/wbsim-bench-new.bench; \
+	else \
+		echo "--- baseline (BENCH_baseline.json) ---"; \
+		python3 -c 'import json;d=json.load(open("BENCH_baseline.json"))["benchmarks"]["BenchmarkSimulatorThroughput"];print("ns/op=%d  sim-cycles/op=%d  B/op=%d  allocs/op=%d"%(d["ns_per_op"],d["sim_cycles_per_op"],d["bytes_per_op"],d["allocs_per_op"]))'; \
+	fi
+
+# CPU+heap profile of a representative run (fft + lu_cb, 4 cores), then
+# the top-10 consumers of each. Profiles land in ./cpu.pprof, ./mem.pprof.
+profile:
+	$(GO) build -o /tmp/wbsim-profile-tsosim ./cmd/tsosim
+	/tmp/wbsim-profile-tsosim -workload fft,lu_cb -cores 4 -scale 1 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount=10 /tmp/wbsim-profile-tsosim cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space /tmp/wbsim-profile-tsosim mem.pprof

@@ -32,11 +32,14 @@ import (
 	"wbsim/internal/experiments"
 	"wbsim/internal/faults"
 	"wbsim/internal/litmus"
+	"wbsim/internal/profiling"
 	"wbsim/internal/sim"
 	"wbsim/internal/stats"
 )
 
-func main() {
+func main() { os.Exit(mainExit()) }
+
+func mainExit() int {
 	var (
 		cores      = flag.Int("cores", 16, "number of cores")
 		scale      = flag.Int("scale", 2, "workload scale factor")
@@ -46,7 +49,17 @@ func main() {
 		maxCycles  = flag.Uint64("max-cycles", 0, "cycle budget per simulation (0: config default)")
 		chaosSeeds = flag.Int("chaos-seeds", 8, "seeds per (plan, test, variant) chaos cell")
 	)
+	prof := profiling.AddFlags()
 	flag.Parse()
+	profiling.TuneGC()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	defer stopProf()
+
 	opt := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed, MaxCycles: sim.Cycle(*maxCycles)}
 	eng := experiments.NewEngine(*parallel)
 
@@ -140,19 +153,22 @@ func main() {
 		})
 		if *jsonOut {
 			out, err := json.MarshalIndent(summary, "", "  ")
-			exitOn(err)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
 			fmt.Println(string(out))
 		} else {
 			fmt.Print(summary.String())
 		}
 		if summary.Failed() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (fig8|fig9|fig10|squash|ablations|chaos|all)\n", what)
-		os.Exit(2)
+		return 2
 	}
 
 	if *jsonOut {
@@ -164,7 +180,10 @@ func main() {
 			Errors   []string                 `json:"errors,omitempty"`
 		}{tables, metrics, eng.Report(), eng.Failures(), runErrs}
 		out, err := json.MarshalIndent(doc, "", "  ")
-		exitOn(err)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
 		fmt.Println(string(out))
 	} else {
 		fmt.Fprintf(os.Stderr, "-- engine report --\n%s", eng.Report())
@@ -174,13 +193,7 @@ func main() {
 		}
 	}
 	if len(runErrs) > 0 {
-		os.Exit(1)
+		return 1
 	}
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
-	}
+	return 0
 }

@@ -25,10 +25,13 @@ import (
 	"wbsim/internal/core"
 	"wbsim/internal/faults"
 	"wbsim/internal/litmus"
+	"wbsim/internal/profiling"
 	"wbsim/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		name      = flag.String("test", "", "run only the named test")
 		seeds     = flag.Int("seeds", 60, "independent runs per test/variant")
@@ -41,7 +44,16 @@ func main() {
 		variants  = flag.String("variants", "", "comma-separated variants (default: all sound variants)")
 		maxCycles = flag.Uint64("max-cycles", 0, "cycle budget per run (0: config default)")
 	)
+	prof := profiling.AddFlags()
 	flag.Parse()
+	profiling.TuneGC()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+		return 2
+	}
+	defer stopProf()
 
 	opts := litmus.Options{
 		Seeds:     *seeds,
@@ -51,7 +63,10 @@ func main() {
 	}
 	if *planName != "" {
 		p, err := faults.ByName(*planName)
-		exitOn(err)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+			return 2
+		}
 		opts.Plan = &p
 	}
 
@@ -73,7 +88,7 @@ func main() {
 		}
 		if len(keep) == 0 {
 			fmt.Fprintf(os.Stderr, "litmus: unknown test %q\n", *name)
-			os.Exit(2)
+			return 2
 		}
 		tests = keep
 	}
@@ -84,16 +99,19 @@ func main() {
 			catalog = nil
 			for _, n := range strings.Split(*plans, ",") {
 				p, err := faults.ByName(strings.TrimSpace(n))
-				exitOn(err)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+					return 2
+				}
 				catalog = append(catalog, p)
 			}
 		}
 		summary := litmus.Chaos(tests, vs, catalog, opts)
 		fmt.Print(summary.String())
 		if summary.Failed() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	failed := false
@@ -128,13 +146,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
-		os.Exit(2)
-	}
+	return 0
 }

@@ -26,32 +26,44 @@ import (
 
 	"wbsim/internal/core"
 	"wbsim/internal/faults"
+	"wbsim/internal/profiling"
 	"wbsim/internal/runner"
 	"wbsim/internal/sim"
 	"wbsim/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		names    = flag.String("workload", "fft", "comma-separated workload names, or \"all\" (see -list)")
-		class    = flag.String("class", "SLM", "core class: SLM, NHM, HSW")
-		variant  = flag.String("variant", "ooo-wb", "system variant: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe")
-		cores    = flag.Int("cores", 16, "number of cores")
-		scale    = flag.Int("scale", 1, "workload scale factor")
+		names     = flag.String("workload", "fft", "comma-separated workload names, or \"all\" (see -list)")
+		class     = flag.String("class", "SLM", "core class: SLM, NHM, HSW")
+		variant   = flag.String("variant", "ooo-wb", "system variant: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe")
+		cores     = flag.Int("cores", 16, "number of cores")
+		scale     = flag.Int("scale", 1, "workload scale factor")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (<=0: GOMAXPROCS)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 		maxCycles = flag.Uint64("max-cycles", 0, "cycle budget per run (0: config default)")
 		planName  = flag.String("plan", "", "inject a named fault plan (see internal/faults)")
 	)
+	prof := profiling.AddFlags()
 	flag.Parse()
+	profiling.TuneGC()
 
 	if *list {
 		for _, w := range workload.All() {
 			fmt.Printf("%-14s %-8s %s\n", w.Name, w.Suite, w.Pattern)
 		}
-		return
+		return 0
 	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsosim: %v\n", err)
+		return 2
+	}
+	defer stopProf()
 
 	var ws []workload.Workload
 	if *names == "all" {
@@ -62,7 +74,7 @@ func main() {
 			w, ok := workload.Get(name)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "tsosim: unknown workload %q (use -list)\n", name)
-				os.Exit(1)
+				return 1
 			}
 			ws = append(ws, w)
 		}
@@ -78,7 +90,7 @@ func main() {
 		p, err := faults.ByName(*planName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsosim: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		cfg.Faults = &p
 	}
@@ -86,7 +98,7 @@ func main() {
 	// Fan the independent simulations across workers; results land in
 	// per-workload slots so reports print in the order named.
 	results := make([]core.Results, len(ws))
-	err := runner.ForEach(context.Background(), *parallel, len(ws), func(_ context.Context, i int) error {
+	err = runner.ForEach(context.Background(), *parallel, len(ws), func(_ context.Context, i int) error {
 		_, res, err := workload.Run(ws[i], cfg, *scale)
 		if err != nil {
 			return fmt.Errorf("%s: %w", ws[i].Name, err)
@@ -99,7 +111,7 @@ func main() {
 		if se, ok := faults.AsSimError(err); ok {
 			fmt.Fprint(os.Stderr, se.Detail())
 		}
-		os.Exit(1)
+		return 1
 	}
 
 	for i, w := range ws {
@@ -108,6 +120,7 @@ func main() {
 		}
 		printRun(w, cfg, *class, *variant, results[i])
 	}
+	return 0
 }
 
 func printRun(w workload.Workload, cfg core.Config, class, variant string, res core.Results) {

@@ -22,18 +22,30 @@ type Entry struct {
 	valid bool
 	lru   uint64
 	set   int
+	way   int
 }
 
 // Valid reports whether the frame holds a line.
 func (e *Entry) Valid() bool { return e.valid }
 
-// Array is a set-associative cache array.
+// Array is a set-associative cache array. Frame storage is allocated
+// per set on first touch: most simulated runs reference a small fraction
+// of a megabyte-sized LLC bank, and eagerly zeroing every frame of every
+// array dominated machine-construction cost. A set's frame slice is
+// never reallocated once created, so *Entry pointers handed out stay
+// valid for the array's lifetime.
 type Array struct {
-	sets    int
-	ways    int
-	frames  []Entry
-	index   map[mem.Line]*Entry
-	lruTick uint64
+	sets   int
+	ways   int
+	frames [][]Entry // frames[set], nil until the set is first touched
+	// tags mirrors the Line of every valid frame in a dense per-set
+	// word array: a lookup scans one cache line of tags instead of
+	// striding across the full (data-carrying) Entry structs. A tag is
+	// meaningful only while its frame is valid; Evict leaves it stale,
+	// which costs at most one extra valid check on a later scan.
+	tags     [][]mem.Line
+	occupied int
+	lruTick  uint64
 }
 
 // NewArray builds an array with the given line capacity and associativity.
@@ -42,16 +54,27 @@ func NewArray(capacityLines, ways int) *Array {
 	if capacityLines <= 0 || ways <= 0 || capacityLines%ways != 0 {
 		panic(fmt.Sprintf("cache: bad geometry capacity=%d ways=%d", capacityLines, ways))
 	}
-	a := &Array{
+	return &Array{
 		sets:   capacityLines / ways,
 		ways:   ways,
-		frames: make([]Entry, capacityLines),
-		index:  make(map[mem.Line]*Entry, capacityLines),
+		frames: make([][]Entry, capacityLines/ways),
+		tags:   make([][]mem.Line, capacityLines/ways),
 	}
-	for i := range a.frames {
-		a.frames[i].set = i / ways
+}
+
+// setFrames returns set's frame slice, allocating it on first touch.
+func (a *Array) setFrames(set int) []Entry {
+	fs := a.frames[set]
+	if fs == nil {
+		fs = make([]Entry, a.ways)
+		for i := range fs {
+			fs[i].set = set
+			fs[i].way = i
+		}
+		a.frames[set] = fs
+		a.tags[set] = make([]mem.Line, a.ways)
 	}
-	return a
+	return fs
 }
 
 // Sets returns the number of sets.
@@ -74,9 +97,19 @@ func (a *Array) setOf(l mem.Line) int {
 func (a *Array) SetIndex(l mem.Line) int { return a.setOf(l) }
 
 // Lookup returns the frame holding l, or nil. It does not update LRU; use
-// Touch on an access that should refresh recency.
+// Touch on an access that should refresh recency. Like the hardware it
+// models, lookup is a tag match across the line's set — cheaper than the
+// hash-map index it replaced, which dominated the load hit path.
 func (a *Array) Lookup(l mem.Line) *Entry {
-	return a.index[l]
+	set := a.setOf(l)
+	for i, t := range a.tags[set] {
+		if t == l {
+			if e := &a.frames[set][i]; e.valid {
+				return e
+			}
+		}
+	}
+	return nil
 }
 
 // Touch marks e as most recently used.
@@ -92,11 +125,10 @@ func (a *Array) Touch(e *Entry) {
 // lines with special protocol state); if every frame is kept, Victim
 // returns nil.
 func (a *Array) Victim(l mem.Line, keep func(*Entry) bool) *Entry {
-	set := a.setOf(l)
-	base := set * a.ways
+	fs := a.setFrames(a.setOf(l))
 	var victim *Entry
 	for i := 0; i < a.ways; i++ {
-		e := &a.frames[base+i]
+		e := &fs[i]
 		if !e.valid {
 			return e
 		}
@@ -124,7 +156,8 @@ func (a *Array) Install(e *Entry, l mem.Line) *Entry {
 	e.Dirty = false
 	e.State = 0
 	e.Data = mem.LineData{}
-	a.index[l] = e
+	a.tags[e.set][e.way] = l
+	a.occupied++
 	a.Touch(e)
 	return e
 }
@@ -134,20 +167,23 @@ func (a *Array) Evict(e *Entry) {
 	if !e.valid {
 		return
 	}
-	delete(a.index, e.Line)
 	e.valid = false
 	e.Dirty = false
 	e.State = 0
+	a.occupied--
 }
 
 // Occupancy reports the number of valid frames.
-func (a *Array) Occupancy() int { return len(a.index) }
+func (a *Array) Occupancy() int { return a.occupied }
 
-// ForEach visits every valid frame (in frame order, deterministic).
+// ForEach visits every valid frame (in set, then way order —
+// deterministic, and identical to the flat frame order).
 func (a *Array) ForEach(f func(*Entry)) {
-	for i := range a.frames {
-		if a.frames[i].valid {
-			f(&a.frames[i])
+	for _, fs := range a.frames {
+		for i := range fs {
+			if fs[i].valid {
+				f(&fs[i])
+			}
 		}
 	}
 }

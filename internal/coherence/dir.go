@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"wbsim/internal/cache"
 	"wbsim/internal/mem"
@@ -158,6 +159,18 @@ func (b *Bank) Tick(now sim.Cycle) {
 	b.events.Run(now)
 }
 
+// EventsDue reports whether Tick(now) would fire at least one deferred
+// event. A bank with no due events has a no-op Tick (it only refreshes
+// b.now, which every message handler sets itself), so the scheduler may
+// skip it.
+func (b *Bank) EventsDue(now sim.Cycle) bool {
+	at, ok := b.events.NextAt()
+	return ok && at <= now
+}
+
+// NextEventCycle reports the cycle of the bank's earliest deferred event.
+func (b *Bank) NextEventCycle() (sim.Cycle, bool) { return b.events.NextAt() }
+
 // Quiescent reports whether the bank has no pending events, transactions,
 // or queued requests.
 func (b *Bank) Quiescent() bool {
@@ -198,7 +211,7 @@ func (b *Bank) Receive(now sim.Cycle, nm *network.Message) {
 	case MsgUnblock:
 		b.handleUnblock(m)
 	default:
-		panic(fmt.Sprintf("bank %d: unexpected %v", b.id, m.Type))
+		panicf("bank %d: unexpected %v", b.id, m.Type)
 	}
 }
 
@@ -259,7 +272,7 @@ func (b *Bank) handleRead(m *Msg) {
 	case dirInvalid:
 		// No sharers: grant MESI Exclusive from the LLC copy.
 		if !dl.dataValid {
-			panic(fmt.Sprintf("bank %d: %v invalid without data", b.id, m.Line))
+			panicf("bank %d: %v invalid without data", b.id, m.Line)
 		}
 		b.setKind(dl, dirBusy)
 		dl.txn = &dirTxn{requester: m.Requester, grantExcl: true}
@@ -290,7 +303,7 @@ func (b *Bank) handleRead(m *Msg) {
 // reader as a sharer (Option 2 in Section 3.4 — livelock free).
 func (b *Bank) serveTearoff(dl *dirLine, m *Msg) {
 	if !dl.dataValid {
-		panic(fmt.Sprintf("bank %d: WB entry %v without valid data", b.id, dl.line))
+		panicf("bank %d: WB entry %v without valid data", b.id, dl.line)
 	}
 	b.Stats.UncacheableReads++
 	b.sendAfter(b.params.LLCLatency, m.Requester,
@@ -423,7 +436,7 @@ func (b *Bank) handleWrite(m *Msg) {
 func (b *Bank) handleNack(m *Msg) {
 	dl := b.find(m.Line)
 	if dl == nil || dl.txn == nil {
-		panic(fmt.Sprintf("bank %d: Nack for %v with no transaction", b.id, m.Line))
+		panicf("bank %d: Nack for %v with no transaction", b.id, m.Line)
 	}
 	if m.HasData {
 		dl.data = m.Data
@@ -514,7 +527,7 @@ func (b *Bank) consumeDelayedAck(dl *dirLine) {
 func (b *Bank) handleOwnerData(m *Msg) {
 	dl := b.find(m.Line)
 	if dl == nil || dl.txn == nil || !dl.txn.fwd {
-		panic(fmt.Sprintf("bank %d: stray OwnerData for %v", b.id, m.Line))
+		panicf("bank %d: stray OwnerData for %v", b.id, m.Line)
 	}
 	dl.data = m.Data
 	dl.dataValid = true
@@ -527,13 +540,13 @@ func (b *Bank) handleOwnerData(m *Msg) {
 func (b *Bank) handleUnblock(m *Msg) {
 	dl := b.find(m.Line)
 	if dl == nil || dl.txn == nil {
-		panic(fmt.Sprintf("bank %d: stray Unblock for %v", b.id, m.Line))
+		panicf("bank %d: stray Unblock for %v", b.id, m.Line)
 	}
 	txn := dl.txn
 	if txn.write || txn.grantExcl {
 		if txn.delayedPending != 0 {
-			panic(fmt.Sprintf("bank %d: Unblock for %v with %d delayed acks outstanding",
-				b.id, m.Line, txn.delayedPending))
+			panicf("bank %d: Unblock for %v with %d delayed acks outstanding",
+				b.id, m.Line, txn.delayedPending)
 		}
 		// Ownership transferred: the LLC copy is now potentially stale.
 		// Preserve dirty data in memory before dropping validity.
@@ -589,7 +602,7 @@ func (b *Bank) processPending(dl *dirLine) {
 		case MsgGetX:
 			b.handleWrite(m)
 		default:
-			panic(fmt.Sprintf("bank %d: queued %v", b.id, m.Type))
+			panicf("bank %d: queued %v", b.id, m.Type)
 		}
 	}
 }
@@ -623,7 +636,7 @@ func (b *Bank) handlePut(m *Msg) {
 		dl.kind = dirShared
 		dl.sharers = []network.Endpoint{m.Src}
 		if !dl.dataValid {
-			panic(fmt.Sprintf("bank %d: PutS for %v without data", b.id, m.Line))
+			panicf("bank %d: PutS for %v without data", b.id, m.Line)
 		}
 	} else {
 		dl.kind = dirInvalid
@@ -668,10 +681,10 @@ func (b *Bank) handlePutSh(m *Msg) {
 func (b *Bank) startEviction(frame *cache.Entry) {
 	dl := b.lines[frame.Line]
 	if dl == nil {
-		panic(fmt.Sprintf("bank %d: evicting unknown line %v", b.id, frame.Line))
+		panicf("bank %d: evicting unknown line %v", b.id, frame.Line)
 	}
 	if dl.txn != nil || dl.kind == dirBusy || dl.kind == dirWB || dl.kind == dirFetching {
-		panic(fmt.Sprintf("bank %d: evicting line %v in state %v", b.id, frame.Line, dl.kind))
+		panicf("bank %d: evicting line %v in state %v", b.id, frame.Line, dl.kind)
 	}
 	b.Stats.Evictions++
 	b.array.Evict(frame)
@@ -713,7 +726,7 @@ func (b *Bank) startEviction(frame *cache.Entry) {
 func (b *Bank) handleEvictionAck(m *Msg, _ bool) {
 	dl := b.evbuf[m.Line]
 	if dl == nil || dl.txn == nil || !dl.txn.eviction {
-		panic(fmt.Sprintf("bank %d: stray eviction InvAck for %v", b.id, m.Line))
+		panicf("bank %d: stray eviction InvAck for %v", b.id, m.Line)
 	}
 	if m.HasData {
 		dl.data = m.Data
@@ -766,18 +779,18 @@ func (b *Bank) CheckInvariants() {
 		switch dl.kind {
 		case dirShared:
 			if len(dl.sharers) == 0 {
-				panic(fmt.Sprintf("bank %d: Shared %v with no sharers", b.id, line))
+				panicf("bank %d: Shared %v with no sharers", b.id, line)
 			}
 			if !dl.dataValid {
-				panic(fmt.Sprintf("bank %d: Shared %v without data", b.id, line))
+				panicf("bank %d: Shared %v without data", b.id, line)
 			}
 		case dirExclusive:
 			if !dl.hasOwner {
-				panic(fmt.Sprintf("bank %d: Exclusive %v without owner", b.id, line))
+				panicf("bank %d: Exclusive %v without owner", b.id, line)
 			}
 		case dirWB:
 			if dl.txn == nil {
-				panic(fmt.Sprintf("bank %d: WB %v without transaction", b.id, line))
+				panicf("bank %d: WB %v without transaction", b.id, line)
 			}
 		}
 	}
@@ -803,7 +816,8 @@ type TransientLine struct {
 
 // String renders one transient entry compactly.
 func (t TransientLine) String() string {
-	s := fmt.Sprintf("bank %d line=%v state=%s age=%d pending=%d", t.Bank, t.Line, t.State, t.Age, t.Pending)
+	var b strings.Builder
+	fmt.Fprintf(&b, "bank %d line=%v state=%s age=%d pending=%d", t.Bank, t.Line, t.State, t.Age, t.Pending)
 	if t.HasTxn {
 		role := "read"
 		if t.Write {
@@ -812,12 +826,12 @@ func (t TransientLine) String() string {
 		if t.Eviction {
 			role = "evict"
 		}
-		s += fmt.Sprintf(" txn{%s req=%d acksLeft=%d delayed=%d}", role, t.Requester, t.AcksLeft, t.Delayed)
+		fmt.Fprintf(&b, " txn{%s req=%d acksLeft=%d delayed=%d}", role, t.Requester, t.AcksLeft, t.Delayed)
 	}
 	if t.InEvBuf {
-		s += " evbuf"
+		b.WriteString(" evbuf")
 	}
-	return s
+	return b.String()
 }
 
 // TransientLines returns the bank's transient directory entries (including
@@ -865,21 +879,21 @@ func (b *Bank) TransientLines(now sim.Cycle) []TransientLine {
 
 // DumpState renders non-stable directory entries for debugging.
 func (b *Bank) DumpState() string {
-	s := ""
+	var sb strings.Builder
 	for _, dl := range b.lines {
 		if dl.txn != nil || len(dl.pending) > 0 || dl.kind == dirBusy || dl.kind == dirWB {
-			s += fmt.Sprintf("bank %d line=%v kind=%v pending=%d", b.id, dl.line, dl.kind, len(dl.pending))
+			fmt.Fprintf(&sb, "bank %d line=%v kind=%v pending=%d", b.id, dl.line, dl.kind, len(dl.pending))
 			if dl.txn != nil {
-				s += fmt.Sprintf(" txn{write=%v evict=%v req=%d acksPend=%d delayed=%d}",
+				fmt.Fprintf(&sb, " txn{write=%v evict=%v req=%d acksPend=%d delayed=%d}",
 					dl.txn.write, dl.txn.eviction, dl.txn.requester, dl.txn.acksPending, dl.txn.delayedPending)
 			}
-			s += "\n"
+			sb.WriteByte('\n')
 		}
 	}
 	for _, dl := range b.evbuf {
-		s += fmt.Sprintf("bank %d EVBUF line=%v kind=%v\n", b.id, dl.line, dl.kind)
+		fmt.Fprintf(&sb, "bank %d EVBUF line=%v kind=%v\n", b.id, dl.line, dl.kind)
 	}
-	return s
+	return sb.String()
 }
 
 // PeekWord returns the bank's current copy of a word if the directory

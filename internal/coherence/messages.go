@@ -153,3 +153,13 @@ func send(mesh *network.Mesh, now simCycle, src, dst network.Endpoint, m *Msg, d
 		Payload: m,
 	})
 }
+
+// panicf reports a protocol-invariant violation. Handlers call this
+// instead of inlining panic(fmt.Sprintf(...)) so the formatting code and
+// its argument boxing stay out-of-line from the per-message hot paths and
+// run only when an invariant actually fails.
+//
+//go:noinline
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

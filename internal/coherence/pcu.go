@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"strings"
 
 	"wbsim/internal/cache"
 	"wbsim/internal/isa"
@@ -178,6 +179,17 @@ func (p *PCU) Tick(now sim.Cycle) {
 	p.events.Run(now)
 }
 
+// EventsDue reports whether Tick(now) would fire at least one deferred
+// send. Like the bank, a PCU with nothing due has a no-op Tick, so the
+// scheduler may skip it.
+func (p *PCU) EventsDue(now sim.Cycle) bool {
+	at, ok := p.events.NextAt()
+	return ok && at <= now
+}
+
+// NextEventCycle reports the cycle of the PCU's earliest deferred send.
+func (p *PCU) NextEventCycle() (sim.Cycle, bool) { return p.events.NextAt() }
+
 // Quiescent reports whether the PCU has no outstanding transactions.
 func (p *PCU) Quiescent() bool {
 	return p.events.Empty() && p.mshrs.InUse() == 0 && len(p.wbBuf) == 0
@@ -268,7 +280,7 @@ func (p *PCU) bypassBlockedWrite(writeMSHR *cache.MSHR, token uint64) {
 	if ms == nil {
 		// Cannot happen by construction: the reserved pool is sized so
 		// the single SoS load always finds an entry.
-		panic(fmt.Sprintf("pcu %d: no reserved MSHR for SoS bypass", p.id))
+		panicf("pcu %d: no reserved MSHR for SoS bypass", p.id)
 	}
 	p.Stats.SoSBypasses++
 	ms.Payload = &pcuTxn{loads: bypassed}
@@ -433,7 +445,7 @@ func (p *PCU) Receive(now sim.Cycle, nm *network.Message) {
 	case MsgBlockedHint:
 		p.handleBlockedHint(m)
 	default:
-		panic(fmt.Sprintf("pcu %d: unexpected %v", p.id, m.Type))
+		panicf("pcu %d: unexpected %v", p.id, m.Type)
 	}
 }
 
@@ -477,7 +489,8 @@ func (p *PCU) readMSHR(line mem.Line) *cache.MSHR {
 			return m
 		}
 	}
-	panic(fmt.Sprintf("pcu %d: data grant for %v with no read MSHR", p.id, line))
+	panicf("pcu %d: data grant for %v with no read MSHR", p.id, line)
+	return nil
 }
 
 func (p *PCU) writeMSHR(line mem.Line) *cache.MSHR {
@@ -493,7 +506,7 @@ func (p *PCU) writeMSHR(line mem.Line) *cache.MSHR {
 func (p *PCU) handleWriteGrant(m *Msg) {
 	ms := p.writeMSHR(m.Line)
 	if ms == nil {
-		panic(fmt.Sprintf("pcu %d: DataExcl for %v with no write MSHR", p.id, m.Line))
+		panicf("pcu %d: DataExcl for %v with no write MSHR", p.id, m.Line)
 	}
 	txn := ms.Payload.(*pcuTxn)
 	txn.gotGrant = true
@@ -509,7 +522,7 @@ func (p *PCU) handleWriteGrant(m *Msg) {
 func (p *PCU) handleAck(m *Msg) {
 	ms := p.writeMSHR(m.Line)
 	if ms == nil {
-		panic(fmt.Sprintf("pcu %d: %v for %v with no write MSHR", p.id, m.Type, m.Line))
+		panicf("pcu %d: %v for %v with no write MSHR", p.id, m.Type, m.Line)
 	}
 	ms.Payload.(*pcuTxn).acksGot++
 	p.maybeCompleteWrite(ms)
@@ -530,11 +543,11 @@ func (p *PCU) maybeCompleteWrite(ms *cache.MSHR) {
 	case txn.upgrade && !txn.lostLine:
 		e := p.l2.Lookup(line)
 		if e == nil || e.State != stateS {
-			panic(fmt.Sprintf("pcu %d: upgrade completion for %v without S copy", p.id, line))
+			panicf("pcu %d: upgrade completion for %v without S copy", p.id, line)
 		}
 		data = e.Data
 	default:
-		panic(fmt.Sprintf("pcu %d: write grant for %v without data", p.id, line))
+		panicf("pcu %d: write grant for %v without data", p.id, line)
 	}
 	p.install(line, data, stateM)
 	p.sendAfter(p.params.TagLatency, p.home(line),
@@ -621,7 +634,7 @@ func (p *PCU) handleInv(m *Msg) {
 func (p *PCU) handleFwdGetS(m *Msg) {
 	data, ok := p.ownedData(m.Line)
 	if !ok {
-		panic(fmt.Sprintf("pcu %d: FwdGetS for %v not owned", p.id, m.Line))
+		panicf("pcu %d: FwdGetS for %v not owned", p.id, m.Line)
 	}
 	if e := p.l2.Lookup(m.Line); e != nil && e.State != stateInvalid {
 		e.State = stateS
@@ -640,7 +653,7 @@ func (p *PCU) handleFwdGetS(m *Msg) {
 func (p *PCU) handleFwdGetX(m *Msg) {
 	data, ok := p.ownedData(m.Line)
 	if !ok {
-		panic(fmt.Sprintf("pcu %d: FwdGetX for %v not owned", p.id, m.Line))
+		panicf("pcu %d: FwdGetX for %v not owned", p.id, m.Line)
 	}
 	p.dropLine(m.Line)
 	if ms := p.writeMSHR(m.Line); ms != nil {
@@ -712,7 +725,7 @@ func (p *PCU) install(line mem.Line, data mem.LineData, state int) {
 			return p.mshrs.Lookup(v.Line) != nil
 		})
 		if victim == nil {
-			panic(fmt.Sprintf("pcu %d: no victim for %v", p.id, line))
+			panicf("pcu %d: no victim for %v", p.id, line)
 		}
 		if victim.Valid() {
 			p.evictLine(victim)
@@ -804,11 +817,12 @@ func (p *PCU) evictLine(e *cache.Entry) {
 
 // DumpState renders MSHR and writeback-buffer state for debugging.
 func (p *PCU) DumpState() string {
-	s := fmt.Sprintf("pcu %d: mshrs=%d wbBuf=%d\n", p.id, p.mshrs.InUse(), len(p.wbBuf))
+	var b strings.Builder
+	fmt.Fprintf(&b, "pcu %d: mshrs=%d wbBuf=%d\n", p.id, p.mshrs.InUse(), len(p.wbBuf))
 	p.mshrs.ForEach(func(m *cache.MSHR) {
 		t := m.Payload.(*pcuTxn)
-		s += fmt.Sprintf("  mshr line=%v write=%v upgrade=%v blocked=%v grant=%v acks=%d/%d loads=%d atomics=%d\n",
+		fmt.Fprintf(&b, "  mshr line=%v write=%v upgrade=%v blocked=%v grant=%v acks=%d/%d loads=%d atomics=%d\n",
 			m.Line, t.write, t.upgrade, t.blocked, t.gotGrant, t.acksGot, t.acksNeeded, len(t.loads), len(t.atomics))
 	})
-	return s
+	return b.String()
 }

@@ -123,6 +123,14 @@ type Config struct {
 	// Watchdog configures the progress detector replacing the bare
 	// MaxCycles check; the zero value selects generous defaults.
 	Watchdog faults.WatchdogConfig
+
+	// CycleAccurate disables the idle-skip fast-forward in Run, forcing
+	// every cycle to execute. Simulated outcomes are identical either
+	// way — the skip only elides provably inert cycles — so the flag
+	// exists as an escape hatch for instrumentation that samples the
+	// machine mid-flight, and for the determinism gate that proves the
+	// equivalence.
+	CycleAccurate bool
 }
 
 // DefaultConfig returns the paper's 16-core machine for a class/variant.

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"wbsim/internal/faults"
+	"wbsim/internal/isa"
+	"wbsim/internal/sim"
+)
+
+// TestIdleSkipMatchesCycleAccurate is the determinism gate for the
+// event-driven kernel: running with the idle-skip fast-forward (the
+// default) must produce *exactly* the run that cycle-accurate stepping
+// produces — same final cycle, same Results down to every stall and
+// squash counter, same architectural registers — across commit variants,
+// fault plans, and random programs. The fast-forward is only allowed to
+// skip cycles it can prove are replays; any divergence here means it
+// skipped one it couldn't.
+func TestIdleSkipMatchesCycleAccurate(t *testing.T) {
+	plans := []*faults.Plan{nil}
+	for _, p := range faults.Catalog() {
+		p := p
+		plans = append(plans, &p)
+	}
+	seeds := []uint64{1, 2}
+	if testing.Short() {
+		plans = plans[:2]
+		seeds = seeds[:1]
+	}
+
+	variants := []Variant{InOrderBase, InOrderWB, OoOBase, OoOWB, OoOUnsafe}
+	for _, v := range variants {
+		for _, plan := range plans {
+			for _, seed := range seeds {
+				name := "none"
+				if plan != nil {
+					name = plan.Name
+				}
+				t.Run(fmt.Sprintf("%v/%s/seed%d", v, name, seed), func(t *testing.T) {
+					run := func(accurate bool) (sim.Cycle, Results, [16]uint64) {
+						rng := sim.NewRand(9000 + seed)
+						progs := []*isa.Program{
+							randomProgram(rng, 0),
+							randomProgram(rng, 1),
+						}
+						cfg := SmallConfig(2, v)
+						cfg.Seed = seed
+						cfg.Faults = plan
+						cfg.CycleAccurate = accurate
+						sys := NewSystem(cfg, progs)
+						cycles, err := sys.Run()
+						if err != nil {
+							t.Fatalf("accurate=%v: %v", accurate, err)
+						}
+						var regs [16]uint64
+						for r := 1; r < 16; r++ {
+							regs[r] = uint64(sys.Cores[0].Reg(isa.Reg(r))) ^
+								uint64(sys.Cores[1].Reg(isa.Reg(r)))<<1
+						}
+						return cycles, sys.Collect(), regs
+					}
+					skipCycles, skipRes, skipRegs := run(false)
+					accCycles, accRes, accRegs := run(true)
+					if skipCycles != accCycles {
+						t.Errorf("cycles: idle-skip %d, cycle-accurate %d", skipCycles, accCycles)
+					}
+					if skipRes != accRes {
+						t.Errorf("results diverge:\nidle-skip:      %+v\ncycle-accurate: %+v", skipRes, accRes)
+					}
+					if skipRegs != accRegs {
+						t.Errorf("architectural registers diverge")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFastForwardObservesWatchdog checks that skipping idle cycles does
+// not skip past watchdog checkpoints: a run that hangs under a fault plan
+// must trip the watchdog at the same cycle with and without idle-skip.
+// (Hang detection is the one consumer of "wasted" idle ticks, so it is
+// the easiest thing for a fast-forward to break.)
+func TestFastForwardObservesWatchdog(t *testing.T) {
+	// An intentionally unfinishable program: spin on a flag no one sets.
+	b := isa.NewBuilder("spin")
+	b.MovImm(1, 0x3000)
+	loop := b.Here()
+	b.Load(2, 1, 0)
+	b.BranchI(isa.FnEQ, 2, 0, loop)
+	b.Halt()
+
+	run := func(accurate bool) (sim.Cycle, string) {
+		cfg := SmallConfig(1, OoOWB)
+		cfg.MaxCycles = 60000
+		cfg.CycleAccurate = accurate
+		sys := NewSystem(cfg, []*isa.Program{b.Program()})
+		cycles, err := sys.Run()
+		if err == nil {
+			t.Fatalf("accurate=%v: spin loop finished?", accurate)
+		}
+		return cycles, err.Error()
+	}
+	skipCycles, skipErr := run(false)
+	accCycles, accErr := run(true)
+	if skipCycles != accCycles || skipErr != accErr {
+		t.Errorf("hang detection diverges:\nidle-skip:      cycle %d, %s\ncycle-accurate: cycle %d, %s",
+			skipCycles, skipErr, accCycles, accErr)
+	}
+}

@@ -27,12 +27,20 @@ func (c *Core) commit() int {
 	atomicsOK := true // no older non-performed atomic (Section 3.7)
 	olderStorePending := false
 
-	for i := 0; i < len(c.rob) && committed < c.cfg.CommitWidth; {
+	for i := c.robHead; i < len(c.rob) && committed < c.cfg.CommitWidth; {
 		d := c.rob[i]
-		head := i == 0
+		head := i == c.robHead
 		if c.canCommit(d, head, branchesOK, storesOK, loadsOK, atomicsOK, olderStorePending) {
 			c.commitOne(d, head)
-			c.rob = append(c.rob[:i], c.rob[i+1:]...)
+			if head {
+				// Head retirement (the overwhelmingly common case) just
+				// advances the ring head instead of shifting the tail.
+				c.rob[i] = nil
+				c.robHead++
+				i = c.robHead
+			} else {
+				c.rob = append(c.rob[:i], c.rob[i+1:]...)
+			}
 			committed++
 			continue
 		}
@@ -43,7 +51,7 @@ func (c *Core) commit() int {
 		if d.isBranchy() && !d.resolved {
 			branchesOK = false
 		}
-		switch d.si.Op {
+		switch d.op {
 		case isa.OpStore:
 			if !d.sq.addrValid {
 				storesOK = false
@@ -64,6 +72,10 @@ func (c *Core) commit() int {
 		}
 		i++
 	}
+	if len(c.rob) == c.robHead {
+		c.rob = c.rob[:0]
+		c.robHead = 0
+	}
 	c.Stats.Committed += uint64(committed)
 	return committed
 }
@@ -77,7 +89,7 @@ func (c *Core) canCommit(d *DynInstr, head, branchesOK, storesOK, loadsOK, atomi
 		if !head {
 			return false
 		}
-		if d.si.Op == isa.OpStore && len(c.sb) >= c.cfg.SBSize {
+		if d.op == isa.OpStore && c.sbLen() >= c.cfg.SBSize {
 			return false
 		}
 		return true
@@ -85,13 +97,13 @@ func (c *Core) canCommit(d *DynInstr, head, branchesOK, storesOK, loadsOK, atomi
 	if !branchesOK || !storesOK {
 		return false
 	}
-	switch d.si.Op {
+	switch d.op {
 	case isa.OpHalt:
 		return head
 	case isa.OpStore:
 		// Stores enter the FIFO SB in program order, and only once all
 		// prior loads are ordered (load->store order is not relaxed).
-		return !olderStorePending && loadsOK && len(c.sb) < c.cfg.SBSize
+		return !olderStorePending && loadsOK && c.sbLen() < c.cfg.SBSize
 	case isa.OpAtomic:
 		return head // atomics perform at the head anyway
 	case isa.OpLoad:
@@ -161,7 +173,7 @@ func (c *Core) commitOne(d *DynInstr, head bool) {
 			c.regProd[r] = nil
 		}
 	}
-	switch d.si.Op {
+	switch d.op {
 	case isa.OpLoad:
 		c.Stats.CommittedLoads++
 		c.removeLoad(d.lq)

@@ -19,7 +19,7 @@ type Core struct {
 	program *isa.Program
 	pcu     *coherence.PCU
 	pred    *Predictor
-	events  sim.EventQueue
+	events  coreEvents
 
 	// Front end.
 	fetchPC         int
@@ -33,14 +33,28 @@ type Core struct {
 	archSeq   [isa.NumRegs]uint64
 	archValid [isa.NumRegs]bool // written at least once (seq 0 ambiguity guard)
 
-	nextSeq uint64
-	rob     []*DynInstr
-	lq      []*lqEntry
-	sq      []*sqEntry
-	sb      []sbEntry
-	ldt     []ldtEntry
-	readyQ  []*DynInstr
-	iqCount int
+	nextSeq   uint64
+	rob       []*DynInstr
+	robHead   int // consumed prefix of rob (ring-style, backing array reused)
+	lq        []*lqEntry
+	sq        []*sqEntry
+	sb        []sbEntry
+	sbHead    int // consumed prefix of sb (ring-style, backing array reused)
+	ldt       []ldtEntry
+	readyQ    []*DynInstr
+	readyHead int // consumed prefix of readyQ (ring-style, backing array reused)
+	iqCount   int
+
+	// Slab allocators. Dynamic instructions and LQ/SQ entries are carved
+	// from chunks instead of allocated individually — they are the
+	// simulator's dominant allocation sites. Entries are never recycled
+	// (stale *DynInstr references from in-flight events or waiter lists
+	// must keep pointing at the dead instruction, whose squashed flag
+	// they check), so this only amortizes allocator work; the GC frees a
+	// chunk once no instruction in it is referenced.
+	dslab  []DynInstr
+	lqslab []lqEntry
+	sqslab []sqEntry
 
 	tokens map[uint64]*lqEntry
 
@@ -51,6 +65,19 @@ type Core struct {
 
 	// dispatch-block reason for this cycle's stall accounting.
 	blockReason string
+
+	// Idle-skip bookkeeping (see core.System fast-forward). inert records
+	// that the last Tick provably changed nothing but the cycle counter
+	// and per-cycle stall/polling counters; recur holds that tick's
+	// deltas of the recurring counters (MemDepWait, LDTFullStalls, PCU
+	// Loads, PCU LoadMisses) and recurOK that they matched the previous
+	// tick's — the steady-state signature that makes crediting skipped
+	// cycles exact. stallKind persists the accountStall bucket so skipped
+	// cycles charge the same stall reason a real tick would have.
+	inert     bool
+	recur     [4]uint64
+	recurOK   bool
+	stallKind uint8
 
 	Stats Stats
 	now   sim.Cycle
@@ -84,7 +111,7 @@ func (c *Core) Halted() bool { return c.halted }
 // Done reports whether the core has fully drained: halted, with an empty
 // store buffer and no in-flight memory transactions.
 func (c *Core) Done() bool {
-	return c.halted && len(c.sb) == 0 && c.pcu.Quiescent() && c.events.Empty()
+	return c.halted && c.sbLen() == 0 && c.pcu.Quiescent() && c.events.empty()
 }
 
 // Reg returns the architectural value of a register (for litmus results;
@@ -96,14 +123,53 @@ func (c *Core) Reg(r isa.Reg) mem.Word {
 	return c.archRegs[r]
 }
 
+// Stall buckets persisted by accountStall for idle crediting.
+const (
+	stallNone = iota
+	stallROB
+	stallLQ
+	stallSQ
+	stallOther
+)
+
 // Tick advances the core by one cycle. The PCU is ticked separately by
 // the system (delivering memory responses before the core's pipeline
 // stages run).
 func (c *Core) Tick(now sim.Cycle) {
 	c.now = now
-	c.Stats.Cycles++
-	c.events.Run(now)
 
+	// Quiet-done fast path: a halted core with every structure drained.
+	// Walking the full pipeline on such a core is provably equivalent to
+	// bumping the cycle counter (commit scans an empty ROB, the memory
+	// loops iterate empty queues, fetch returns immediately on halted),
+	// so do just that.
+	if c.halted && c.robLen() == 0 && len(c.lq) == 0 && len(c.sq) == 0 &&
+		c.sbLen() == 0 && c.readyLen() == 0 && len(c.seenLines) == 0 &&
+		c.events.empty() {
+		c.Stats.Cycles++
+		c.recurOK = c.recur == [4]uint64{}
+		c.recur = [4]uint64{}
+		c.inert = true
+		c.stallKind = stallNone
+		return
+	}
+
+	c.Stats.Cycles++
+
+	// Snapshot everything a state-changing tick must disturb. Any
+	// mutation that matters for future behaviour either fires or
+	// schedules an event, commits, moves a queue boundary, fetches, or
+	// squashes; pure polling failures only bump the recurring counters
+	// snapshot below.
+	preFetched := c.Stats.Fetched
+	preSquashed := c.Stats.Squashed
+	preSB := c.sbLen()
+	preReady := c.readyLen()
+	preEvSeq := c.events.seq
+	preRecur := [4]uint64{c.Stats.MemDepWait, c.Stats.LDTFullStalls,
+		c.pcu.Stats.Loads, c.pcu.Stats.LoadMisses}
+
+	fired := c.events.run(c, now)
 	committed := c.commit()
 	c.drainSB()
 	c.issue()
@@ -111,22 +177,90 @@ func (c *Core) Tick(now sim.Cycle) {
 	c.blockReason = ""
 	c.fetch()
 	c.accountStall(committed)
+
+	recur := [4]uint64{c.Stats.MemDepWait - preRecur[0], c.Stats.LDTFullStalls - preRecur[1],
+		c.pcu.Stats.Loads - preRecur[2], c.pcu.Stats.LoadMisses - preRecur[3]}
+	c.inert = fired == 0 && committed == 0 &&
+		c.sbLen() == preSB && c.readyLen() == preReady &&
+		c.events.seq == preEvSeq &&
+		c.Stats.Fetched == preFetched && c.Stats.Squashed == preSquashed
+	c.recurOK = recur == c.recur
+	c.recur = recur
 }
 
 func (c *Core) accountStall(committed int) {
 	if committed > 0 || c.halted {
+		c.stallKind = stallNone
 		return
 	}
 	switch c.blockReason {
 	case "rob":
 		c.Stats.StallROB++
+		c.stallKind = stallROB
 	case "lq":
 		c.Stats.StallLQ++
+		c.stallKind = stallLQ
 	case "sq", "sb":
 		c.Stats.StallSQ++
+		c.stallKind = stallSQ
 	default:
 		c.Stats.StallOther++
+		c.stallKind = stallOther
 	}
+}
+
+// readyLen is the number of un-issued entries in the ready queue.
+func (c *Core) readyLen() int { return len(c.readyQ) - c.readyHead }
+
+// robLen is the number of in-flight ROB entries.
+func (c *Core) robLen() int { return len(c.rob) - c.robHead }
+
+// sbLen is the number of undrained store-buffer entries.
+func (c *Core) sbLen() int { return len(c.sb) - c.sbHead }
+
+// IdleStable reports whether the last Tick was inert — no event fired or
+// was scheduled, nothing committed, fetched, issued, squashed, or moved
+// through the store buffer — AND its recurring-counter deltas matched the
+// tick before (so the core is past any one-shot transition such as
+// registering a miss waiter). While every core of a system is idle-stable
+// and no component has work due, ticks are exact repeats: the scheduler
+// may credit them wholesale instead of executing them.
+func (c *Core) IdleStable() bool { return c.inert && c.recurOK }
+
+// NextEventCycle returns the earliest future cycle at which this core can
+// act spontaneously (scheduled event or fetch re-enable). ok is false if
+// the core has no self-scheduled wake-up (it may still be woken by a
+// message). now is the cycle of the tick that just ran.
+func (c *Core) NextEventCycle(now sim.Cycle) (at sim.Cycle, ok bool) {
+	at, ok = c.events.nextAt()
+	if !c.halted && !c.fetchHalted && c.fetchStallUntil > now {
+		if !ok || c.fetchStallUntil < at {
+			at, ok = c.fetchStallUntil, true
+		}
+	}
+	return at, ok
+}
+
+// CreditIdle accounts n skipped cycles as if they had been executed: the
+// cycle counter, the persisted stall bucket, and the recurring per-cycle
+// counters (including the PCU's polling counters) advance exactly as n
+// inert ticks would have advanced them.
+func (c *Core) CreditIdle(n uint64) {
+	c.Stats.Cycles += n
+	switch c.stallKind {
+	case stallROB:
+		c.Stats.StallROB += n
+	case stallLQ:
+		c.Stats.StallLQ += n
+	case stallSQ:
+		c.Stats.StallSQ += n
+	case stallOther:
+		c.Stats.StallOther += n
+	}
+	c.Stats.MemDepWait += n * c.recur[0]
+	c.Stats.LDTFullStalls += n * c.recur[1]
+	c.pcu.Stats.Loads += n * c.recur[2]
+	c.pcu.Stats.LoadMisses += n * c.recur[3]
 }
 
 // ---------------------------------------------------------------------
@@ -139,7 +273,7 @@ func (c *Core) fetch() {
 	}
 	for i := 0; i < c.cfg.FetchWidth; i++ {
 		si := c.program.At(c.fetchPC)
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.robLen() >= c.cfg.ROBSize {
 			c.blockReason = "rob"
 			return
 		}
@@ -186,10 +320,39 @@ func (c *Core) fetch() {
 	}
 }
 
+func (c *Core) newDynInstr() *DynInstr {
+	if len(c.dslab) == 0 {
+		c.dslab = make([]DynInstr, 128)
+	}
+	d := &c.dslab[0]
+	c.dslab = c.dslab[1:]
+	return d
+}
+
+func (c *Core) newLQEntry() *lqEntry {
+	if len(c.lqslab) == 0 {
+		c.lqslab = make([]lqEntry, 64)
+	}
+	e := &c.lqslab[0]
+	c.lqslab = c.lqslab[1:]
+	return e
+}
+
+func (c *Core) newSQEntry() *sqEntry {
+	if len(c.sqslab) == 0 {
+		c.sqslab = make([]sqEntry, 64)
+	}
+	e := &c.sqslab[0]
+	c.sqslab = c.sqslab[1:]
+	return e
+}
+
 // dispatch allocates the dynamic instruction, wires its dependencies, and
 // places it in the ROB (and LQ/SQ for memory operations).
 func (c *Core) dispatch(si *isa.Instr, pc int) *DynInstr {
-	d := &DynInstr{seq: c.nextSeq, pc: pc, si: si}
+	d := c.newDynInstr()
+	d.seq, d.pc, d.si, d.op = c.nextSeq, pc, si, si.Op
+	d.waiters = d.waitersBuf[:0]
 	c.nextSeq++
 	c.rob = append(c.rob, d)
 	c.iqCount++
@@ -219,15 +382,18 @@ func (c *Core) dispatch(si *isa.Instr, pc int) *DynInstr {
 
 	switch si.Op {
 	case isa.OpLoad:
-		e := &lqEntry{d: d}
+		e := c.newLQEntry()
+		e.d = d
 		d.lq = e
 		c.lq = append(c.lq, e)
 	case isa.OpAtomic:
-		e := &lqEntry{d: d, isAtomic: true}
+		e := c.newLQEntry()
+		e.d, e.isAtomic = d, true
 		d.lq = e
 		c.lq = append(c.lq, e)
 	case isa.OpStore:
-		e := &sqEntry{d: d}
+		e := c.newSQEntry()
+		e.d = d
 		d.sq = e
 		c.sq = append(c.sq, e)
 		if d.dataPending {
@@ -302,7 +468,7 @@ func (c *Core) produceDone(d, prod *DynInstr) {
 	if d.src2Prod == prod {
 		d.src2Prod = nil
 		d.src2Val = prod.result
-		if d.si.Op == isa.OpStore {
+		if d.op == isa.OpStore {
 			d.dataPending = false
 			if d.sq != nil {
 				d.sq.value = d.src2Val
@@ -324,9 +490,10 @@ func (c *Core) produceDone(d, prod *DynInstr) {
 
 func (c *Core) issue() {
 	issued := 0
-	for issued < c.cfg.IssueWidth && len(c.readyQ) > 0 {
-		d := c.readyQ[0]
-		c.readyQ = c.readyQ[1:]
+	for issued < c.cfg.IssueWidth && c.readyHead < len(c.readyQ) {
+		d := c.readyQ[c.readyHead]
+		c.readyQ[c.readyHead] = nil
+		c.readyHead++
 		if d.squashed || d.state != stReady {
 			continue
 		}
@@ -335,16 +502,22 @@ func (c *Core) issue() {
 		issued++
 		c.execute(d)
 	}
+	// Rewind the ring when drained so the backing array is reused
+	// (consuming via [1:] re-slicing forced an allocation per refill).
+	if c.readyHead == len(c.readyQ) {
+		c.readyQ = c.readyQ[:0]
+		c.readyHead = 0
+	}
 }
 
 // execute starts execution of an issued instruction.
 func (c *Core) execute(d *DynInstr) {
-	switch d.si.Op {
+	switch d.op {
 	case isa.OpNop, isa.OpHalt:
-		c.events.After(c.now, 1, func() { c.complete(d, 0) })
+		c.events.after(c.now, 1, evComplete, d, 0)
 	case isa.OpJump:
 		d.resolved = true
-		c.events.After(c.now, 1, func() { c.complete(d, 0) })
+		c.events.after(c.now, 1, evComplete, d, 0)
 	case isa.OpALU:
 		lat := c.cfg.ALULatency
 		if d.si.Latency > 0 {
@@ -355,9 +528,9 @@ func (c *Core) execute(d *DynInstr) {
 			b = d.si.Imm
 		}
 		res := isa.EvalALU(d.si.Fn, d.src1Val, b)
-		c.events.After(c.now, sim.Cycle(lat), func() { c.complete(d, res) })
+		c.events.after(c.now, sim.Cycle(lat), evComplete, d, res)
 	case isa.OpBranch:
-		c.events.After(c.now, 1, func() { c.resolveBranch(d) })
+		c.events.after(c.now, 1, evBranch, d, 0)
 	case isa.OpLoad, isa.OpAtomic:
 		d.lq.addr = mem.AlignWord(mem.Addr(d.src1Val + d.si.Imm))
 		d.lq.line = mem.LineOf(d.lq.addr)
@@ -387,7 +560,7 @@ func (c *Core) maybeCompleteStore(d *DynInstr) {
 		return
 	}
 	if d.sq.addrValid && d.sq.valueValid {
-		c.events.After(c.now, 1, func() { c.complete(d, 0) })
+		c.events.after(c.now, 1, evComplete, d, 0)
 	}
 }
 
@@ -441,8 +614,8 @@ func (c *Core) resolveBranch(d *DynInstr) {
 func (c *Core) squashFrom(cut uint64, pc int, penalty int) {
 	// Find the ROB boundary.
 	idx := len(c.rob)
-	for i, d := range c.rob {
-		if d.seq >= cut {
+	for i := c.robHead; i < len(c.rob); i++ {
+		if c.rob[i].seq >= cut {
 			idx = i
 			break
 		}
@@ -471,6 +644,10 @@ func (c *Core) squashFrom(cut uint64, pc int, penalty int) {
 		}
 	}
 	c.rob = c.rob[:idx]
+	if len(c.rob) == c.robHead {
+		c.rob = c.rob[:0]
+		c.robHead = 0
+	}
 
 	// Trim LQ and SQ.
 	c.lq = trimLQ(c.lq, cut)
@@ -487,7 +664,7 @@ func (c *Core) squashFrom(cut uint64, pc int, penalty int) {
 
 	// Rebuild the register producer table from surviving instructions.
 	c.regProd = [isa.NumRegs]*DynInstr{}
-	for _, d := range c.rob {
+	for _, d := range c.rob[c.robHead:] {
 		if d.writesReg() && c.newerThanArch(d.si.Dst, d.seq) {
 			c.regProd[d.si.Dst] = d
 		}

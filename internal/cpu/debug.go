@@ -9,10 +9,10 @@ import (
 func (c *Core) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "core %d: halted=%v fetchPC=%d rob=%d lq=%d sq=%d sb=%d iq=%d ready=%d seen=%v\n",
-		c.ID, c.halted, c.fetchPC, len(c.rob), len(c.lq), len(c.sq), len(c.sb), c.iqCount, len(c.readyQ), c.seenLines)
-	for i, d := range c.rob {
+		c.ID, c.halted, c.fetchPC, c.robLen(), len(c.lq), len(c.sq), c.sbLen(), c.iqCount, c.readyLen(), c.seenLines)
+	for i, d := range c.rob[c.robHead:] {
 		if i >= 8 {
-			fmt.Fprintf(&b, "  ... %d more\n", len(c.rob)-i)
+			fmt.Fprintf(&b, "  ... %d more\n", c.robLen()-i)
 			break
 		}
 		fmt.Fprintf(&b, "  rob[%d] %v state=%d pend=%d\n", i, d, d.state, d.pendingIssue)
@@ -21,7 +21,7 @@ func (c *Core) DumpState() string {
 		fmt.Fprintf(&b, "  lq[%d] %v addrV=%v perf=%v issued=%v retry=%v atomic=%v(go=%v) mask=%x\n",
 			i, e.d, e.addrValid, e.performed, e.issued, e.needRetry, e.isAtomic, e.atomicGo, e.ldtMask)
 	}
-	for i, s := range c.sb {
+	for i, s := range c.sb[c.sbHead:] {
 		fmt.Fprintf(&b, "  sb[%d] seq=%d addr=%v\n", i, s.seq, s.addr)
 	}
 	for i := range c.ldt {
@@ -72,10 +72,10 @@ func (c *Core) Snapshot() Snapshot {
 		Done:      c.Done(),
 		Committed: c.Stats.Committed,
 		FetchPC:   c.fetchPC,
-		ROB:       len(c.rob),
+		ROB:       c.robLen(),
 		LQ:        len(c.lq),
 		SQ:        len(c.sq),
-		SB:        len(c.sb),
+		SB:        c.sbLen(),
 		IQ:        c.iqCount,
 	}
 	for i := range c.ldt {
@@ -83,8 +83,8 @@ func (c *Core) Snapshot() Snapshot {
 			s.Lockdowns++
 		}
 	}
-	if len(c.rob) > 0 {
-		d := c.rob[0]
+	if c.robLen() > 0 {
+		d := c.rob[c.robHead]
 		s.OldestROB = fmt.Sprintf("%v state=%d pend=%d", d, d.state, d.pendingIssue)
 	}
 	if len(c.lq) > 0 {

@@ -23,6 +23,9 @@ type DynInstr struct {
 	seq uint64 // per-core program-order age; also the memory token
 	pc  int
 	si  *isa.Instr
+	op  isa.Op // si.Op, copied at dispatch: the commit scan reads the
+	// opcode of every in-flight instruction each cycle, and the copy
+	// spares it the si pointer chase
 
 	state    istate
 	squashed bool
@@ -38,6 +41,10 @@ type DynInstr struct {
 	result    mem.Word
 	hasResult bool
 	waiters   []*DynInstr
+	// waitersBuf is the initial backing array of waiters: most producers
+	// have only a few dependents, so the common case never heap-allocates
+	// the waiter list.
+	waitersBuf [4]*DynInstr
 
 	// Control flow.
 	predTaken bool
@@ -54,7 +61,7 @@ func (d *DynInstr) writesReg() bool {
 	if d.si.Dst == isa.R0 {
 		return false
 	}
-	switch d.si.Op {
+	switch d.op {
 	case isa.OpALU, isa.OpLoad, isa.OpAtomic:
 		return true
 	}
@@ -64,7 +71,7 @@ func (d *DynInstr) writesReg() bool {
 // isBranchy reports whether commit condition 3 (resolved control flow)
 // gates younger instructions on this one.
 func (d *DynInstr) isBranchy() bool {
-	return d.si.Op == isa.OpBranch || d.si.Op == isa.OpJump
+	return d.op == isa.OpBranch || d.op == isa.OpJump
 }
 
 func (d *DynInstr) String() string {

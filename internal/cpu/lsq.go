@@ -319,7 +319,7 @@ func (c *Core) forwardLookup(e *lqEntry, fenceSeq uint64) (mem.Word, uint64, fwd
 		}
 		return s.value, s.d.seq, fwdHit
 	}
-	for i := len(c.sb) - 1; i >= 0; i-- {
+	for i := len(c.sb) - 1; i >= c.sbHead; i-- {
 		s := c.sb[i]
 		if s.addr == e.addr {
 			if s.seq < fenceSeq {
@@ -373,7 +373,7 @@ func (c *Core) performLoad(e *lqEntry, value mem.Word, fwdSeq uint64, wake sim.C
 	if wake < 1 {
 		wake = 1
 	}
-	c.events.After(c.now, wake, func() { c.complete(d, value) })
+	c.events.after(c.now, wake, evComplete, d, value)
 	c.onOrderingChange()
 }
 
@@ -383,10 +383,10 @@ func (c *Core) tryAtomic(e *lqEntry) {
 	if e.performed || e.atomicGo || !e.addrValid {
 		return
 	}
-	if len(c.rob) == 0 || c.rob[0] != e.d {
+	if c.robLen() == 0 || c.rob[c.robHead] != e.d {
 		return
 	}
-	if len(c.sb) > 0 {
+	if c.sbLen() > 0 {
 		return
 	}
 	if c.pcu.AtomicExec(c.now, e.d.seq, e.addr, e.d.si.Fn, e.d.src2Val) {
@@ -397,12 +397,17 @@ func (c *Core) tryAtomic(e *lqEntry) {
 // drainSB writes the store at the head of the store buffer into the
 // cache once write permission is held (one store per cycle).
 func (c *Core) drainSB() {
-	if len(c.sb) == 0 {
+	if c.sbLen() == 0 {
 		return
 	}
-	head := c.sb[0]
+	head := c.sb[c.sbHead]
 	if c.pcu.StoreWrite(c.now, head.addr, head.value) {
-		c.sb = c.sb[1:]
+		c.sbHead++
+		// Rewind the ring when drained so the backing array is reused.
+		if c.sbHead == len(c.sb) {
+			c.sb = c.sb[:0]
+			c.sbHead = 0
+		}
 	}
 }
 

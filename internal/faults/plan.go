@@ -31,11 +31,11 @@ type Plan struct {
 	Name string
 
 	// Timing adversity (network).
-	JitterMax       int                       // uniform 0..n extra cycles on every message
-	SpikeProb       float64                   // per-message delay-spike probability
-	SpikeCycles     int                       // spike magnitude
-	VNetJitter      [network.NumVNets]int     // per-virtual-network jitter bursts
-	PerturbDelivery bool                      // randomize same-cycle delivery order (unordered pairs only)
+	JitterMax       int                   // uniform 0..n extra cycles on every message
+	SpikeProb       float64               // per-message delay-spike probability
+	SpikeCycles     int                   // spike magnitude
+	VNetJitter      [network.NumVNets]int // per-virtual-network jitter bursts
+	PerturbDelivery bool                  // randomize same-cycle delivery order (unordered pairs only)
 
 	// Resource pressure (zero keeps the configured value).
 	MSHRs         int // private cache unit MSHRs

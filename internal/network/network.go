@@ -11,10 +11,16 @@
 // between different endpoint pairs are unordered, and data messages
 // serialize over shared links — while remaining fast enough to simulate
 // billions of flit-cycles in tests.
+//
+// The implementation is allocation-free on the per-cycle path: routes are
+// precomputed per router pair, endpoint and link state live in flat
+// slices indexed by dense ids, the in-flight set is a hand-rolled typed
+// heap, and the delivery-perturbation machinery reuses a per-mesh arena.
+// Tick allocates nothing in steady state (enforced by a testing.AllocsPerRun
+// gate), so simulation throughput is bounded by protocol work, not GC.
 package network
 
 import (
-	"container/heap"
 	"fmt"
 
 	"wbsim/internal/sim"
@@ -139,11 +145,15 @@ func DefaultConfig(tiles int) Config {
 	}
 }
 
-// link identifies a directed channel between adjacent routers on a vnet.
-type link struct {
-	from, to int
-	vnet     VNet
-}
+// Links are identified by a dense id: router x direction x vnet. The four
+// directions cover every mesh edge exactly once as "outgoing from".
+const (
+	dirEast  = iota // +x
+	dirWest         // -x
+	dirSouth        // +y
+	dirNorth        // -y
+	numDirs
+)
 
 // Stats aggregates traffic accounting for Figure 9.
 type Stats struct {
@@ -155,16 +165,41 @@ type Stats struct {
 	Spikes      uint64 // injected delay spikes (fault plans)
 }
 
+// pairBucket is one (src, dst) FIFO inside a perturbed delivery batch.
+type pairBucket struct {
+	msgs []*Message
+	head int
+}
+
 // Mesh is the interconnect instance.
 type Mesh struct {
-	cfg      Config
-	rng      *sim.Rand
-	routerOf map[Endpoint]int
-	recvOf   map[Endpoint]Receiver
-	linkFree map[link]sim.Cycle
+	cfg Config
+	rng *sim.Rand
+
+	// Flat per-endpoint tables, grown by Attach. routerOf is -1 for ids
+	// that were never attached.
+	routerOf []int
+	recvOf   []Receiver
+
+	// routes[a*numRouters+b] is the precomputed X-Y path from router a to
+	// router b as directed link ids (from*numDirs + dir).
+	numRouters int
+	routes     [][]int32
+
+	// linkFree[link*NumVNets+vnet] is the cycle the channel frees up.
+	linkFree []sim.Cycle
+
 	inFlight msgHeap
 	seq      uint64
 	stats    Stats
+
+	// Reusable arena for tickPerturbed: bucketOf maps a dense pair id
+	// (src*len(routerOf)+dst) to its bucket for the current batch (-1
+	// outside a batch), order lists live bucket ids in first-appearance
+	// order, and pairQ pools the buckets themselves.
+	bucketOf []int32
+	order    []int32
+	pairQ    []pairBucket
 }
 
 // NewMesh builds a mesh for the given configuration. rng may be nil when
@@ -176,22 +211,65 @@ func NewMesh(cfg Config, rng *sim.Rand) *Mesh {
 	if (cfg.JitterMax > 0 || cfg.Faults.Active()) && rng == nil {
 		panic("network: jitter/faults require an RNG")
 	}
-	return &Mesh{
-		cfg:      cfg,
-		rng:      rng,
-		routerOf: make(map[Endpoint]int),
-		recvOf:   make(map[Endpoint]Receiver),
-		linkFree: make(map[link]sim.Cycle),
+	nr := cfg.Width * cfg.Height
+	m := &Mesh{
+		cfg:        cfg,
+		rng:        rng,
+		numRouters: nr,
+		routes:     make([][]int32, nr*nr),
+		linkFree:   make([]sim.Cycle, nr*numDirs*int(NumVNets)),
 	}
+	for a := 0; a < nr; a++ {
+		for b := 0; b < nr; b++ {
+			m.routes[a*nr+b] = m.computeRoute(a, b)
+		}
+	}
+	return m
+}
+
+// computeRoute returns the directed link ids on the X-Y path a -> b.
+func (m *Mesh) computeRoute(a, b int) []int32 {
+	if a == b {
+		return nil
+	}
+	var links []int32
+	ax, ay := a%m.cfg.Width, a/m.cfg.Width
+	bx, by := b%m.cfg.Width, b/m.cfg.Width
+	cx, cy := ax, ay
+	for cx != bx {
+		from := cy*m.cfg.Width + cx
+		if bx > cx {
+			links = append(links, int32(from*numDirs+dirEast))
+			cx++
+		} else {
+			links = append(links, int32(from*numDirs+dirWest))
+			cx--
+		}
+	}
+	for cy != by {
+		from := cy*m.cfg.Width + cx
+		if by > cy {
+			links = append(links, int32(from*numDirs+dirSouth))
+			cy++
+		} else {
+			links = append(links, int32(from*numDirs+dirNorth))
+			cy--
+		}
+	}
+	return links
 }
 
 // Attach registers an endpoint at a router (0..Width*Height-1) with its
 // receiver. It panics on duplicate registration or out-of-range router.
 func (m *Mesh) Attach(ep Endpoint, router int, r Receiver) {
-	if router < 0 || router >= m.cfg.Width*m.cfg.Height {
+	if router < 0 || router >= m.numRouters {
 		panic(fmt.Sprintf("network: router %d out of range", router))
 	}
-	if _, dup := m.routerOf[ep]; dup {
+	for int(ep) >= len(m.routerOf) {
+		m.routerOf = append(m.routerOf, -1)
+		m.recvOf = append(m.recvOf, nil)
+	}
+	if m.routerOf[ep] != -1 {
 		panic(fmt.Sprintf("network: endpoint %d attached twice", ep))
 	}
 	m.routerOf[ep] = router
@@ -199,48 +277,18 @@ func (m *Mesh) Attach(ep Endpoint, router int, r Receiver) {
 }
 
 // Routers reports the number of routers in the mesh.
-func (m *Mesh) Routers() int { return m.cfg.Width * m.cfg.Height }
-
-// route returns the sequence of directed router-to-router links on the
-// X-Y path from router a to router b.
-func (m *Mesh) route(a, b int) []link {
-	if a == b {
-		return nil
-	}
-	var links []link
-	ax, ay := a%m.cfg.Width, a/m.cfg.Width
-	bx, by := b%m.cfg.Width, b/m.cfg.Width
-	cx, cy := ax, ay
-	for cx != bx {
-		nx := cx + 1
-		if bx < cx {
-			nx = cx - 1
-		}
-		links = append(links, link{from: cy*m.cfg.Width + cx, to: cy*m.cfg.Width + nx})
-		cx = nx
-	}
-	for cy != by {
-		ny := cy + 1
-		if by < cy {
-			ny = cy - 1
-		}
-		links = append(links, link{from: cy*m.cfg.Width + cx, to: ny*m.cfg.Width + cx})
-		cy = ny
-	}
-	return links
-}
+func (m *Mesh) Routers() int { return m.numRouters }
 
 // HopCount returns the number of links between two endpoints' routers.
 func (m *Mesh) HopCount(a, b Endpoint) int {
-	return len(m.route(m.mustRouter(a), m.mustRouter(b)))
+	return len(m.routes[m.mustRouter(a)*m.numRouters+m.mustRouter(b)])
 }
 
 func (m *Mesh) mustRouter(ep Endpoint) int {
-	r, ok := m.routerOf[ep]
-	if !ok {
+	if int(ep) >= len(m.routerOf) || m.routerOf[ep] == -1 {
 		panic(fmt.Sprintf("network: endpoint %d not attached", ep))
 	}
-	return r
+	return m.routerOf[ep]
 }
 
 // Send injects a message at cycle now. Delivery happens on a later Tick.
@@ -250,19 +298,20 @@ func (m *Mesh) Send(now sim.Cycle, msg *Message) {
 	}
 	src := m.mustRouter(msg.Src)
 	dst := m.mustRouter(msg.Dst)
-	path := m.route(src, dst)
+	path := m.routes[src*m.numRouters+dst]
 
 	flits := sim.Cycle(msg.Flits)
 	head := now + 1
 	if len(path) == 0 {
 		head += sim.Cycle(m.cfg.LocalLatency)
 	}
+	vnet := int(msg.VNet)
 	for _, l := range path {
-		l.vnet = msg.VNet
-		if free := m.linkFree[l]; free > head {
+		slot := int(l)*int(NumVNets) + vnet
+		if free := m.linkFree[slot]; free > head {
 			head = free
 		}
-		m.linkFree[l] = head + flits
+		m.linkFree[slot] = head + flits
 		head += sim.Cycle(m.cfg.SwitchLatency)
 	}
 	arrival := head + flits - 1
@@ -280,13 +329,13 @@ func (m *Mesh) Send(now sim.Cycle, msg *Message) {
 	msg.arrival = arrival
 	msg.seq = m.seq
 	m.seq++
-	heap.Push(&m.inFlight, msg)
+	m.inFlight.push(msg)
 
 	m.stats.Messages++
 	m.stats.Flits += uint64(msg.Flits)
 	m.stats.FlitHops += uint64(msg.Flits) * uint64(max(1, len(path)))
 	m.stats.PerVNet[msg.VNet] += uint64(msg.Flits)
-	if n := m.inFlight.Len(); n > m.stats.MaxInFlight {
+	if n := len(m.inFlight.h); n > m.stats.MaxInFlight {
 		m.stats.MaxInFlight = n
 	}
 }
@@ -300,73 +349,110 @@ func (m *Mesh) Tick(now sim.Cycle) {
 		m.tickPerturbed(now)
 		return
 	}
-	for m.inFlight.Len() > 0 {
-		next := m.inFlight[0]
+	for len(m.inFlight.h) > 0 {
+		next := m.inFlight.h[0]
 		if next.arrival > now {
 			return
 		}
-		heap.Pop(&m.inFlight)
+		m.inFlight.pop()
 		m.deliver(now, next)
 	}
+}
+
+// NextEventCycle reports the cycle the earliest in-flight message lands.
+// ok is false when the mesh is quiescent.
+func (m *Mesh) NextEventCycle() (at sim.Cycle, ok bool) {
+	if len(m.inFlight.h) == 0 {
+		return 0, false
+	}
+	return m.inFlight.h[0].arrival, true
 }
 
 // tickPerturbed gathers the cycle's deliverable batch and delivers it in
 // a randomized order. Messages between the same endpoint pair keep their
 // relative (arrival, injection) order — the batch is heap-popped in that
-// order and each pair's queue is consumed front-first — so only the
+// order and each pair's bucket is consumed front-first — so only the
 // ordering freedom the mesh never promised (between different pairs) is
 // exercised. Deliveries cannot extend the batch: a Receive may Send, but
-// new messages always arrive at a strictly later cycle.
+// new messages always arrive at a strictly later cycle, so the arena is
+// never touched reentrantly. The RNG is drawn only for non-empty batches
+// (one Intn per delivery), exactly as many times as the map-based
+// implementation this replaced, keeping perturbed runs bit-identical.
 func (m *Mesh) tickPerturbed(now sim.Cycle) {
-	var batch []*Message
-	for m.inFlight.Len() > 0 && m.inFlight[0].arrival <= now {
-		batch = append(batch, heap.Pop(&m.inFlight).(*Message))
-	}
-	if len(batch) == 0 {
+	if len(m.inFlight.h) == 0 || m.inFlight.h[0].arrival > now {
 		return
 	}
-	type pair struct{ src, dst Endpoint }
-	queues := make(map[pair][]*Message)
-	var order []pair
-	for _, msg := range batch {
-		p := pair{msg.Src, msg.Dst}
-		if _, seen := queues[p]; !seen {
-			order = append(order, p)
+	// The dense pair id space is len(routerOf)^2; (re)size lazily so late
+	// Attach calls are honoured.
+	nep := len(m.routerOf)
+	if len(m.bucketOf) < nep*nep {
+		m.bucketOf = make([]int32, nep*nep)
+		for i := range m.bucketOf {
+			m.bucketOf[i] = -1
 		}
-		queues[p] = append(queues[p], msg)
 	}
-	for len(order) > 0 {
-		i := m.rng.Intn(len(order))
-		p := order[i]
-		q := queues[p]
-		msg := q[0]
-		if len(q) == 1 {
-			order[i] = order[len(order)-1]
-			order = order[:len(order)-1]
-			delete(queues, p)
-		} else {
-			queues[p] = q[1:]
+	// Group the batch into per-pair FIFOs in heap-pop order.
+	nBuckets := 0
+	for len(m.inFlight.h) > 0 && m.inFlight.h[0].arrival <= now {
+		msg := m.inFlight.h[0]
+		m.inFlight.pop()
+		p := int(msg.Src)*nep + int(msg.Dst)
+		bi := m.bucketOf[p]
+		if bi == -1 {
+			if nBuckets == len(m.pairQ) {
+				m.pairQ = append(m.pairQ, pairBucket{})
+			}
+			bi = int32(nBuckets)
+			nBuckets++
+			m.bucketOf[p] = bi
+			m.order = append(m.order, bi)
+		}
+		b := &m.pairQ[bi]
+		b.msgs = append(b.msgs, msg)
+	}
+	// Deliver: pick a random live pair, pop its front. When a pair runs
+	// dry it is swap-removed from order, mirroring the original
+	// order[i] = order[len-1] semantics so the RNG->pair mapping (and
+	// hence every perturbed run) is unchanged.
+	for len(m.order) > 0 {
+		i := m.rng.Intn(len(m.order))
+		b := &m.pairQ[m.order[i]]
+		msg := b.msgs[b.head]
+		b.head++
+		if b.head == len(b.msgs) {
+			m.order[i] = m.order[len(m.order)-1]
+			m.order = m.order[:len(m.order)-1]
 		}
 		m.deliver(now, msg)
 	}
+	// Reset the arena: clear message references (so delivered messages
+	// can be collected), rewind buckets, and un-map the pair ids.
+	for bi := 0; bi < nBuckets; bi++ {
+		b := &m.pairQ[bi]
+		first := b.msgs[0]
+		clear(b.msgs)
+		b.msgs = b.msgs[:0]
+		b.head = 0
+		m.bucketOf[int(first.Src)*nep+int(first.Dst)] = -1
+	}
+	m.order = m.order[:0]
 }
 
 // deliver hands a message to its endpoint's receiver.
 func (m *Mesh) deliver(now sim.Cycle, msg *Message) {
-	r, ok := m.recvOf[msg.Dst]
-	if !ok {
+	if int(msg.Dst) >= len(m.recvOf) || m.recvOf[msg.Dst] == nil {
 		panic(fmt.Sprintf("network: message to unattached endpoint %d", msg.Dst))
 	}
-	r.Receive(now, msg)
+	m.recvOf[msg.Dst].Receive(now, msg)
 }
 
 // Quiescent reports whether no messages are in flight.
-func (m *Mesh) Quiescent() bool { return m.inFlight.Len() == 0 }
+func (m *Mesh) Quiescent() bool { return len(m.inFlight.h) == 0 }
 
 // InFlightCensus counts the messages currently in flight on each virtual
 // network (for hang reports).
 func (m *Mesh) InFlightCensus() (perVNet [NumVNets]int, total int) {
-	for _, msg := range m.inFlight {
+	for _, msg := range m.inFlight.h {
 		perVNet[msg.VNet]++
 		total++
 	}
@@ -377,24 +463,55 @@ func (m *Mesh) InFlightCensus() (perVNet [NumVNets]int, total int) {
 func (m *Mesh) Stats() Stats { return m.stats }
 
 // msgHeap orders messages by (arrival, seq) for deterministic delivery.
-type msgHeap []*Message
-
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
-	if h[i].arrival != h[j].arrival {
-		return h[i].arrival < h[j].arrival
-	}
-	return h[i].seq < h[j].seq
+// Hand-rolled (not container/heap) so push/pop never box through `any`:
+// Mesh.Tick must not allocate. The (arrival, seq) key is unique per
+// message, so pop order is independent of heap layout.
+type msgHeap struct {
+	h []*Message
 }
-func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)   { *h = append(*h, x.(*Message)) }
-func (h *msgHeap) Pop() any {
-	old := *h
-	n := len(old)
-	msg := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return msg
+
+func (q *msgHeap) less(i, j int) bool {
+	if q.h[i].arrival != q.h[j].arrival {
+		return q.h[i].arrival < q.h[j].arrival
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+func (q *msgHeap) push(msg *Message) {
+	q.h = append(q.h, msg)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// pop removes the root, keeping the backing array for reuse.
+func (q *msgHeap) pop() {
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = nil
+	q.h = q.h[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
 }
 
 func max(a, b int) int {

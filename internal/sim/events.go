@@ -1,12 +1,17 @@
 package sim
 
-import "container/heap"
-
 // EventQueue schedules deferred actions inside a component (for example a
 // cache responding after its hit latency). Events fire in (cycle,
 // insertion) order, keeping runs deterministic.
+//
+// The heap is hand-rolled rather than built on container/heap: the
+// interface-based API boxes every pushed and popped element into an
+// `any`, which costs one allocation per scheduled event on the
+// simulator's hottest path. The (at, seq) key is unique per event, so
+// pop order — and therefore simulated behaviour — is independent of
+// heap layout details.
 type EventQueue struct {
-	h   eventHeap
+	h   []event
 	seq uint64
 }
 
@@ -19,8 +24,9 @@ type event struct {
 // At schedules fn to run at cycle at (which must not be in the past when
 // Run is called for the current cycle).
 func (q *EventQueue) At(at Cycle, fn func()) {
-	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+	q.h = append(q.h, event{at: at, seq: q.seq, fn: fn})
 	q.seq++
+	q.siftUp(len(q.h) - 1)
 }
 
 // After schedules fn to run delay cycles after now.
@@ -29,35 +35,76 @@ func (q *EventQueue) After(now Cycle, delay Cycle, fn func()) {
 }
 
 // Run fires every event due at or before now, in order. Events scheduled
-// while running (for the same cycle) also fire.
-func (q *EventQueue) Run(now Cycle) {
-	for q.h.Len() > 0 && q.h[0].at <= now {
-		e := heap.Pop(&q.h).(event)
-		e.fn()
+// while running (for the same cycle) also fire. It returns the number of
+// events fired, so callers can tell an active cycle from an idle one.
+func (q *EventQueue) Run(now Cycle) int {
+	fired := 0
+	for len(q.h) > 0 && q.h[0].at <= now {
+		fn := q.h[0].fn
+		q.pop()
+		fn()
+		fired++
 	}
+	return fired
 }
 
 // Empty reports whether no events are pending.
-func (q *EventQueue) Empty() bool { return q.h.Len() == 0 }
+func (q *EventQueue) Empty() bool { return len(q.h) == 0 }
 
 // Len reports the number of pending events.
-func (q *EventQueue) Len() int { return q.h.Len() }
+func (q *EventQueue) Len() int { return len(q.h) }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// NextAt returns the cycle of the earliest pending event. ok is false
+// when the queue is empty.
+func (q *EventQueue) NextAt() (at Cycle, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
 	}
-	return h[i].seq < h[j].seq
+	return q.h[0].at, true
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (q *EventQueue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+func (q *EventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// pop removes the root, keeping the slice's backing array for reuse.
+func (q *EventQueue) pop() {
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = event{} // drop the fn reference so closures can be collected
+	q.h = q.h[:n]
+	q.siftDown(0)
+}
+
+func (q *EventQueue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
 }

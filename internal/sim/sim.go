@@ -35,6 +35,16 @@ func (c *Clock) Advance() Cycle {
 	return c.now
 }
 
+// FastForwardTo jumps the clock to cycle at. It is used by the idle-skip
+// scheduler to warp over provably inert stretches; jumping backwards is a
+// kernel bug and panics.
+func (c *Clock) FastForwardTo(at Cycle) {
+	if at < c.now {
+		panic("sim: FastForwardTo into the past")
+	}
+	c.now = at
+}
+
 // Rand is a small, fast, deterministic PRNG (xorshift64*). It is used
 // instead of math/rand so the simulator's behaviour is stable across Go
 // releases, and so that sub-streams can be forked cheaply per component.
