@@ -2,14 +2,16 @@
 #
 # `make verify` is the tier-1 gate plus the concurrency checks that came
 # with the parallel experiment engine (go vet + race detector in short
-# mode), the static analyzers that are installed on this machine, and a
-# small chaos campaign (fault plans × litmus suite × seeds) from the
-# fault-injection subsystem.
+# mode), the static analyzers (wbsimlint always; staticcheck/govulncheck
+# when installed at their pinned versions), and a small chaos campaign
+# (fault plans × litmus suite × seeds) from the fault-injection
+# subsystem.
 
 GO ?= go
 
-.PHONY: verify build test vet lint race bench chaos-short chaos \
-	alloc-gate golden-short golden-full profile bench-compare bench-kernel
+.PHONY: verify build test vet lint wbsimlint race bench chaos-short chaos \
+	alloc-gate golden-short golden-full profile bench-compare bench-kernel \
+	print-staticcheck-version print-govulncheck-version
 
 verify: build vet lint test race alloc-gate golden-short chaos-short
 
@@ -19,16 +21,47 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Optional analyzers: run whichever of staticcheck / govulncheck exist
-# on PATH, skip cleanly otherwise (the build environment does not ship
-# them and nothing may be installed).
-lint:
+# Pinned versions of the external analyzers, so CI runs are
+# reproducible instead of tracking whatever happens to be on PATH.
+# The offline build environment does not ship them and nothing may be
+# installed there, so by default a missing tool is a loud warning; CI
+# sets WBSIM_LINT_STRICT=1, which turns a missing or mismatched tool
+# into a failure. wbsimlint (the project's own analyzer suite,
+# cmd/wbsimlint) builds from this repo and is always a hard gate.
+STATICCHECK_VERSION ?= 2024.1.1
+# Module tag corresponding to the staticcheck release above, for
+# `go install honnef.co/go/tools/cmd/staticcheck@...` in CI.
+STATICCHECK_MODULE_VERSION ?= v0.5.1
+GOVULNCHECK_VERSION ?= v1.1.3
+WBSIM_LINT_STRICT ?=
+
+# Single source of truth for the pins; CI shells these out.
+print-staticcheck-version:
+	@echo $(STATICCHECK_MODULE_VERSION)
+print-govulncheck-version:
+	@echo $(GOVULNCHECK_VERSION)
+
+lint: wbsimlint
 	@if command -v staticcheck >/dev/null 2>&1; then \
-		echo staticcheck ./...; staticcheck ./...; \
-	else echo "lint: staticcheck not installed, skipping"; fi
+		echo "staticcheck ./... (want $(STATICCHECK_VERSION))"; \
+		staticcheck -version 2>/dev/null | grep -q '$(STATICCHECK_VERSION)' || \
+			{ echo "lint: staticcheck is not $(STATICCHECK_VERSION)"; \
+			  [ -z "$(WBSIM_LINT_STRICT)" ] || exit 1; }; \
+		staticcheck ./...; \
+	elif [ -n "$(WBSIM_LINT_STRICT)" ]; then \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) required (WBSIM_LINT_STRICT)"; exit 1; \
+	else echo "lint: staticcheck not installed, skipping (offline build)"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		echo govulncheck ./...; govulncheck ./...; \
-	else echo "lint: govulncheck not installed, skipping"; fi
+	elif [ -n "$(WBSIM_LINT_STRICT)" ]; then \
+		echo "lint: govulncheck $(GOVULNCHECK_VERSION) required (WBSIM_LINT_STRICT)"; exit 1; \
+	else echo "lint: govulncheck not installed, skipping (offline build)"; fi
+
+# The project's own static invariants (DESIGN.md, "Static invariants"):
+# determinism, protocol exhaustiveness, panic containment, stats
+# discipline. Always a hard gate; no network or external tool needed.
+wbsimlint:
+	$(GO) run ./cmd/wbsimlint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,83 @@
+// Command wbsimlint is the project's static-analysis gate: it runs the
+// internal/analysis suite (determinism, exhaustive, panicboundary,
+// statsdiscipline — see DESIGN.md §9) over the named packages and exits
+// non-zero if any invariant is violated.
+//
+// Usage:
+//
+//	wbsimlint [-list] [-run name,name] [packages]
+//
+// Packages default to ./... . Each diagnostic prints as
+//
+//	file:line:col: [analyzer] message
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational failure
+// (unloadable packages, unknown analyzer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wbsim/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *run != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wbsimlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wbsimlint: %v\n", err)
+		os.Exit(2)
+	}
+	fset, pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wbsimlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wbsimlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wbsimlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over a fixture package under
+// internal/analysis/testdata/src and compares its diagnostics against
+// `// want` expectations embedded in the fixture, mirroring the
+// golang.org/x/tools analysistest idiom without the dependency.
+//
+// An expectation is a trailing comment on the line the diagnostic must
+// point at:
+//
+//	time.Now() // want `reads the host clock`
+//
+// The backquoted text is a regular expression matched against the
+// diagnostic message; several expectations may share one line. Every
+// diagnostic must be expected and every expectation must fire, so
+// fixtures document both the positive findings and the suppressions
+// (lines carrying //wbsim: directives and no want comment).
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"wbsim/internal/analysis"
+)
+
+// wantRE matches one `// want` comment; expectations are backquoted
+// regexps.
+var wantRE = regexp.MustCompile("// want (`[^`]*`(?: `[^`]*`)*)")
+
+var expRE = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture package testdata/src/<fixture> (relative to
+// this package's directory), applies the analyzers, and reports any
+// mismatch between produced diagnostics and // want expectations.
+func Run(t *testing.T, fixture string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("analysistest: cannot locate source directory")
+	}
+	root := filepath.Dir(filepath.Dir(thisFile)) // internal/analysis
+	pattern := "./testdata/src/" + fixture
+	fset, pkgs, err := analysis.Load(root, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("pattern %s matched no packages", pattern)
+	}
+	diags, err := analysis.Run(fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	expectations := collectExpectations(t, fset, pkgs)
+
+	for _, d := range diags {
+		matched := false
+		for _, e := range expectations {
+			if e.hit || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, e := range expectations {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectExpectations scans every fixture file for // want comments.
+func collectExpectations(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						if strings.Contains(c.Text, "// want") {
+							t.Fatalf("%s: malformed want comment %q (expectations must be backquoted)",
+								fset.Position(c.Pos()), c.Text)
+						}
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, em := range expRE.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(em[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, em[1], err)
+						}
+						out = append(out, &expectation{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							raw:  em[1],
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wbsim/internal/analysis"
+	"wbsim/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "determinism", analysis.DeterminismAnalyzer)
+}
+
+// Packages outside the simulation path (here: an experiments-style
+// harness package) may read the wall clock and iterate maps freely.
+func TestDeterminismScope(t *testing.T) {
+	analysistest.Run(t, "determinism_scope", analysis.DeterminismAnalyzer)
+}

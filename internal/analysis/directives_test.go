@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wbsim/internal/analysis"
+	"wbsim/internal/analysis/analysistest"
+)
+
+// The directive parser's own findings — unknown verbs, missing
+// justifications, stale suppressions — surface under the full suite.
+func TestDirectives(t *testing.T) {
+	analysistest.Run(t, "directives", analysis.All()...)
+}

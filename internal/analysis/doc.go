@@ -1,0 +1,74 @@
+// Package analysis is wbsim's project-specific static-analysis suite:
+// a small, dependency-free reimplementation of the golang.org/x/tools
+// go/analysis idiom (Analyzer / Pass / Diagnostic) plus the four
+// analyzers that mechanically enforce the simulator's core invariants.
+// The build environment intentionally carries no third-party modules,
+// so the framework is built on the standard library only: packages are
+// loaded with `go list -export -deps -json` and typechecked with
+// go/types against the compiler's export data (see load.go).
+//
+// The invariants, and why they are load-bearing (DESIGN.md §9):
+//
+//   - determinism: every simulation is a pure function of
+//     (config, workload, seed). The memo cache, the golden stdout
+//     tests, and the CycleAccurate-vs-fast kernel equivalence gate all
+//     assume bit-identical replay. Simulation-path packages therefore
+//     must not read wall-clock time, must not use the process-global
+//     math/rand state, and must not let map iteration order leak into
+//     simulator state or output.
+//
+//   - exhaustive: the WritersBlock protocol is only correct if every
+//     controller handles every message kind and every directory state.
+//     A silently-dropped Inv ack is exactly the deadlock class the
+//     runtime watchdog exists to catch; this analyzer catches it at
+//     compile time instead. Every switch over a module-local enum type
+//     must cover all declared constants, or say precisely which ones it
+//     intentionally omits.
+//
+//   - panicboundary: a fleet of simulations shares one process. Every
+//     goroutine launched by non-test code must carry a recover boundary
+//     (converting panics via faults.PanicError) so one bad
+//     (workload, config, seed) job cannot crash its siblings.
+//
+//   - statsdiscipline: counters must live in per-run structs (BankStats,
+//     CoreStats, stats.Counters), never in package-level variables.
+//     A package-level counter is mutable global state that survives
+//     across memoized runs and silently breaks the purity the memo
+//     keys assert.
+//
+// # Suppression directives
+//
+// Every suppression is a comment of the form
+//
+//	//wbsim:<verb>[(<args>)] -- <one-line reason>
+//
+// placed on the flagged statement's line, on the line directly above
+// it, or (for switches) on the default clause. The reason is mandatory;
+// a directive without one is itself a diagnostic. Verbs:
+//
+//	//wbsim:partial(ConstA, ConstB) -- reason
+//	    The switch intentionally omits exactly the named constants.
+//	    Omitting a constant not listed — e.g. after deleting a case —
+//	    is still flagged, so the protocol-exhaustiveness guarantee
+//	    survives the suppression.
+//
+//	//wbsim:partial -- reason
+//	    Blanket form: any constant may be missing, but the switch must
+//	    carry a default clause that observes the value. Use only where
+//	    enumerating the omissions would not add information (e.g.
+//	    "every other message type is a response").
+//
+//	//wbsim:nondet -- reason
+//	    The flagged map iteration (or time/rand use) is genuinely
+//	    order-independent — e.g. a commutative merge, or an append
+//	    that is sorted immediately afterwards.
+//
+//	//wbsim:unguarded -- reason
+//	    The goroutine intentionally runs without a recover boundary.
+//
+//	//wbsim:rawcounter -- reason
+//	    The package-level variable mutation is intentionally global.
+//
+// Stale directives (suppressing something no longer flagged) are
+// reported too, so justifications cannot rot.
+package analysis

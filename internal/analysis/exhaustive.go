@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveAnalyzer enforces that every switch over a module-local
+// enum type (a named integer or string type with declared constants —
+// directory states, message kinds, opcodes, VNet ids, commit modes)
+// covers every declared constant, or declares precisely which ones it
+// omits via //wbsim:partial. An unhandled protocol message is the
+// silent-drop deadlock class the runtime watchdog exists to catch;
+// this moves it to compile time.
+var ExhaustiveAnalyzer = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "require switches over enum-like types to cover every declared constant",
+	Run:  runExhaustive,
+}
+
+// enumConst is one declared constant of an enum type.
+type enumConst struct {
+	name string
+	val  constant.Value
+}
+
+func runExhaustive(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sw, ok := n.(*ast.SwitchStmt); ok && sw.Tag != nil {
+				checkSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	t := pass.Info.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !pass.inModule(named.Obj().Pkg()) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+	consts := enumConstsOf(pass, named)
+	if len(consts) < 2 {
+		return // one constant is a named value, not an enumeration
+	}
+
+	covered := make(map[string]bool) // constant.Value.ExactString() -> covered
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: coverage is undecidable
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []enumConst
+	for _, c := range consts {
+		if covered[c.val.ExactString()] {
+			continue
+		}
+		if strings.HasPrefix(c.name, "Num") || strings.HasPrefix(c.name, "num") {
+			continue // count sentinel (e.g. NumVNets), not a real member
+		}
+		missing = append(missing, c)
+	}
+
+	dir := pass.directiveFor(sw, "partial")
+	if dir == nil && defaultClause != nil {
+		dir = pass.directiveAtPos(defaultClause.Pos(), "partial")
+	}
+
+	typeName := named.Obj().Name()
+	if len(missing) == 0 {
+		if dir != nil {
+			pass.Reportf(dir.Pos, "switch over %s is exhaustive; the //wbsim:partial directive is stale, delete it", typeName)
+		}
+		return
+	}
+
+	if dir == nil {
+		if defaultClause != nil {
+			pass.Reportf(sw.Pos(), "switch over %s has a default but silently omits %s; handle them or annotate //wbsim:partial(%s) -- reason",
+				typeName, nameList(missing), nameList(missing))
+		} else {
+			pass.Reportf(sw.Pos(), "non-exhaustive switch over %s: missing %s (add the cases, or //wbsim:partial(%s) -- reason)",
+				typeName, nameList(missing), nameList(missing))
+		}
+		return
+	}
+
+	if len(dir.Args) == 0 {
+		// Blanket form: every omission excused, but the value must still
+		// be observed by a default clause.
+		if defaultClause == nil {
+			pass.Reportf(dir.Pos, "blanket //wbsim:partial on a switch over %s needs a default clause; without one %s fall through silently",
+				typeName, nameList(missing))
+		}
+		return
+	}
+
+	// Precise form: the named constants — and only those — may be
+	// missing. Deleting a case for an unlisted constant stays an error,
+	// and the list itself cannot rot.
+	listed := make(map[string]bool, len(dir.Args))
+	byName := make(map[string]enumConst, len(consts))
+	for _, c := range consts {
+		byName[c.name] = c
+	}
+	for _, arg := range dir.Args {
+		listed[arg] = true
+		c, ok := byName[arg]
+		if !ok {
+			pass.Reportf(dir.Pos, "//wbsim:partial names %s, which is not a declared %s constant", arg, typeName)
+			continue
+		}
+		if covered[c.val.ExactString()] {
+			pass.Reportf(dir.Pos, "//wbsim:partial names %s, but the switch covers it; remove it from the list", arg)
+		}
+	}
+	var unlisted []enumConst
+	for _, c := range missing {
+		if !listed[c.name] {
+			unlisted = append(unlisted, c)
+		}
+	}
+	if len(unlisted) > 0 {
+		pass.Reportf(sw.Pos(), "non-exhaustive switch over %s: missing %s (not excused by the //wbsim:partial list)",
+			typeName, nameList(unlisted))
+	}
+}
+
+// enumConstsOf collects the declared constants of the named type, in
+// value order. For types defined in the package under analysis this
+// includes unexported constants; for imported types the export data
+// provides the exported ones, which are the only ones a cross-package
+// switch could name anyway.
+func enumConstsOf(pass *Pass, named *types.Named) []enumConst {
+	scope := named.Obj().Pkg().Scope()
+	var out []enumConst
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		out = append(out, enumConst{name: name, val: c.Val()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := compareConst(out[i].val, out[j].val); c != 0 {
+			return c < 0
+		}
+		return out[i].name < out[j].name
+	})
+	// Aliased constants (two names, one value) count once for coverage,
+	// but keep both names so directives may use either.
+	return out
+}
+
+func compareConst(a, b constant.Value) int {
+	if constant.Compare(a, token.LSS, b) {
+		return -1
+	}
+	if constant.Compare(b, token.LSS, a) {
+		return 1
+	}
+	return 0
+}
+
+func nameList(cs []enumConst) string {
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicBoundaryAnalyzer enforces that every goroutine launched by
+// non-test code carries a recover boundary, so a panic inside one
+// simulation job is converted to a *faults.SimError instead of killing
+// the process running a fleet of sibling jobs.
+//
+// A `go` statement is accepted when its function — a literal, or a
+// same-package function whose body is visible — has a top-level
+//
+//	defer func() { ... recover() ... }()
+//
+// statement. Goroutines entering functions of other packages cannot be
+// verified and must either be wrapped in a guarded literal or justified
+// with //wbsim:unguarded.
+var PanicBoundaryAnalyzer = &Analyzer{
+	Name: "panicboundary",
+	Doc:  "require every goroutine to carry a recover boundary (faults.PanicError conversion)",
+	Run:  runPanicBoundary,
+}
+
+func runPanicBoundary(pass *Pass) error {
+	// Bodies of package-level functions, for resolving `go f(...)`.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if guarded, why := goStmtGuarded(pass, g, decls); !guarded {
+				if pass.directiveFor(g, "unguarded") == nil {
+					pass.Reportf(g.Pos(), "goroutine without a recover boundary (%s); add a top-level `defer func() { if r := recover(); r != nil { ... faults.PanicError(r, nil) ... } }()` or justify with //wbsim:unguarded -- reason", why)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goStmtGuarded reports whether the goroutine's entry function visibly
+// recovers panics, with a short explanation when it does not.
+func goStmtGuarded(pass *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) (bool, string) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if hasTopLevelRecoverDefer(pass, fun.Body) {
+			return true, ""
+		}
+		return false, "the function literal has no top-level recover defer"
+	case *ast.Ident, *ast.SelectorExpr:
+		var id *ast.Ident
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			id = fun.(*ast.Ident)
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Func)
+		if !ok {
+			return false, "the callee cannot be resolved"
+		}
+		if fd, ok := decls[obj]; ok && fd.Body != nil {
+			if hasTopLevelRecoverDefer(pass, fd.Body) {
+				return true, ""
+			}
+			return false, obj.Name() + " has no top-level recover defer"
+		}
+		return false, obj.FullName() + " is outside this package, so its boundary cannot be verified"
+	default:
+		return false, "the callee expression cannot be verified"
+	}
+}
+
+// hasTopLevelRecoverDefer reports whether the block directly contains a
+// defer of a function literal that calls recover(). Only top-level
+// defers count: a conditional defer is not a reliable boundary.
+func hasTopLevelRecoverDefer(pass *Pass, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		def, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		lit, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if callsRecover(pass, lit.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether the node contains a call to the recover
+// builtin.
+func callsRecover(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"wbsim/internal/analysis"
+)
+
+// TestSuiteSelfClean is the meta-test behind `make lint`: the analyzer
+// suite must report nothing on the repository itself, so that
+// `wbsimlint ./...` exits 0 and can gate CI. Any finding below means
+// either new code violated an invariant or an analyzer regressed into
+// a false positive; fix the code or annotate it with a justified
+// //wbsim: directive.
+func TestSuiteSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source directory")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile))) // module root
+	fset, pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading ./...: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader regression?", len(pkgs))
+	}
+	diags, err := analysis.Run(fset, pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

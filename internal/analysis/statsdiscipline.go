@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsDisciplineAnalyzer enforces that counters live in per-run state
+// (BankStats, CoreStats, stats.Counters), never in package-level
+// variables. Every simulation must be a pure function of
+// (config, workload, seed): a package-level counter survives across
+// runs sharing the process, so two memoized runs with identical keys
+// would observe — and a report would render — different values. The
+// check flags any mutation whose target is a package-level variable:
+// assignments, ++/--, compound assignment, sync/atomic helper calls,
+// and method calls on package-level sync/atomic values.
+//
+// Package main is exempt (cmd wiring is not simulator state), as are
+// test files, which the loader never parses.
+var StatsDisciplineAnalyzer = &Analyzer{
+	Name: "statsdiscipline",
+	Doc:  "forbid mutation of package-level counters outside per-run stats structs",
+	Run:  runStatsDiscipline,
+}
+
+func runStatsDiscipline(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMutations(pass, n.Body)
+				}
+				return false // mutations only happen in function bodies
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMutations(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportPkgLevelWrite(pass, n, lhs, "assigned")
+			}
+		case *ast.IncDecStmt:
+			reportPkgLevelWrite(pass, n, n.X, "incremented")
+		case *ast.CallExpr:
+			checkAtomicCall(pass, n)
+		}
+		return true
+	})
+}
+
+// reportPkgLevelWrite flags lhs when its base object is a package-level
+// variable.
+func reportPkgLevelWrite(pass *Pass, at ast.Node, lhs ast.Expr, verb string) {
+	v := pkgLevelVar(pass, lhs)
+	if v == nil {
+		return
+	}
+	if pass.directiveFor(at, "rawcounter") != nil {
+		return
+	}
+	pass.Reportf(at.Pos(), "package-level variable %s is %s here; simulator counters belong in per-run stats structs (internal/stats) so memoized runs stay pure (//wbsim:rawcounter -- reason to override)", v.Name(), verb)
+}
+
+// checkAtomicCall flags sync/atomic mutations of package-level state:
+// atomic.AddUint64(&pkgVar, 1) and pkgVar.Add(1) where pkgVar is an
+// atomic value.
+func checkAtomicCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	var target ast.Expr
+	if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+		if isReadOnlyAtomic(fn.Name()) {
+			return
+		}
+		target = sel.X // method on an atomic.TXX value
+	} else {
+		if len(call.Args) == 0 || isReadOnlyAtomic(fn.Name()) {
+			return
+		}
+		arg := ast.Unparen(call.Args[0])
+		if ue, ok := arg.(*ast.UnaryExpr); ok {
+			arg = ue.X
+		}
+		target = arg
+	}
+	if v := pkgLevelVar(pass, target); v != nil {
+		if pass.directiveFor(call, "rawcounter") != nil {
+			return
+		}
+		pass.Reportf(call.Pos(), "package-level variable %s is mutated atomically here; simulator counters belong in per-run stats structs (internal/stats) (//wbsim:rawcounter -- reason to override)", v.Name())
+	}
+}
+
+func isReadOnlyAtomic(name string) bool {
+	switch name {
+	case "Load", "LoadInt32", "LoadInt64", "LoadUint32", "LoadUint64",
+		"LoadUintptr", "LoadPointer":
+		return true
+	}
+	return false
+}
+
+// pkgLevelVar returns the package-level variable at the base of expr,
+// or nil.
+func pkgLevelVar(pass *Pass, expr ast.Expr) *types.Var {
+	root := rootIdent(expr)
+	if root == nil || root.Name == "_" {
+		return nil
+	}
+	v, ok := pass.Info.ObjectOf(root).(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not declared at package scope
+	}
+	return v
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wbsim/internal/analysis"
+	"wbsim/internal/analysis/analysistest"
+)
+
+func TestStatsDiscipline(t *testing.T) {
+	analysistest.Run(t, "statsdiscipline", analysis.StatsDisciplineAnalyzer)
+}
+
+// Package main is exempt: cmd wiring is not simulator state.
+func TestStatsDisciplineMainExempt(t *testing.T) {
+	analysistest.Run(t, "statsdiscipline_main", analysis.StatsDisciplineAnalyzer)
+}

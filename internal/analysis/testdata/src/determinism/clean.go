@@ -1,0 +1,53 @@
+package cpu
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// A seeded, run-owned generator is the prescribed pattern.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Read-only map iteration with order-insensitive control flow is fine.
+func anyNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Writing through the loop variable touches each entry exactly once;
+// the result does not depend on iteration order.
+type entry struct{ seen bool }
+
+func markAll(m map[string]*entry) {
+	for _, e := range m {
+		e.seen = true
+	}
+}
+
+// The sorted-keys idiom: collect (suppressed), sort, then iterate the
+// slice freely.
+func render(m map[string]int, emit func(string, int)) {
+	var keys []string
+	//wbsim:nondet -- keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k, m[k])
+	}
+}
+
+// Ranging over slices is unrestricted.
+func sum(xs []int, emit func(int)) {
+	for _, x := range xs {
+		emit(x)
+	}
+}

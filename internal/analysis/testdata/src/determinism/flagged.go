@@ -1,0 +1,46 @@
+// Package cpu is a determinism fixture: the package name places it in
+// the simulation-path scope, so every nondeterminism source below must
+// be flagged.
+package cpu
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads are forbidden in simulation packages.
+func wallClock() (time.Time, time.Duration) {
+	start := time.Now()    // want `time.Now reads the host clock`
+	d := time.Since(start) // want `time.Since reads the host clock`
+	time.Sleep(d)          // want `time.Sleep reads the host clock`
+	return start, d
+}
+
+// The process-global math/rand generator is shared, unseeded state.
+func globalRand() int {
+	rand.Seed(1)         // want `rand.Seed uses the process-global generator`
+	return rand.Intn(10) // want `rand.Intn uses the process-global generator`
+}
+
+// Map iteration whose body mutates outer state leaks iteration order.
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration with order-dependent effects \(assignment to keys\)`
+		keys = append(keys, k)
+	}
+	total := 0
+	for _, v := range m { // want `map iteration with order-dependent effects \(update of total\)`
+		total++
+		_ = v
+	}
+	_ = total
+	for k, v := range m { // want `map iteration with order-dependent effects \(call to observe\)`
+		observe(k, v)
+	}
+	for k := range m { // want `map iteration with order-dependent effects \(return of a loop-dependent value\)`
+		return []string{k}
+	}
+	return keys
+}
+
+func observe(k string, v int) {}

@@ -1,0 +1,19 @@
+// Package experiments is a determinism scope fixture: harness packages
+// are outside the simulation path, so wall-clock reads and effectful
+// map iteration are permitted here and nothing below may be flagged.
+package experiments
+
+import "time"
+
+func wallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,23 @@
+// Package directivesfx exercises the //wbsim: directive parser itself:
+// unknown verbs, missing justifications, and stale suppressions are
+// findings in their own right.
+package directivesfx
+
+import "time"
+
+func bad() {
+	//wbsim:frobnicate -- whatever // want `unknown //wbsim: directive verb "frobnicate"`
+	_ = 1
+
+	//wbsim:nondet // want `//wbsim:nondet directive needs a justification`
+	_ = 2
+
+	//wbsim:partial(A, -- broken // want `unclosed argument list`
+	_ = 3
+}
+
+// A well-formed directive that suppresses nothing is stale.
+func stale() {
+	//wbsim:nondet -- nothing here is nondeterministic // want `stale //wbsim:nondet directive: nothing here needs suppressing`
+	_ = time.Millisecond
+}

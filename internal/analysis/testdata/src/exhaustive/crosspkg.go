@@ -1,0 +1,26 @@
+package exhaustive
+
+import "wbsim/internal/analysis/testdata/src/exhaustive/enums"
+
+// Constants of an imported enum are discovered through export data.
+func colorOK(c enums.Color) string {
+	switch c {
+	case enums.Red:
+		return "r"
+	case enums.Green:
+		return "g"
+	case enums.Blue:
+		return "b"
+	}
+	return "?"
+}
+
+func colorMissing(c enums.Color) string {
+	switch c { // want `non-exhaustive switch over Color: missing Blue`
+	case enums.Red:
+		return "r"
+	case enums.Green:
+		return "g"
+	}
+	return "?"
+}

@@ -1,0 +1,13 @@
+// Package enums declares a cross-package enum so the exhaustive
+// fixture exercises constant discovery through compiler export data.
+package enums
+
+// Color is an exported enum consumed by the parent fixture.
+type Color int
+
+// Colors.
+const (
+	Red Color = iota
+	Green
+	Blue
+)

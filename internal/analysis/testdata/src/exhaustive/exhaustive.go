@@ -1,0 +1,147 @@
+// Package exhaustive is the fixture for the enum-switch analyzer.
+package exhaustive
+
+// MsgKind mimics a protocol message enum.
+type MsgKind int
+
+// Message kinds. NumMsgKinds is a count sentinel, recognized by its
+// Num prefix and exempt from coverage.
+const (
+	KindGet MsgKind = iota
+	KindPut
+	KindAck
+	KindNack
+	KindInv
+	NumMsgKinds
+)
+
+// Exhaustive coverage: no diagnostic, no default needed.
+func name(k MsgKind) string {
+	switch k {
+	case KindGet:
+		return "get"
+	case KindPut:
+		return "put"
+	case KindAck:
+		return "ack"
+	case KindNack:
+		return "nack"
+	case KindInv:
+		return "inv"
+	}
+	return "?"
+}
+
+// Missing cases, no default: the silent-drop protocol bug.
+func dropped(k MsgKind) int {
+	switch k { // want `non-exhaustive switch over MsgKind: missing KindNack, KindInv`
+	case KindGet, KindPut:
+		return 1
+	case KindAck:
+		return 2
+	}
+	return 0
+}
+
+// A default clause does not excuse the omission by itself.
+func defaulted(k MsgKind) int {
+	switch k { // want `switch over MsgKind has a default but silently omits KindInv`
+	case KindGet, KindPut, KindAck, KindNack:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Blanket partial with a default: accepted.
+func blanket(k MsgKind) int {
+	//wbsim:partial -- only request kinds reach this path
+	switch k {
+	case KindGet, KindPut:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Blanket partial without a default: the value vanishes silently.
+func blanketNoDefault(k MsgKind) int {
+	//wbsim:partial -- only request kinds reach this path // want `blanket //wbsim:partial on a switch over MsgKind needs a default clause`
+	switch k {
+	case KindGet, KindPut:
+		return 1
+	}
+	return 0
+}
+
+// Precise partial naming exactly the omissions: accepted.
+func precise(k MsgKind) int {
+	//wbsim:partial(KindNack, KindInv) -- negative kinds handled by the caller
+	switch k {
+	case KindGet, KindPut, KindAck:
+		return 1
+	}
+	return 0
+}
+
+// Precise partial that does not excuse every omission: deleting the
+// KindAck case from precise() above would land here.
+func preciseUnlisted(k MsgKind) int {
+	//wbsim:partial(KindNack, KindInv) -- negative kinds handled by the caller
+	switch k { // want `non-exhaustive switch over MsgKind: missing KindAck \(not excused by the //wbsim:partial list\)`
+	case KindGet, KindPut:
+		return 1
+	}
+	return 0
+}
+
+// Precise partial naming a covered constant: the list has rotted.
+func preciseStaleEntry(k MsgKind) int {
+	//wbsim:partial(KindAck, KindNack, KindInv) -- negative kinds handled by the caller // want `//wbsim:partial names KindAck, but the switch covers it`
+	switch k {
+	case KindGet, KindPut, KindAck:
+		return 1
+	}
+	return 0
+}
+
+// Precise partial naming something that is not a constant of the type.
+func preciseUnknown(k MsgKind) int {
+	//wbsim:partial(KindBogus, KindNack, KindInv) -- negative kinds handled by the caller // want `//wbsim:partial names KindBogus, which is not a declared MsgKind constant`
+	switch k {
+	case KindGet, KindPut, KindAck:
+		return 1
+	}
+	return 0
+}
+
+// A directive on an exhaustive switch is stale.
+func staleDirective(k MsgKind) int {
+	//wbsim:partial -- pointless // want `switch over MsgKind is exhaustive; the //wbsim:partial directive is stale`
+	switch k {
+	case KindGet, KindPut, KindAck, KindNack, KindInv:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Non-constant cases make coverage undecidable; the switch is skipped.
+func dynamic(k, pivot MsgKind) int {
+	switch k {
+	case pivot:
+		return 1
+	case KindGet:
+		return 2
+	}
+	return 0
+}
+
+// Switches over plain (unnamed) integers are not enum switches.
+func plainInt(x int) int {
+	switch x {
+	case 0:
+		return 1
+	}
+	return 0
+}

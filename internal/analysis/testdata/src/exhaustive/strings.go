@@ -1,0 +1,28 @@
+package exhaustive
+
+// Variant is a string-typed enum, like core.Variant.
+type Variant string
+
+// Variants.
+const (
+	VarBase Variant = "base"
+	VarWB   Variant = "wb"
+)
+
+func applyOK(v Variant) int {
+	switch v {
+	case VarBase:
+		return 0
+	case VarWB:
+		return 1
+	}
+	return -1
+}
+
+func applyMissing(v Variant) int {
+	switch v { // want `non-exhaustive switch over Variant: missing VarWB`
+	case VarBase:
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,80 @@
+// Package boundary is the fixture for the goroutine recover-boundary
+// analyzer. It applies in every package, not just the simulation path.
+package boundary
+
+import "time"
+
+func work() {}
+
+// Unguarded literal: a panic here kills the whole process.
+func unguardedLit() {
+	go func() { // want `goroutine without a recover boundary \(the function literal has no top-level recover defer\)`
+		work()
+	}()
+}
+
+// Guarded literal: top-level recover defer.
+func guardedLit() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+}
+
+// A conditional defer is not a reliable boundary.
+func conditionalDefer(debug bool) {
+	go func() { // want `goroutine without a recover boundary \(the function literal has no top-level recover defer\)`
+		if debug {
+			defer func() { recover() }()
+		}
+		work()
+	}()
+}
+
+func guardedWorker() {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
+	work()
+}
+
+func nakedWorker() {
+	work()
+}
+
+// Same-package named functions: the analyzer looks into their bodies.
+func named() {
+	go guardedWorker()
+	go nakedWorker() // want `goroutine without a recover boundary \(nakedWorker has no top-level recover defer\)`
+}
+
+type pool struct{}
+
+func (p *pool) run() {
+	defer func() { _ = recover() }()
+	work()
+}
+
+// Guarded methods resolve the same way as functions.
+func method(p *pool) {
+	go p.run()
+}
+
+// A callee from another package cannot be inspected; wrap it or
+// justify the launch.
+func external() {
+	go time.Sleep(time.Millisecond) // want `time\.Sleep is outside this package, so its boundary cannot be verified`
+}
+
+// Justified launch: the goroutine provably cannot panic, or the caller
+// accepts process death.
+func suppressed() {
+	//wbsim:unguarded -- fixture: caller accepts process death here
+	go nakedWorker()
+}

@@ -1,0 +1,60 @@
+// Package counters is the fixture for the stats-discipline analyzer:
+// simulator counters belong in per-run stats structs, never in
+// package-level variables, so memoized runs stay pure.
+package counters
+
+import "sync/atomic"
+
+var (
+	totalHits  int
+	atomicHits uint64
+	opCount    atomic.Int64
+	registry   = map[string]int{}
+)
+
+type runStats struct {
+	hits int
+}
+
+var globalStats runStats
+
+func record(n int) {
+	totalHits++        // want `package-level variable totalHits is incremented here`
+	totalHits += n     // want `package-level variable totalHits is assigned here`
+	totalHits = 0      // want `package-level variable totalHits is assigned here`
+	globalStats.hits++ // want `package-level variable globalStats is incremented here`
+}
+
+func recordAtomic() {
+	atomic.AddUint64(&atomicHits, 1) // want `package-level variable atomicHits is mutated atomically here`
+	opCount.Add(1)                   // want `package-level variable opCount is mutated atomically here`
+}
+
+// Reads are fine; only mutation leaks state across runs.
+func snapshot() (int, uint64, int64) {
+	return totalHits, atomic.LoadUint64(&atomicHits), opCount.Load()
+}
+
+// Per-run state: locals and fields of locals are the sanctioned home
+// for counters.
+func perRun(n int) int {
+	local := 0
+	var s runStats
+	for i := 0; i < n; i++ {
+		local++
+		s.hits++
+	}
+	return local + s.hits
+}
+
+// Mutating through a parameter is the caller's business.
+func addTo(s *runStats) {
+	s.hits++
+}
+
+// Justified package-level mutation, e.g. a process-lifetime cache that
+// is not observable in reports.
+func seedRegistry() {
+	//wbsim:rawcounter -- fixture: process-lifetime cache, never reported
+	registry["seed"] = 1
+}

@@ -1,0 +1,11 @@
+// Command fixture: package main is exempt from stats discipline —
+// cmd wiring (flag results, exit codes) is not simulator state.
+// Nothing below may be flagged.
+package main
+
+var exitCode int
+
+func main() {
+	exitCode++
+	exitCode = 2
+}

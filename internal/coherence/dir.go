@@ -189,6 +189,7 @@ func (b *Bank) Quiescent() bool {
 func (b *Bank) Receive(now sim.Cycle, nm *network.Message) {
 	b.now = now
 	m := nm.Payload.(*Msg)
+	//wbsim:partial(MsgInv, MsgFwdGetS, MsgFwdGetX, MsgData, MsgDataExcl, MsgTearoff, MsgRedirAck, MsgPutAck, MsgBlockedHint) -- core-directed messages never reach a bank; the default panic enforces it
 	switch m.Type {
 	case MsgGetS, MsgRetryRd:
 		b.Stats.GetS++
@@ -596,6 +597,7 @@ func (b *Bank) processPending(dl *dirLine) {
 		(dl.kind == dirInvalid || dl.kind == dirShared || dl.kind == dirExclusive) {
 		m := dl.pending[0]
 		dl.pending = dl.pending[1:]
+		//wbsim:partial -- only GetS/GetX/RetryRd are ever queued (see the enqueue sites); the default panic enforces it
 		switch m.Type {
 		case MsgGetS, MsgRetryRd:
 			b.handleRead(m)
@@ -693,6 +695,7 @@ func (b *Bank) startEviction(frame *cache.Entry) {
 
 	kind := dl.kind
 	b.setKind(dl, dirBusy) // requests arriving mid-eviction queue in pending
+	//wbsim:partial(dirFetching, dirBusy, dirWB) -- the transient-state guard above already panicked for these
 	switch kind {
 	case dirInvalid:
 		if dl.dirty {
@@ -759,11 +762,14 @@ func (b *Bank) requeueOrphans(dl *dirLine) {
 	for _, m := range pending {
 		mm := m
 		b.events.After(b.now, 1, func() {
+			//wbsim:partial -- only GetS/GetX/RetryRd are ever queued (see the enqueue sites); the default panic enforces it
 			switch mm.Type {
 			case MsgGetS, MsgRetryRd:
 				b.handleRead(mm)
 			case MsgGetX:
 				b.handleWrite(mm)
+			default:
+				panicf("bank %d: orphaned %v", b.id, mm.Type)
 			}
 		})
 	}
@@ -772,10 +778,12 @@ func (b *Bank) requeueOrphans(dl *dirLine) {
 // CheckInvariants panics if internal consistency is violated; tests call
 // it after runs.
 func (b *Bank) CheckInvariants() {
+	//wbsim:nondet -- body only panics on violation; which violation fires first is immaterial
 	for line, dl := range b.lines {
 		if dl.line != line {
 			panic("bank: map key mismatch")
 		}
+		//wbsim:partial(dirInvalid, dirFetching, dirBusy) -- these states carry no structural invariants to check
 		switch dl.kind {
 		case dirShared:
 			if len(dl.sharers) == 0 {
@@ -860,9 +868,11 @@ func (b *Bank) TransientLines(now sim.Cycle) []TransientLine {
 		}
 		out = append(out, t)
 	}
+	//wbsim:nondet -- entries are sorted below before return
 	for _, dl := range b.lines {
 		collect(dl)
 	}
+	//wbsim:nondet -- entries are sorted below before return
 	for _, dl := range b.evbuf {
 		if _, dup := b.lines[dl.line]; !dup {
 			collect(dl)
@@ -877,10 +887,12 @@ func (b *Bank) TransientLines(now sim.Cycle) []TransientLine {
 	return out
 }
 
-// DumpState renders non-stable directory entries for debugging.
+// DumpState renders non-stable directory entries for debugging, in
+// line order so successive dumps of the same state are identical.
 func (b *Bank) DumpState() string {
 	var sb strings.Builder
-	for _, dl := range b.lines {
+	for _, line := range sortedLines(b.lines) {
+		dl := b.lines[line]
 		if dl.txn != nil || len(dl.pending) > 0 || dl.kind == dirBusy || dl.kind == dirWB {
 			fmt.Fprintf(&sb, "bank %d line=%v kind=%v pending=%d", b.id, dl.line, dl.kind, len(dl.pending))
 			if dl.txn != nil {
@@ -890,10 +902,22 @@ func (b *Bank) DumpState() string {
 			sb.WriteByte('\n')
 		}
 	}
-	for _, dl := range b.evbuf {
+	for _, line := range sortedLines(b.evbuf) {
+		dl := b.evbuf[line]
 		fmt.Fprintf(&sb, "bank %d EVBUF line=%v kind=%v\n", b.id, dl.line, dl.kind)
 	}
 	return sb.String()
+}
+
+// sortedLines returns the map's keys in ascending line order.
+func sortedLines(m map[mem.Line]*dirLine) []mem.Line {
+	keys := make([]mem.Line, 0, len(m))
+	//wbsim:nondet -- keys are sorted before use
+	for line := range m {
+		keys = append(keys, line)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // PeekWord returns the bank's current copy of a word if the directory

@@ -125,6 +125,7 @@ type Msg struct {
 
 // vnetOf maps each message type to its virtual network.
 func vnetOf(t MsgType) network.VNet {
+	//wbsim:partial -- every type not named is a response; the default is the response VNet by design
 	switch t {
 	case MsgGetS, MsgGetX, MsgPutM, MsgPutE, MsgPutS, MsgPutSh, MsgRetryRd:
 		return network.VNetRequest

@@ -425,6 +425,7 @@ func (p *PCU) PeekWord(addr mem.Addr) (mem.Word, bool) {
 func (p *PCU) Receive(now sim.Cycle, nm *network.Message) {
 	p.now = now
 	m := nm.Payload.(*Msg)
+	//wbsim:partial(MsgGetS, MsgGetX, MsgPutM, MsgPutE, MsgPutS, MsgPutSh, MsgRetryRd, MsgNack, MsgDelayedAck, MsgOwnerData, MsgUnblock) -- directory-directed messages never reach a core; the default panic enforces it
 	switch m.Type {
 	case MsgData:
 		p.handleReadGrant(m)

@@ -51,6 +51,7 @@ func (c *Core) commit() int {
 		if d.isBranchy() && !d.resolved {
 			branchesOK = false
 		}
+		//wbsim:partial(OpNop, OpALU, OpBranch, OpJump, OpHalt) -- non-memory ops contribute no prefix conditions
 		switch d.op {
 		case isa.OpStore:
 			if !d.sq.addrValid {
@@ -97,6 +98,7 @@ func (c *Core) canCommit(d *DynInstr, head, branchesOK, storesOK, loadsOK, atomi
 	if !branchesOK || !storesOK {
 		return false
 	}
+	//wbsim:partial -- the default applies condition 6 uniformly to every other op class
 	switch d.op {
 	case isa.OpHalt:
 		return head
@@ -110,6 +112,7 @@ func (c *Core) canCommit(d *DynInstr, head, branchesOK, storesOK, loadsOK, atomi
 		if loadsOK {
 			return true
 		}
+		//wbsim:partial -- in-order returned above; squash-based safe mode must not commit past unperformed loads
 		switch c.cfg.CommitMode {
 		case CommitOoOWB:
 			// The paper's relaxation: commit the M-speculative load and
@@ -173,6 +176,7 @@ func (c *Core) commitOne(d *DynInstr, head bool) {
 			c.regProd[r] = nil
 		}
 	}
+	//wbsim:partial(OpNop, OpALU, OpBranch, OpJump) -- non-memory ops hold no LSQ or SB resources to release
 	switch d.op {
 	case isa.OpLoad:
 		c.Stats.CommittedLoads++

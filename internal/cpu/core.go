@@ -283,6 +283,7 @@ func (c *Core) fetch() {
 			}
 			return
 		}
+		//wbsim:partial(OpNop, OpALU, OpStore, OpBranch, OpJump, OpHalt) -- only LQ-allocating ops are gated here; stores are gated just below
 		switch si.Op {
 		case isa.OpLoad, isa.OpAtomic:
 			if len(c.lq) >= c.cfg.LQSize {
@@ -298,6 +299,7 @@ func (c *Core) fetch() {
 		}
 		d := c.dispatch(si, c.fetchPC)
 		c.Stats.Fetched++
+		//wbsim:partial -- only control-flow ops redirect the PC; everything else falls through to PC+1
 		switch si.Op {
 		case isa.OpHalt:
 			c.fetchHalted = true
@@ -380,6 +382,7 @@ func (c *Core) dispatch(si *isa.Instr, pc int) *DynInstr {
 		c.regProd[si.Dst] = d
 	}
 
+	//wbsim:partial(OpNop, OpALU, OpBranch, OpJump, OpHalt) -- non-memory ops allocate no LSQ entries
 	switch si.Op {
 	case isa.OpLoad:
 		e := c.newLQEntry()

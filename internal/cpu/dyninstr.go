@@ -61,6 +61,7 @@ func (d *DynInstr) writesReg() bool {
 	if d.si.Dst == isa.R0 {
 		return false
 	}
+	//wbsim:partial(OpNop, OpStore, OpBranch, OpJump, OpHalt) -- these ops never produce a register value
 	switch d.op {
 	case isa.OpALU, isa.OpLoad, isa.OpAtomic:
 		return true

@@ -223,6 +223,7 @@ func (c *Core) tryMemoryIssue() {
 		// Store-to-load forwarding (TSO: loads bypass the SB but take a
 		// matching store's value).
 		value, fwdSeq, status := c.forwardLookup(e, atomicSeq)
+		//wbsim:partial(fwdMiss) -- a miss falls through to issue the load to memory
 		switch status {
 		case fwdHit:
 			c.Stats.Forwards++

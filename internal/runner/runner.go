@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"wbsim/internal/faults"
 )
 
 // DefaultParallel is the worker count used when a caller passes a
@@ -32,6 +34,12 @@ func DefaultParallel() int { return runtime.GOMAXPROCS(0) }
 // jobs not yet started are skipped. When several jobs fail before
 // cancellation takes effect, the error of the lowest index is returned —
 // the same one a sequential loop would have surfaced.
+//
+// Each worker carries a recover boundary: a panic inside fn is converted
+// to a *faults.SimError (DESIGN.md §8) and reported as that job's
+// failure, so one poisoned simulation cannot kill the process running
+// its siblings. The panicking worker retires; the rest drain normally
+// after the cancellation.
 func ForEach(ctx context.Context, parallel, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
@@ -55,10 +63,25 @@ func ForEach(ctx context.Context, parallel, n int, fn func(ctx context.Context, 
 	next.Store(-1)
 	firstIdx = n // sentinel: larger than any real index
 
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cur := -1 // index of the job currently executing, for panic attribution
+			defer func() {
+				if r := recover(); r != nil && cur >= 0 {
+					fail(cur, faults.PanicError(r, nil))
+				}
+			}()
 			for {
 				// The cancellation check precedes the claim, and a claimed
 				// job always runs: claimed indices therefore form a
@@ -69,17 +92,12 @@ func ForEach(ctx context.Context, parallel, n int, fn func(ctx context.Context, 
 				if ctx.Err() != nil {
 					return
 				}
-				i := int(next.Add(1))
-				if i >= n {
+				cur = int(next.Add(1))
+				if cur >= n {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
-					mu.Lock()
-					if i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					cancel()
+				if err := fn(ctx, cur); err != nil {
+					fail(cur, err)
 				}
 			}
 		}()

@@ -34,6 +34,7 @@ func (c *Counters) Set(name string, v uint64) { c.m[name] = v }
 // Names returns all counter names in sorted order.
 func (c *Counters) Names() []string {
 	names := make([]string, 0, len(c.m))
+	//wbsim:nondet -- keys are sorted before return
 	for n := range c.m {
 		names = append(names, n)
 	}
@@ -43,6 +44,7 @@ func (c *Counters) Names() []string {
 
 // Merge adds every counter of other into c.
 func (c *Counters) Merge(other *Counters) {
+	//wbsim:nondet -- addition is commutative; merged totals are order-independent
 	for n, v := range other.m {
 		c.m[n] += v
 	}

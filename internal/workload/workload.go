@@ -37,6 +37,7 @@ func register(w Workload) {
 	if _, dup := registry[w.Name]; dup {
 		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
 	}
+	//wbsim:rawcounter -- init-time registry, frozen after package init; not per-run state
 	registry[w.Name] = w
 }
 
