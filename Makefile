@@ -11,6 +11,7 @@ GO ?= go
 
 .PHONY: verify build test vet lint wbsimlint race bench chaos-short chaos \
 	alloc-gate golden-short golden-full profile bench-compare bench-kernel \
+	bench-dir bench-compare-dir coverage-report \
 	print-staticcheck-version print-govulncheck-version
 
 verify: build vet lint test race alloc-gate golden-short chaos-short
@@ -82,6 +83,12 @@ chaos-short:
 chaos:
 	$(GO) run ./cmd/litmus -chaos -seeds 12
 
+# Chaos campaign with the transition-coverage report: which (state,
+# event) rows of the coherence tables did the matrix (random litmus
+# programs + the directed protocol stimulator) exercise?
+coverage-report:
+	$(GO) run ./cmd/litmus -chaos -seeds 12 -coverage
+
 # Zero-allocation gates for the event-driven kernel: a warmed-up mesh
 # cycle and a drained System.Step may not allocate (see DESIGN.md,
 # "Simulation kernel & performance model").
@@ -101,6 +108,19 @@ golden-full:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
 
+# Directory/PCU dispatch microbenchmarks: the table-driven coherence
+# engine's hot path (write invalidations, 3-hop reads, and the
+# WritersBlock choreography of Figure 3.B/4).
+bench-dir:
+	$(GO) test -count=5 -run '^$$' -bench 'DirDispatch' -benchtime 200x -benchmem ./internal/coherence
+
+# Dispatch regression gate: run the dispatch benchmark and compare the
+# medians to the pre-refactor record in BENCH_baseline.json; a breached
+# budget exits non-zero (see scripts/dirbench_gate.py for thresholds).
+bench-compare-dir:
+	@$(GO) test -count=5 -run '^$$' -bench 'DirDispatch$$' -benchtime 200x -benchmem ./internal/coherence | tee /tmp/wbsim-dirbench-new.txt
+	@python3 scripts/dirbench_gate.py /tmp/wbsim-dirbench-new.txt
+
 # Kernel microbenchmarks: cycles/sec and allocs/op for the scheduler's
 # inner loop and the mesh (loaded and quiescent).
 bench-kernel:
@@ -110,7 +130,7 @@ bench-kernel:
 # End-to-end throughput benchmark, compared against the checked-in
 # pre-change record (BENCH_baseline.json). Uses benchstat when it is
 # installed; otherwise prints the new numbers next to the baseline.
-bench-compare:
+bench-compare: bench-compare-dir
 	@$(GO) test -count=3 -run '^$$' -bench 'SimulatorThroughput' -benchtime 3x -benchmem . | tee /tmp/wbsim-bench-new.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		grep -E '^Benchmark' /tmp/wbsim-bench-new.txt > /tmp/wbsim-bench-new.bench; \

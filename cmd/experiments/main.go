@@ -48,6 +48,7 @@ func mainExit() int {
 		jsonOut    = flag.Bool("json", false, "emit tables and engine counters as JSON")
 		maxCycles  = flag.Uint64("max-cycles", 0, "cycle budget per simulation (0: config default)")
 		chaosSeeds = flag.Int("chaos-seeds", 8, "seeds per (plan, test, variant) chaos cell")
+		coverage   = flag.Bool("coverage", false, "print the protocol transition-coverage summary after the run")
 	)
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -160,6 +161,9 @@ func mainExit() int {
 			fmt.Println(string(out))
 		} else {
 			fmt.Print(summary.String())
+			if *coverage {
+				fmt.Print(summary.Coverage.String())
+			}
 		}
 		if summary.Failed() {
 			return 1
@@ -186,6 +190,9 @@ func mainExit() int {
 		}
 		fmt.Println(string(out))
 	} else {
+		if *coverage {
+			fmt.Print(eng.Coverage().String())
+		}
 		fmt.Fprintf(os.Stderr, "-- engine report --\n%s", eng.Report())
 		for _, f := range eng.Failures() {
 			fmt.Fprintf(os.Stderr, "failed job: %s (workload=%s class=%s variant=%s seed=%d scale=%d kind=%s): %s\n",

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"wbsim/internal/coherence"
 	"wbsim/internal/core"
 	"wbsim/internal/faults"
 	"wbsim/internal/litmus"
@@ -43,6 +44,7 @@ func run() int {
 		planName  = flag.String("plan", "", "inject one fault plan into a plain suite run (chaos repro)")
 		variants  = flag.String("variants", "", "comma-separated variants (default: all sound variants)")
 		maxCycles = flag.Uint64("max-cycles", 0, "cycle budget per run (0: config default)")
+		coverage  = flag.Bool("coverage", false, "print the protocol transition-coverage summary after the campaign")
 	)
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -108,6 +110,9 @@ func run() int {
 		}
 		summary := litmus.Chaos(tests, vs, catalog, opts)
 		fmt.Print(summary.String())
+		if *coverage {
+			fmt.Print(summary.Coverage.String())
+		}
 		if summary.Failed() {
 			return 1
 		}
@@ -115,9 +120,11 @@ func run() int {
 	}
 
 	failed := false
+	cov := coherence.NewCoverageAgg()
 	for _, t := range tests {
 		for _, v := range vs {
 			res := litmus.Run(t, v, opts)
+			cov.Merge(res.Coverage)
 			status := "ok"
 			if res.Violations > 0 {
 				status = "TSO VIOLATION"
@@ -136,6 +143,9 @@ func run() int {
 				}
 			}
 		}
+	}
+	if *coverage {
+		fmt.Print(cov.String())
 	}
 	if *unsafe {
 		fmt.Println("--- ooo-unsafe demonstration (violations are EXPECTED here) ---")

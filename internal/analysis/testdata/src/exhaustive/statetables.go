@@ -1,0 +1,80 @@
+package exhaustive
+
+// The table-driven coherence engine's enum idiom: unexported state and
+// event types, iota members, and a lowercase `num` count sentinel that
+// sizes the dense (state, event) transition table. The analyzer must
+// treat these exactly like the exported message enums — the sentinel is
+// exempt, and every classifier or dispatch switch over them is held to
+// exhaustiveness.
+
+type ctrlState int
+
+const (
+	stIdle ctrlState = iota
+	stBusy
+	stBlocked
+	numCtrlStates // count sentinel sizing the transition table
+)
+
+type ctrlEvent int
+
+const (
+	evReq ctrlEvent = iota
+	evAck
+	evNack
+	numCtrlEvents
+)
+
+// An exhaustive state stringer: no diagnostic, and numCtrlStates does
+// not need a case.
+func stateName(s ctrlState) string {
+	switch s {
+	case stIdle:
+		return "Idle"
+	case stBusy:
+		return "Busy"
+	case stBlocked:
+		return "Blocked"
+	}
+	return "?"
+}
+
+// An event classifier that silently drops a member: the bug class the
+// transition tables were introduced to eliminate.
+func classify(e ctrlEvent) int {
+	switch e { // want `non-exhaustive switch over ctrlEvent: missing evNack`
+	case evReq:
+		return 1
+	case evAck:
+		return 2
+	}
+	return 0
+}
+
+// A dispatch switch whose default panics is still non-exhaustive when a
+// member is missing a case: a panic is containment, not coverage.
+func dispatch(s ctrlState) int {
+	switch s { // want `switch over ctrlState has a default but silently omits stBlocked`
+	case stIdle:
+		return 0
+	case stBusy:
+		return 1
+	default:
+		panic("impossible state")
+	}
+}
+
+// The count sentinel used as a bound, not a case, is fine anywhere.
+func tableSize() int {
+	return int(numCtrlStates) * int(numCtrlEvents)
+}
+
+// A precise partial for rows the mode's delta table declares dead.
+func deltaOnly(e ctrlEvent) int {
+	//wbsim:partial(evNack) -- nacks exist only in the lockdown delta table
+	switch e {
+	case evReq, evAck:
+		return 1
+	}
+	return 0
+}

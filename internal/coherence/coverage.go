@@ -1,0 +1,121 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+
+	"wbsim/internal/coherence/table"
+)
+
+// CoverageAgg accumulates transition fire counts across controllers and
+// runs, keyed by machine identity: one slot per directory flavor and one
+// per PCU mode. Slots stay nil until a controller running that machine
+// is observed, so a squash-only campaign reports nothing about the
+// lockdown tables instead of reporting them uncovered.
+type CoverageAgg struct {
+	dir [numDirFlavors][]uint64
+	pcu [2][]uint64 // indexed by Mode
+}
+
+// NewCoverageAgg returns an empty aggregate.
+func NewCoverageAgg() *CoverageAgg { return &CoverageAgg{} }
+
+func mergeCov(dst *[]uint64, src []uint64) {
+	if *dst == nil {
+		*dst = make([]uint64, len(src))
+	}
+	for i, v := range src {
+		(*dst)[i] += v
+	}
+}
+
+// AddBank folds one directory bank's fire counts into the aggregate.
+func (a *CoverageAgg) AddBank(b *Bank) { mergeCov(&a.dir[b.flavor], b.cov) }
+
+// AddPCU folds one core controller's fire counts into the aggregate.
+func (a *CoverageAgg) AddPCU(p *PCU) { mergeCov(&a.pcu[p.mode], p.cov) }
+
+// Merge folds another aggregate into this one. A nil argument is a
+// no-op, so callers can merge seed outcomes unconditionally.
+func (a *CoverageAgg) Merge(o *CoverageAgg) {
+	if o == nil {
+		return
+	}
+	for f, cov := range o.dir {
+		if cov != nil {
+			mergeCov(&a.dir[f], cov)
+		}
+	}
+	for m, cov := range o.pcu {
+		if cov != nil {
+			mergeCov(&a.pcu[m], cov)
+		}
+	}
+}
+
+// Empty reports whether no controller has been observed.
+func (a *CoverageAgg) Empty() bool {
+	if a == nil {
+		return true
+	}
+	for _, cov := range a.dir {
+		if cov != nil {
+			return false
+		}
+	}
+	for _, cov := range a.pcu {
+		if cov != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Reports returns one coverage report per observed machine, in a fixed
+// order (directory flavors, then PCU modes).
+func (a *CoverageAgg) Reports() []table.Report {
+	var out []table.Report
+	for f, cov := range a.dir {
+		if cov != nil {
+			out = append(out, dirMachines[f].Report(cov))
+		}
+	}
+	for m, cov := range a.pcu {
+		if cov != nil {
+			out = append(out, pcuMachines[m].Report(cov))
+		}
+	}
+	return out
+}
+
+// Total aggregates all observed machines into one report (Machine "all").
+func (a *CoverageAgg) Total() table.Report {
+	t := table.Report{Machine: "all"}
+	for _, r := range a.Reports() {
+		t.Possible += r.Possible
+		t.Fired += r.Fired
+		t.Unfired = append(t.Unfired, r.Unfired...)
+	}
+	return t
+}
+
+// String renders the -coverage view: one summary line per machine plus
+// its silent (never-fired, non-Impossible) rows.
+func (a *CoverageAgg) String() string {
+	reports := a.Reports()
+	if len(reports) == 0 {
+		return "transition coverage: no controllers observed\n"
+	}
+	var b strings.Builder
+	b.WriteString("transition coverage:\n")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %s\n", r)
+		for _, u := range r.Unfired {
+			fmt.Fprintf(&b, "    silent: %s\n", u)
+		}
+	}
+	if len(reports) > 1 {
+		fmt.Fprintf(&b, "  %s\n", a.Total())
+	}
+	return b.String()
+}

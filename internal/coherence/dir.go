@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"wbsim/internal/cache"
+	"wbsim/internal/coherence/table"
 	"wbsim/internal/mem"
 	"wbsim/internal/network"
 	"wbsim/internal/sim"
@@ -133,14 +134,25 @@ type Bank struct {
 	// unordered network; they are consumed when the Nack arrives.
 	earlyDelayed map[mem.Line]int
 
+	// machine is the composed transition table the bank dispatches on;
+	// cov counts row firings for the -coverage report; trace, when set,
+	// observes every (state, event) firing (tests).
+	flavor  dirFlavor
+	machine *table.Machine[dirAction]
+	cov     []uint64
+	trace   func(dirState, dirEvent)
+
 	Stats BankStats
 
 	now sim.Cycle
 }
 
 // NewBank builds an LLC bank/directory slice attached to the mesh at the
-// given endpoint. memory is the (shared) backing store.
-func NewBank(id network.Endpoint, mesh *network.Mesh, params *Params, memory *mem.Memory) *Bank {
+// given endpoint. memory is the (shared) backing store; mode selects the
+// WritersBlock protocol delta (the bank must match its cores).
+func NewBank(id network.Endpoint, mesh *network.Mesh, params *Params, memory *mem.Memory, mode Mode) *Bank {
+	flavor := dirFlavorFor(mode, params.NonSilentSharedEvictions)
+	machine := dirMachines[flavor]
 	return &Bank{
 		id:           id,
 		mesh:         mesh,
@@ -150,6 +162,9 @@ func NewBank(id network.Endpoint, mesh *network.Mesh, params *Params, memory *me
 		lines:        make(map[mem.Line]*dirLine),
 		evbuf:        make(map[mem.Line]*dirLine),
 		earlyDelayed: make(map[mem.Line]int),
+		flavor:       flavor,
+		machine:      machine,
+		cov:          machine.NewCoverage(),
 	}
 }
 
@@ -185,52 +200,35 @@ func (b *Bank) Quiescent() bool {
 	return true
 }
 
-// Receive implements network.Receiver.
+// Receive implements network.Receiver: it maps the message to its table
+// event and fires the machine's row. Request stats count only fresh
+// arrivals, never table re-dispatches of queued requests.
 func (b *Bank) Receive(now sim.Cycle, nm *network.Message) {
 	b.now = now
 	m := nm.Payload.(*Msg)
-	//wbsim:partial(MsgInv, MsgFwdGetS, MsgFwdGetX, MsgData, MsgDataExcl, MsgTearoff, MsgRedirAck, MsgPutAck, MsgBlockedHint) -- core-directed messages never reach a bank; the default panic enforces it
-	switch m.Type {
-	case MsgGetS, MsgRetryRd:
+	ev := dirEventOf(m.Type)
+	if ev == dirEvRead {
 		b.Stats.GetS++
-		b.handleRead(m)
-	case MsgGetX:
+	} else if ev == dirEvWrite {
 		b.Stats.GetX++
-		b.handleWrite(m)
-	case MsgPutM, MsgPutE, MsgPutS:
-		b.handlePut(m)
-	case MsgPutSh:
-		b.handlePutSh(m)
-	case MsgInvAck:
-		b.handleEvictionAck(m, false)
-	case MsgNack:
-		b.handleNack(m)
-	case MsgDelayedAck:
-		b.handleDelayedAck(m)
-	case MsgOwnerData:
-		b.handleOwnerData(m)
-	case MsgUnblock:
-		b.handleUnblock(m)
-	default:
-		panicf("bank %d: unexpected %v", b.id, m.Type)
 	}
+	b.dispatch(ev, m)
 }
 
-// sendAfter schedules a message after delay cycles of local processing.
-func (b *Bank) sendAfter(delay int, dst network.Endpoint, m *Msg) {
-	b.events.After(b.now, sim.Cycle(delay), func() {
-		send(b.mesh, b.now, b.id, dst, m, b.params.DataFlits, b.params.CtrlFlits)
-	})
+// dispatch fires the machine row for (current state of m's line, ev) and
+// runs its action.
+func (b *Bank) dispatch(ev dirEvent, m *Msg) {
+	dl := b.find(m.Line)
+	st := dirStateOf(dl)
+	if b.trace != nil {
+		b.trace(st, ev)
+	}
+	b.machine.Fire(b.cov, int(st), int(ev))(b, dl, m)
 }
 
-// find returns the directory entry for line, looking in the live slice
-// first, then the eviction buffer.
-func (b *Bank) find(line mem.Line) *dirLine {
-	if dl, ok := b.lines[line]; ok {
-		return dl
-	}
-	return b.evbuf[line]
-}
+// redispatch re-enters a queued or retried request through the table
+// (without re-counting request stats).
+func (b *Bank) redispatch(m *Msg) { b.dispatch(dirEventOf(m.Type), m) }
 
 func (b *Bank) isSharer(dl *dirLine, ep network.Endpoint) bool {
 	for _, s := range dl.sharers {
@@ -259,46 +257,6 @@ func (b *Bank) removeSharer(dl *dirLine, ep network.Endpoint) {
 // ---------------------------------------------------------------------
 // Reads
 // ---------------------------------------------------------------------
-
-// handleRead processes a GetS (or a retried read). Reads are never
-// blocked by a WritersBlock: a WB entry serves an uncacheable tear-off
-// copy of the pre-write data (Section 3.4).
-func (b *Bank) handleRead(m *Msg) {
-	dl := b.find(m.Line)
-	if dl == nil {
-		b.allocateAndFetch(m)
-		return
-	}
-	switch dl.kind {
-	case dirInvalid:
-		// No sharers: grant MESI Exclusive from the LLC copy.
-		if !dl.dataValid {
-			panicf("bank %d: %v invalid without data", b.id, m.Line)
-		}
-		b.setKind(dl, dirBusy)
-		dl.txn = &dirTxn{requester: m.Requester, grantExcl: true}
-		b.sendAfter(b.params.LLCLatency, m.Requester,
-			&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true, Excl: true})
-	case dirShared:
-		b.setKind(dl, dirBusy)
-		dl.txn = &dirTxn{requester: m.Requester}
-		b.sendAfter(b.params.LLCLatency, m.Requester,
-			&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
-	case dirExclusive:
-		// 3-hop read: forward to the owner, who sends data to the
-		// requester and a clean copy back to the directory.
-		b.setKind(dl, dirBusy)
-		dl.txn = &dirTxn{requester: m.Requester, fwd: true, oldOwner: dl.owner}
-		b.sendAfter(b.params.TagLatency, dl.owner,
-			&Msg{Type: MsgFwdGetS, Line: m.Line, Requester: m.Requester})
-	case dirFetching, dirBusy:
-		dl.pending = append(dl.pending, m)
-	case dirWB:
-		// The heart of WritersBlock: reads are admitted and receive an
-		// uncacheable tear-off copy of the latest pre-write data.
-		b.serveTearoff(dl, m)
-	}
-}
 
 // serveTearoff replies with uncacheable data without registering the
 // reader as a sharer (Option 2 in Section 3.4 — livelock free).
@@ -342,7 +300,7 @@ func (b *Bank) allocateAndFetch(m *Msg) {
 		b.sendAfter(b.params.TagLatency, m.Requester,
 			&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: m.Requester})
 		retry := *m
-		b.events.After(b.now, sim.Cycle(b.params.LLCLatency), func() { b.handleWrite(&retry) })
+		b.events.After(b.now, sim.Cycle(b.params.LLCLatency), func() { b.redispatch(&retry) })
 		return
 	}
 	if victim.Valid() {
@@ -366,120 +324,6 @@ func (b *Bank) allocateAndFetch(m *Msg) {
 // Writes
 // ---------------------------------------------------------------------
 
-// handleWrite processes a GetX (write miss or upgrade).
-func (b *Bank) handleWrite(m *Msg) {
-	dl := b.find(m.Line)
-	if dl == nil {
-		b.allocateAndFetch(m)
-		return
-	}
-	switch dl.kind {
-	case dirInvalid:
-		b.setKind(dl, dirBusy)
-		dl.txn = &dirTxn{write: true, requester: m.Requester}
-		b.sendAfter(b.params.LLCLatency, m.Requester,
-			&Msg{Type: MsgDataExcl, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
-	case dirShared:
-		// Invalidate every other sharer; acks flow directly to the
-		// writer in the base protocol. If the requester already holds
-		// the line (upgrade) no data is sent.
-		var invs []network.Endpoint
-		for _, s := range dl.sharers {
-			if s != m.Requester {
-				invs = append(invs, s)
-			}
-		}
-		// Data can be omitted only when the requester both claims and is
-		// registered to hold a shared copy (silent evictions make the
-		// sharer list an over-approximation, and an invalidation racing
-		// with the upgrade may have removed the requester already).
-		upgrade := m.Upgrade && b.isSharer(dl, m.Requester)
-		b.setKind(dl, dirBusy)
-		dl.txn = &dirTxn{write: true, requester: m.Requester}
-		dl.sharers = nil
-		for _, s := range invs {
-			b.sendAfter(b.params.TagLatency, s,
-				&Msg{Type: MsgInv, Line: m.Line, Requester: m.Requester})
-		}
-		resp := &Msg{Type: MsgDataExcl, Line: m.Line, Requester: m.Requester, AckCount: len(invs)}
-		delay := b.params.TagLatency
-		if !upgrade {
-			resp.Data = dl.data
-			resp.HasData = true
-			delay = b.params.LLCLatency
-		}
-		b.sendAfter(delay, m.Requester, resp)
-	case dirExclusive:
-		// Forward to the owner, who sends data+ack to the writer (or
-		// data to the writer and Nack+Data to the directory when a
-		// lockdown is hit).
-		old := dl.owner
-		b.setKind(dl, dirBusy)
-		dl.txn = &dirTxn{write: true, requester: m.Requester, fwd: true, oldOwner: old}
-		dl.owner = m.Requester // for stale-Put detection
-		b.sendAfter(b.params.TagLatency, old,
-			&Msg{Type: MsgFwdGetX, Line: m.Line, Requester: m.Requester})
-	case dirFetching, dirBusy:
-		dl.pending = append(dl.pending, m)
-	case dirWB:
-		// Goal (2) of Section 3: no further writes can be performed
-		// before the blocked store. Queue, and hint the writer so its
-		// SoS loads bypass the blocked MSHR.
-		b.Stats.QueuedWrites++
-		dl.pending = append(dl.pending, m)
-		b.sendAfter(b.params.TagLatency, m.Requester,
-			&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: m.Requester})
-	}
-}
-
-// handleNack processes a Nack from a core whose lockdown was hit by an
-// invalidation: the directory entry enters WritersBlock (Figure 3.B).
-func (b *Bank) handleNack(m *Msg) {
-	dl := b.find(m.Line)
-	if dl == nil || dl.txn == nil {
-		panicf("bank %d: Nack for %v with no transaction", b.id, m.Line)
-	}
-	if m.HasData {
-		dl.data = m.Data
-		dl.dataValid = true
-		dl.dirty = true
-	}
-	txn := dl.txn
-	txn.delayedPending++
-	// The matching DelayedAck may have overtaken this Nack.
-	if n := b.earlyDelayed[m.Line]; n > 0 {
-		if n == 1 {
-			delete(b.earlyDelayed, m.Line)
-		} else {
-			b.earlyDelayed[m.Line] = n - 1
-		}
-		defer b.consumeDelayedAck(dl)
-	}
-	if txn.eviction {
-		txn.acksPending--
-		if dl.kind != dirWB {
-			b.setKind(dl, dirWB)
-			b.Stats.WBEntries++
-			b.Stats.EvictionsWB++
-			b.drainPendingReads(dl)
-		}
-		return
-	}
-	if dl.kind != dirWB {
-		b.setKind(dl, dirWB)
-		b.Stats.WBEntries++
-		b.Stats.BlockedWrites++
-		// Release any reads that were queued while Busy: WritersBlock
-		// admits reads.
-		b.drainPendingReads(dl)
-	}
-	if !txn.hinted {
-		txn.hinted = true
-		b.sendAfter(b.params.TagLatency, txn.requester,
-			&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: txn.requester})
-	}
-}
-
 // drainPendingReads serves every queued read with tear-off data, leaving
 // writes queued (used on Busy -> WB transitions).
 func (b *Bank) drainPendingReads(dl *dirLine) {
@@ -494,21 +338,6 @@ func (b *Bank) drainPendingReads(dl *dirLine) {
 	dl.pending = writes
 }
 
-// handleDelayedAck processes the acknowledgement a core sends when a
-// lockdown with a pending invalidation lifts. For a write transaction the
-// ack is redirected to the writer (Figure 3.B steps 4-5); for an eviction
-// it completes the eviction.
-func (b *Bank) handleDelayedAck(m *Msg) {
-	dl := b.find(m.Line)
-	if dl == nil || dl.txn == nil || dl.txn.delayedPending <= 0 {
-		// The DelayedAck overtook the Nack in the unordered network;
-		// buffer it until the Nack arrives.
-		b.earlyDelayed[m.Line]++
-		return
-	}
-	b.consumeDelayedAck(dl)
-}
-
 // consumeDelayedAck accounts one lifted lockdown against the line's
 // transaction: the ack is redirected to the writer (or, for an eviction,
 // the eviction completion is re-checked).
@@ -521,53 +350,6 @@ func (b *Bank) consumeDelayedAck(dl *dirLine) {
 	}
 	b.sendAfter(b.params.TagLatency, txn.requester,
 		&Msg{Type: MsgRedirAck, Line: dl.line, Requester: txn.requester})
-}
-
-// handleOwnerData stores the clean copy an owner sends on a read
-// downgrade.
-func (b *Bank) handleOwnerData(m *Msg) {
-	dl := b.find(m.Line)
-	if dl == nil || dl.txn == nil || !dl.txn.fwd {
-		panicf("bank %d: stray OwnerData for %v", b.id, m.Line)
-	}
-	dl.data = m.Data
-	dl.dataValid = true
-	dl.dirty = true
-	dl.txn.gotOwnerData = true
-	b.maybeCompleteRead(dl)
-}
-
-// handleUnblock finishes a transaction.
-func (b *Bank) handleUnblock(m *Msg) {
-	dl := b.find(m.Line)
-	if dl == nil || dl.txn == nil {
-		panicf("bank %d: stray Unblock for %v", b.id, m.Line)
-	}
-	txn := dl.txn
-	if txn.write || txn.grantExcl {
-		if txn.delayedPending != 0 {
-			panicf("bank %d: Unblock for %v with %d delayed acks outstanding",
-				b.id, m.Line, txn.delayedPending)
-		}
-		// Ownership transferred: the LLC copy is now potentially stale.
-		// Preserve dirty data in memory before dropping validity.
-		if dl.dirty && dl.dataValid {
-			b.memory.WriteLine(dl.line, dl.data)
-			b.Stats.MemWrites++
-		}
-		dl.dataValid = false
-		dl.dirty = false
-		dl.kind = dirExclusive
-		dl.owner = m.Src
-		dl.hasOwner = true
-		dl.sharers = nil
-		dl.txn = nil
-		b.processPending(dl)
-		return
-	}
-	// Shared read grant.
-	txn.gotUnblock = true
-	b.maybeCompleteRead(dl)
 }
 
 // maybeCompleteRead finishes a shared-grant read once both the Unblock
@@ -597,82 +379,13 @@ func (b *Bank) processPending(dl *dirLine) {
 		(dl.kind == dirInvalid || dl.kind == dirShared || dl.kind == dirExclusive) {
 		m := dl.pending[0]
 		dl.pending = dl.pending[1:]
-		//wbsim:partial -- only GetS/GetX/RetryRd are ever queued (see the enqueue sites); the default panic enforces it
-		switch m.Type {
-		case MsgGetS, MsgRetryRd:
-			b.handleRead(m)
-		case MsgGetX:
-			b.handleWrite(m)
-		default:
-			panicf("bank %d: queued %v", b.id, m.Type)
-		}
+		b.redispatch(m)
 	}
 }
 
 // ---------------------------------------------------------------------
 // Evictions (core-initiated Put*, and directory-entry evictions)
 // ---------------------------------------------------------------------
-
-// handlePut processes PutM/PutE/PutS from a core. A Put that lost a race
-// with a forward (the directory already moved ownership) is acknowledged
-// as stale and its data dropped; the core served the forward from its
-// writeback buffer.
-func (b *Bank) handlePut(m *Msg) {
-	dl := b.find(m.Line)
-	stale := dl == nil || dl.kind != dirExclusive || !dl.hasOwner || dl.owner != m.Src
-	if stale {
-		b.sendAfter(b.params.TagLatency, m.Src,
-			&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src, Stale: true})
-		return
-	}
-	if m.HasData {
-		dl.data = m.Data
-		dl.dataValid = true
-		dl.dirty = true
-	}
-	dl.hasOwner = false
-	if m.Type == MsgPutS {
-		// Section 3.8: an owned-line eviction under a lockdown becomes
-		// "silent" — the core stays in the sharer list so a future
-		// write's invalidation still reaches its load queue.
-		dl.kind = dirShared
-		dl.sharers = []network.Endpoint{m.Src}
-		if !dl.dataValid {
-			panicf("bank %d: PutS for %v without data", b.id, m.Line)
-		}
-	} else {
-		dl.kind = dirInvalid
-		if !dl.dataValid {
-			// PutE of a clean line never modified: memory is current.
-			dl.data = b.memory.ReadLine(dl.line)
-			dl.dataValid = true
-			dl.dirty = false
-			b.Stats.MemReads++
-		}
-	}
-	b.sendAfter(b.params.TagLatency, m.Src,
-		&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src})
-	b.processPending(dl)
-}
-
-// handlePutSh processes a non-silent shared-line eviction: the core
-// leaves the sharer list. If a transaction is in flight the Put is
-// acknowledged as stale and ignored (the in-flight invalidation already
-// covers the copy; the core answers it like a silent-eviction ghost).
-func (b *Bank) handlePutSh(m *Msg) {
-	dl := b.find(m.Line)
-	if dl == nil || dl.kind != dirShared || !b.isSharer(dl, m.Src) {
-		b.sendAfter(b.params.TagLatency, m.Src,
-			&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src, Stale: true})
-		return
-	}
-	b.removeSharer(dl, m.Src)
-	if len(dl.sharers) == 0 {
-		dl.kind = dirInvalid
-	}
-	b.sendAfter(b.params.TagLatency, m.Src,
-		&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src})
-}
 
 // startEviction moves a stable directory entry to the eviction buffer and
 // invalidates its sharers/owner. WritersBlock entries are never selected
@@ -724,22 +437,6 @@ func (b *Bank) startEviction(frame *cache.Entry) {
 	}
 }
 
-// handleEvictionAck processes an InvAck sent to the directory itself
-// (only eviction invalidations name the bank as requester).
-func (b *Bank) handleEvictionAck(m *Msg, _ bool) {
-	dl := b.evbuf[m.Line]
-	if dl == nil || dl.txn == nil || !dl.txn.eviction {
-		panicf("bank %d: stray eviction InvAck for %v", b.id, m.Line)
-	}
-	if m.HasData {
-		dl.data = m.Data
-		dl.dataValid = true
-		dl.dirty = true
-	}
-	dl.txn.acksPending--
-	b.maybeFinishEviction(dl)
-}
-
 // maybeFinishEviction completes an eviction once every invalidation has
 // been acknowledged (including delayed acks from lifted lockdowns).
 func (b *Bank) maybeFinishEviction(dl *dirLine) {
@@ -761,17 +458,7 @@ func (b *Bank) requeueOrphans(dl *dirLine) {
 	dl.pending = nil
 	for _, m := range pending {
 		mm := m
-		b.events.After(b.now, 1, func() {
-			//wbsim:partial -- only GetS/GetX/RetryRd are ever queued (see the enqueue sites); the default panic enforces it
-			switch mm.Type {
-			case MsgGetS, MsgRetryRd:
-				b.handleRead(mm)
-			case MsgGetX:
-				b.handleWrite(mm)
-			default:
-				panicf("bank %d: orphaned %v", b.id, mm.Type)
-			}
-		})
+		b.events.After(b.now, 1, func() { b.redispatch(mm) })
 	}
 }
 

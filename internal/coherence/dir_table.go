@@ -1,0 +1,732 @@
+package coherence
+
+import (
+	"wbsim/internal/coherence/table"
+	"wbsim/internal/mem"
+	"wbsim/internal/network"
+	"wbsim/internal/sim"
+)
+
+// The directory's transition table dispatches on a *derived* state: the
+// stored representation (dirKind + dirTxn) is unchanged, but for dispatch
+// the Busy and WB kinds split by transaction role, because the legal
+// event set differs between a read grant, a write, and an eviction. The
+// split is exactly the distinction SLICC states make explicit and the old
+// nested switches kept implicit in txn-field tests.
+type dirState int
+
+const (
+	dirStNoEntry    dirState = iota // no directory entry (live or evicting)
+	dirStInvalid                    // entry with no sharers or owner
+	dirStShared                     // ≥1 sharer
+	dirStExclusive                  // single owner (MESI E/M)
+	dirStFetching                   // memory fetch in flight
+	dirStBusyShared                 // shared read grant awaiting Unblock
+	dirStBusyExcl                   // exclusive read grant awaiting Unblock
+	dirStBusyWrite                  // write transaction in flight
+	dirStBusyEvict                  // directory eviction collecting InvAcks
+	dirStWBWrite                    // WritersBlock: write blocked by lockdowns
+	dirStWBEvict                    // WritersBlock: eviction blocked by lockdowns
+	numDirStates
+)
+
+var dirStateNames = [numDirStates]string{
+	"NoEntry", "I", "S", "E", "Fetch", "BusyS", "BusyE", "BusyW", "BusyEv", "WBW", "WBEv",
+}
+
+func (s dirState) String() string { return dirStateNames[s] }
+
+// dirStateOf derives the dispatch state from a directory entry.
+func dirStateOf(dl *dirLine) dirState {
+	if dl == nil {
+		return dirStNoEntry
+	}
+	switch dl.kind {
+	case dirInvalid:
+		return dirStInvalid
+	case dirShared:
+		return dirStShared
+	case dirExclusive:
+		return dirStExclusive
+	case dirFetching:
+		return dirStFetching
+	case dirBusy:
+		txn := dl.txn
+		if txn == nil {
+			panicf("dir: Busy line %v without transaction", dl.line)
+		}
+		switch {
+		case txn.eviction:
+			return dirStBusyEvict
+		case txn.write:
+			return dirStBusyWrite
+		case txn.grantExcl:
+			return dirStBusyExcl
+		}
+		return dirStBusyShared
+	case dirWB:
+		txn := dl.txn
+		if txn == nil {
+			panicf("dir: WB line %v without transaction", dl.line)
+		}
+		if txn.eviction {
+			return dirStWBEvict
+		}
+		return dirStWBWrite
+	}
+	panicf("dir: line %v in unknown kind %d", dl.line, int(dl.kind))
+	return dirStNoEntry
+}
+
+// dirEvent is the directory's table event space: message types collapsed
+// to protocol events (retried reads are reads; the three owned-line Puts
+// share handling).
+type dirEvent int
+
+const (
+	dirEvRead       dirEvent = iota // GetS, RetryRd
+	dirEvWrite                      // GetX
+	dirEvPutOwned                   // PutM, PutE, PutS
+	dirEvPutShared                  // PutSh (non-silent shared eviction)
+	dirEvInvAck                     // eviction-invalidation acknowledgement
+	dirEvNack                       // lockdown refused an invalidation
+	dirEvDelayedAck                 // lifted lockdown's deferred acknowledgement
+	dirEvOwnerData                  // owner's clean copy on a read downgrade
+	dirEvUnblock                    // requester finished a transaction
+	numDirEvents
+)
+
+var dirEventNames = [numDirEvents]string{
+	"Read", "Write", "PutOwned", "PutSh", "InvAck", "Nack", "DelayedAck", "OwnerData", "Unblock",
+}
+
+func (e dirEvent) String() string { return dirEventNames[e] }
+
+// dirEventOf maps a bank-directed message type to its table event.
+func dirEventOf(t MsgType) dirEvent {
+	//wbsim:partial(MsgInv, MsgFwdGetS, MsgFwdGetX, MsgData, MsgDataExcl, MsgTearoff, MsgRedirAck, MsgPutAck, MsgBlockedHint) -- core-directed messages never reach a bank; the default panic enforces it
+	switch t {
+	case MsgGetS, MsgRetryRd:
+		return dirEvRead
+	case MsgGetX:
+		return dirEvWrite
+	case MsgPutM, MsgPutE, MsgPutS:
+		return dirEvPutOwned
+	case MsgPutSh:
+		return dirEvPutShared
+	case MsgInvAck:
+		return dirEvInvAck
+	case MsgNack:
+		return dirEvNack
+	case MsgDelayedAck:
+		return dirEvDelayedAck
+	case MsgOwnerData:
+		return dirEvOwnerData
+	case MsgUnblock:
+		return dirEvUnblock
+	default:
+		panicf("dir: unexpected %v", t)
+	}
+	return 0
+}
+
+// dirAction is one table row's behavior. dl is the entry find() resolved
+// for the message's line (nil in NoEntry rows).
+type dirAction func(b *Bank, dl *dirLine, m *Msg)
+
+// dirFlavor selects which composed machine a bank runs: the WritersBlock
+// delta is layered in under lockdown cores, the non-silent-eviction delta
+// when PutSh traffic exists, and a small glue delta for their overlap.
+type dirFlavor int
+
+const (
+	dirFlavorBase dirFlavor = iota
+	dirFlavorBaseNS
+	dirFlavorWB
+	dirFlavorWBNS
+	numDirFlavors
+)
+
+// dirFlavorFor picks the machine flavor from the protocol mode and the
+// eviction-notification parameter.
+func dirFlavorFor(mode Mode, nonSilent bool) dirFlavor {
+	if mode == ModeLockdown {
+		if nonSilent {
+			return dirFlavorWBNS
+		}
+		return dirFlavorWB
+	}
+	if nonSilent {
+		return dirFlavorBaseNS
+	}
+	return dirFlavorBase
+}
+
+// Row constructors: handled, nacked (refusal with a reason), impossible.
+func dh(s dirState, e dirEvent, do dirAction) table.Row[dirAction] {
+	return table.Row[dirAction]{State: int(s), Event: int(e), Kind: table.Handled, Do: do}
+}
+
+func dn(s dirState, e dirEvent, why string, do dirAction) table.Row[dirAction] {
+	return table.Row[dirAction]{State: int(s), Event: int(e), Kind: table.Nacked, Why: why, Do: do}
+}
+
+func dx(s dirState, e dirEvent, why string) table.Row[dirAction] {
+	return table.Row[dirAction]{State: int(s), Event: int(e), Kind: table.Impossible, Why: why}
+}
+
+// dirBaseSpec is the squash-mode MESI directory: no lockdowns exist, so
+// the WritersBlock states and the Nack/DelayedAck events are declared
+// dead, and silent shared evictions mean PutSh never arrives.
+func dirBaseSpec() table.Spec[dirAction] {
+	const (
+		whyWBDead   = "WritersBlock states exist only under lockdown cores (wb delta)"
+		whyNackDead = "squash cores acknowledge every invalidation immediately; Nacks exist only under lockdown (wb delta)"
+		whyDlyDead  = "DelayedAcks answer Nacks, which exist only under lockdown (wb delta)"
+		whyPutSh    = "PutSh is sent only with NonSilentSharedEvictions (ns delta)"
+		whyInvAck   = "InvAcks flow to the requesting core; only eviction invalidations name the bank, and those land in an eviction transaction"
+		whyOwnData  = "owners send OwnerData only while the directory waits on a forwarded read"
+		whyUnblock  = "Unblock always lands in the read or write transaction that granted the line"
+	)
+	rows := []table.Row[dirAction]{
+		// Reads: never blocked; transients queue, WritersBlock (delta)
+		// serves tear-offs.
+		dh(dirStNoEntry, dirEvRead, dirActAlloc),
+		dh(dirStInvalid, dirEvRead, dirActReadGrantExcl),
+		dh(dirStShared, dirEvRead, dirActReadGrantShared),
+		dh(dirStExclusive, dirEvRead, dirActReadFwd),
+		dh(dirStFetching, dirEvRead, dirActQueue),
+		dh(dirStBusyShared, dirEvRead, dirActQueue),
+		dh(dirStBusyExcl, dirEvRead, dirActQueue),
+		dh(dirStBusyWrite, dirEvRead, dirActQueue),
+		dh(dirStBusyEvict, dirEvRead, dirActQueue),
+		dx(dirStWBWrite, dirEvRead, whyWBDead),
+		dx(dirStWBEvict, dirEvRead, whyWBDead),
+
+		// Writes.
+		dh(dirStNoEntry, dirEvWrite, dirActAlloc),
+		dh(dirStInvalid, dirEvWrite, dirActWriteGrant),
+		dh(dirStShared, dirEvWrite, dirActWriteInvalidate),
+		dh(dirStExclusive, dirEvWrite, dirActWriteFwd),
+		dh(dirStFetching, dirEvWrite, dirActQueue),
+		dh(dirStBusyShared, dirEvWrite, dirActQueue),
+		dh(dirStBusyExcl, dirEvWrite, dirActQueue),
+		dh(dirStBusyWrite, dirEvWrite, dirActQueue),
+		dh(dirStBusyEvict, dirEvWrite, dirActQueue),
+		dx(dirStWBWrite, dirEvWrite, whyWBDead),
+		dx(dirStWBEvict, dirEvWrite, whyWBDead),
+
+		// Owned-line writebacks: only an Exclusive entry naming the sender
+		// as owner accepts; every other state means the Put lost a race
+		// with a forward or an eviction and is acknowledged stale.
+		dn(dirStNoEntry, dirEvPutOwned, "put raced the directory eviction that dropped the entry", dirActPutStale),
+		dn(dirStInvalid, dirEvPutOwned, "ownership already returned; duplicate or reordered put", dirActPutStale),
+		dn(dirStShared, dirEvPutOwned, "put lost a race with a read downgrade; the forward was served from the writeback buffer", dirActPutStale),
+		dh(dirStExclusive, dirEvPutOwned, dirActPutOwned),
+		dn(dirStFetching, dirEvPutOwned, "entry was evicted and refetched while the put was in flight", dirActPutStale),
+		dn(dirStBusyShared, dirEvPutOwned, "put lost a race with an in-flight read forward", dirActPutStale),
+		dn(dirStBusyExcl, dirEvPutOwned, "put lost a race with a new exclusive grant", dirActPutStale),
+		dn(dirStBusyWrite, dirEvPutOwned, "put lost a race with an in-flight write forward", dirActPutStale),
+		dn(dirStBusyEvict, dirEvPutOwned, "put crossed the eviction invalidation on the unordered network", dirActPutStale),
+		dx(dirStWBWrite, dirEvPutOwned, whyWBDead),
+		dx(dirStWBEvict, dirEvPutOwned, whyWBDead),
+
+		// Non-silent shared evictions: dead event in the base machine.
+		dx(dirStNoEntry, dirEvPutShared, whyPutSh),
+		dx(dirStInvalid, dirEvPutShared, whyPutSh),
+		dx(dirStShared, dirEvPutShared, whyPutSh),
+		dx(dirStExclusive, dirEvPutShared, whyPutSh),
+		dx(dirStFetching, dirEvPutShared, whyPutSh),
+		dx(dirStBusyShared, dirEvPutShared, whyPutSh),
+		dx(dirStBusyExcl, dirEvPutShared, whyPutSh),
+		dx(dirStBusyWrite, dirEvPutShared, whyPutSh),
+		dx(dirStBusyEvict, dirEvPutShared, whyPutSh),
+		dx(dirStWBWrite, dirEvPutShared, whyPutSh),
+		dx(dirStWBEvict, dirEvPutShared, whyPutSh),
+
+		// Eviction-invalidation acks.
+		dx(dirStNoEntry, dirEvInvAck, whyInvAck),
+		dx(dirStInvalid, dirEvInvAck, whyInvAck),
+		dx(dirStShared, dirEvInvAck, whyInvAck),
+		dx(dirStExclusive, dirEvInvAck, whyInvAck),
+		dx(dirStFetching, dirEvInvAck, whyInvAck),
+		dx(dirStBusyShared, dirEvInvAck, whyInvAck),
+		dx(dirStBusyExcl, dirEvInvAck, whyInvAck),
+		dx(dirStBusyWrite, dirEvInvAck, whyInvAck),
+		dh(dirStBusyEvict, dirEvInvAck, dirActEvictionAck),
+		dx(dirStWBWrite, dirEvInvAck, whyWBDead),
+		dx(dirStWBEvict, dirEvInvAck, whyWBDead),
+
+		// Nacks: dead event in the base machine.
+		dx(dirStNoEntry, dirEvNack, whyNackDead),
+		dx(dirStInvalid, dirEvNack, whyNackDead),
+		dx(dirStShared, dirEvNack, whyNackDead),
+		dx(dirStExclusive, dirEvNack, whyNackDead),
+		dx(dirStFetching, dirEvNack, whyNackDead),
+		dx(dirStBusyShared, dirEvNack, whyNackDead),
+		dx(dirStBusyExcl, dirEvNack, whyNackDead),
+		dx(dirStBusyWrite, dirEvNack, whyNackDead),
+		dx(dirStBusyEvict, dirEvNack, whyNackDead),
+		dx(dirStWBWrite, dirEvNack, whyNackDead),
+		dx(dirStWBEvict, dirEvNack, whyNackDead),
+
+		// DelayedAcks: dead event in the base machine.
+		dx(dirStNoEntry, dirEvDelayedAck, whyDlyDead),
+		dx(dirStInvalid, dirEvDelayedAck, whyDlyDead),
+		dx(dirStShared, dirEvDelayedAck, whyDlyDead),
+		dx(dirStExclusive, dirEvDelayedAck, whyDlyDead),
+		dx(dirStFetching, dirEvDelayedAck, whyDlyDead),
+		dx(dirStBusyShared, dirEvDelayedAck, whyDlyDead),
+		dx(dirStBusyExcl, dirEvDelayedAck, whyDlyDead),
+		dx(dirStBusyWrite, dirEvDelayedAck, whyDlyDead),
+		dx(dirStBusyEvict, dirEvDelayedAck, whyDlyDead),
+		dx(dirStWBWrite, dirEvDelayedAck, whyDlyDead),
+		dx(dirStWBEvict, dirEvDelayedAck, whyDlyDead),
+
+		// Owner's clean copy on a read downgrade.
+		dx(dirStNoEntry, dirEvOwnerData, whyOwnData),
+		dx(dirStInvalid, dirEvOwnerData, whyOwnData),
+		dx(dirStShared, dirEvOwnerData, whyOwnData),
+		dx(dirStExclusive, dirEvOwnerData, whyOwnData),
+		dx(dirStFetching, dirEvOwnerData, whyOwnData),
+		dh(dirStBusyShared, dirEvOwnerData, dirActOwnerData),
+		dx(dirStBusyExcl, dirEvOwnerData, whyOwnData),
+		dx(dirStBusyWrite, dirEvOwnerData, "owners answer FwdGetX with DataExcl to the writer, never OwnerData"),
+		dx(dirStBusyEvict, dirEvOwnerData, whyOwnData),
+		dx(dirStWBWrite, dirEvOwnerData, whyWBDead),
+		dx(dirStWBEvict, dirEvOwnerData, whyWBDead),
+
+		// Transaction completion.
+		dx(dirStNoEntry, dirEvUnblock, whyUnblock),
+		dx(dirStInvalid, dirEvUnblock, whyUnblock),
+		dx(dirStShared, dirEvUnblock, whyUnblock),
+		dx(dirStExclusive, dirEvUnblock, whyUnblock),
+		dx(dirStFetching, dirEvUnblock, whyUnblock),
+		dh(dirStBusyShared, dirEvUnblock, dirActUnblockShared),
+		dh(dirStBusyExcl, dirEvUnblock, dirActUnblockExcl),
+		dh(dirStBusyWrite, dirEvUnblock, dirActUnblockExcl),
+		dx(dirStBusyEvict, dirEvUnblock, "evictions complete on acks, not Unblock"),
+		dx(dirStWBWrite, dirEvUnblock, whyWBDead),
+		dx(dirStWBEvict, dirEvUnblock, whyWBDead),
+	}
+	return table.Spec[dirAction]{
+		Name:       "dir",
+		States:     dirStateNames[:],
+		Events:     dirEventNames[:],
+		Rows:       rows,
+		DeadStates: []int{int(dirStWBWrite), int(dirStWBEvict)},
+		DeadEvents: []int{int(dirEvPutShared), int(dirEvNack), int(dirEvDelayedAck)},
+	}
+}
+
+// dirWBDelta is the WritersBlock protocol layered over the base MESI
+// directory — the paper's SLICC delta, as a table delta: the WB states
+// come alive (reads tear off, writes queue, puts are stale), and the
+// Nack/DelayedAck choreography of Figure 3.B gets its rows.
+func dirWBDelta() table.Delta[dirAction] {
+	const whyNack = "a Nack always lands in the write or eviction transaction whose invalidation provoked it"
+	const whyDly = "a DelayedAck can overtake its Nack but never outlive its transaction"
+	return table.Delta[dirAction]{
+		Name: "wb",
+		Rows: []table.Row[dirAction]{
+			// Reads are admitted under WritersBlock (tear-off, §3.4);
+			// writes queue behind the blocked store (§3, goal 2).
+			dh(dirStWBWrite, dirEvRead, dirActReadTearoff),
+			dh(dirStWBEvict, dirEvRead, dirActReadTearoff),
+			dh(dirStWBWrite, dirEvWrite, dirActWriteQueueWB),
+			dh(dirStWBEvict, dirEvWrite, dirActWriteQueueWB),
+			dn(dirStWBWrite, dirEvPutOwned, "put lost a race with the write forward that provoked the WritersBlock", dirActPutStale),
+			dn(dirStWBEvict, dirEvPutOwned, "put crossed the eviction invalidation that provoked the WritersBlock", dirActPutStale),
+			dh(dirStWBEvict, dirEvInvAck, dirActEvictionAck),
+			dh(dirStBusyWrite, dirEvNack, dirActNackWrite),
+			dh(dirStWBWrite, dirEvNack, dirActNackWrite),
+			dh(dirStBusyEvict, dirEvNack, dirActNackEvict),
+			dh(dirStWBEvict, dirEvNack, dirActNackEvict),
+			dh(dirStBusyWrite, dirEvDelayedAck, dirActDelayedEarly),
+			dh(dirStBusyEvict, dirEvDelayedAck, dirActDelayedEarly),
+			dh(dirStWBWrite, dirEvDelayedAck, dirActDelayedAck),
+			dh(dirStWBEvict, dirEvDelayedAck, dirActDelayedAck),
+			dh(dirStWBWrite, dirEvUnblock, dirActUnblockExcl),
+			dx(dirStWBEvict, dirEvUnblock, "evictions complete on acks, not Unblock"),
+			dx(dirStWBWrite, dirEvInvAck, "a WritersBlock write sent no eviction invalidations; its acks flow to the writer"),
+			dx(dirStWBWrite, dirEvOwnerData, "owners answer FwdGetX with DataExcl to the writer, never OwnerData"),
+			dx(dirStWBEvict, dirEvOwnerData, "eviction invalidations are never read forwards"),
+			dx(dirStNoEntry, dirEvNack, whyNack),
+			dx(dirStInvalid, dirEvNack, whyNack),
+			dx(dirStShared, dirEvNack, whyNack),
+			dx(dirStExclusive, dirEvNack, whyNack),
+			dx(dirStFetching, dirEvNack, whyNack),
+			dx(dirStBusyShared, dirEvNack, whyNack),
+			dx(dirStBusyExcl, dirEvNack, whyNack),
+			dx(dirStNoEntry, dirEvDelayedAck, whyDly),
+			dx(dirStInvalid, dirEvDelayedAck, whyDly),
+			dx(dirStShared, dirEvDelayedAck, whyDly),
+			dx(dirStExclusive, dirEvDelayedAck, whyDly),
+			dx(dirStFetching, dirEvDelayedAck, whyDly),
+			dx(dirStBusyShared, dirEvDelayedAck, whyDly),
+			dx(dirStBusyExcl, dirEvDelayedAck, whyDly),
+		},
+		ReviveStates: []int{int(dirStWBWrite), int(dirStWBEvict)},
+		ReviveEvents: []int{int(dirEvNack), int(dirEvDelayedAck)},
+	}
+}
+
+// dirNSDelta enables the PutSh event for non-silent shared evictions
+// (the §3.8 ablation knob): only a Shared entry naming the sender can
+// drop it from the sharer list; everywhere else the copy is already
+// covered by an in-flight invalidation and the put is stale.
+func dirNSDelta() table.Delta[dirAction] {
+	return table.Delta[dirAction]{
+		Name: "ns",
+		Rows: []table.Row[dirAction]{
+			dn(dirStNoEntry, dirEvPutShared, "shared eviction raced the directory eviction that dropped the entry", dirActPutStale),
+			dn(dirStInvalid, dirEvPutShared, "sharer list already empty; duplicate or reordered PutSh", dirActPutStale),
+			dh(dirStShared, dirEvPutShared, dirActPutShared),
+			dn(dirStExclusive, dirEvPutShared, "line owned exclusively; the PutSh lost a race with a write grant", dirActPutStale),
+			dn(dirStFetching, dirEvPutShared, "entry was evicted and refetched while the PutSh was in flight", dirActPutStale),
+			dn(dirStBusyShared, dirEvPutShared, "in-flight read grant; the sharer list is being rebuilt", dirActPutStale),
+			dn(dirStBusyExcl, dirEvPutShared, "in-flight exclusive grant already invalidates the copy", dirActPutStale),
+			dn(dirStBusyWrite, dirEvPutShared, "in-flight write invalidation already covers the copy", dirActPutStale),
+			dn(dirStBusyEvict, dirEvPutShared, "PutSh crossed the eviction invalidation on the unordered network", dirActPutStale),
+		},
+		ReviveEvents: []int{int(dirEvPutShared)},
+	}
+}
+
+// dirWBNSDelta covers the WritersBlock × non-silent-eviction overlap: a
+// PutSh can cross the write invalidation that then gets Nacked into a
+// WritersBlock, so the WB states must refuse it rather than call it
+// impossible.
+func dirWBNSDelta() table.Delta[dirAction] {
+	return table.Delta[dirAction]{
+		Name: "wbns",
+		Rows: []table.Row[dirAction]{
+			dn(dirStWBWrite, dirEvPutShared, "PutSh crossed the write invalidation that provoked the WritersBlock", dirActPutStale),
+			dn(dirStWBEvict, dirEvPutShared, "PutSh crossed the eviction invalidation that provoked the WritersBlock", dirActPutStale),
+		},
+	}
+}
+
+// dirMachines holds the four composed directory machines, built (and
+// completeness-checked) at package init.
+var dirMachines = func() [numDirFlavors]*table.Machine[dirAction] {
+	var ms [numDirFlavors]*table.Machine[dirAction]
+	ms[dirFlavorBase] = table.MustBuild(dirBaseSpec())
+	ms[dirFlavorBaseNS] = table.MustBuild(dirBaseSpec(), dirNSDelta())
+	ms[dirFlavorWB] = table.MustBuild(dirBaseSpec(), dirWBDelta())
+	ms[dirFlavorWBNS] = table.MustBuild(dirBaseSpec(), dirWBDelta(), dirNSDelta(), dirWBNSDelta())
+	return ms
+}()
+
+// ---------------------------------------------------------------------
+// Actions. Each is a verbatim port of one branch of the old per-message
+// switch handlers; the table supplies the (state, event) guard that the
+// switches used to encode in control flow.
+// ---------------------------------------------------------------------
+
+// dirActAlloc handles a request for a line with no directory entry.
+func dirActAlloc(b *Bank, _ *dirLine, m *Msg) { b.allocateAndFetch(m) }
+
+// dirActQueue parks a request on a transient entry until it stabilizes.
+func dirActQueue(_ *Bank, dl *dirLine, m *Msg) { dl.pending = append(dl.pending, m) }
+
+// dirActReadGrantExcl grants MESI Exclusive from the LLC copy: no
+// sharers exist.
+func dirActReadGrantExcl(b *Bank, dl *dirLine, m *Msg) {
+	if !dl.dataValid {
+		panicf("bank %d: %v invalid without data", b.id, m.Line)
+	}
+	b.setKind(dl, dirBusy)
+	dl.txn = &dirTxn{requester: m.Requester, grantExcl: true}
+	b.sendAfter(b.params.LLCLatency, m.Requester,
+		&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true, Excl: true})
+}
+
+// dirActReadGrantShared grants a shared copy from the LLC.
+func dirActReadGrantShared(b *Bank, dl *dirLine, m *Msg) {
+	b.setKind(dl, dirBusy)
+	dl.txn = &dirTxn{requester: m.Requester}
+	b.sendAfter(b.params.LLCLatency, m.Requester,
+		&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
+}
+
+// dirActReadFwd starts a 3-hop read: the owner sends data to the
+// requester and a clean copy back to the directory.
+func dirActReadFwd(b *Bank, dl *dirLine, m *Msg) {
+	b.setKind(dl, dirBusy)
+	dl.txn = &dirTxn{requester: m.Requester, fwd: true, oldOwner: dl.owner}
+	b.sendAfter(b.params.TagLatency, dl.owner,
+		&Msg{Type: MsgFwdGetS, Line: m.Line, Requester: m.Requester})
+}
+
+// dirActReadTearoff is the heart of WritersBlock: reads are admitted and
+// receive an uncacheable tear-off copy of the latest pre-write data.
+func dirActReadTearoff(b *Bank, dl *dirLine, m *Msg) { b.serveTearoff(dl, m) }
+
+// dirActWriteGrant grants exclusivity for a write to an unshared line.
+func dirActWriteGrant(b *Bank, dl *dirLine, m *Msg) {
+	b.setKind(dl, dirBusy)
+	dl.txn = &dirTxn{write: true, requester: m.Requester}
+	b.sendAfter(b.params.LLCLatency, m.Requester,
+		&Msg{Type: MsgDataExcl, Line: m.Line, Requester: m.Requester, Data: dl.data, HasData: true})
+}
+
+// dirActWriteInvalidate invalidates every other sharer; acks flow
+// directly to the writer in the base protocol. If the requester already
+// holds the line (upgrade) no data is sent.
+func dirActWriteInvalidate(b *Bank, dl *dirLine, m *Msg) {
+	var invs []network.Endpoint
+	for _, s := range dl.sharers {
+		if s != m.Requester {
+			invs = append(invs, s)
+		}
+	}
+	// Data can be omitted only when the requester both claims and is
+	// registered to hold a shared copy (silent evictions make the
+	// sharer list an over-approximation, and an invalidation racing
+	// with the upgrade may have removed the requester already).
+	upgrade := m.Upgrade && b.isSharer(dl, m.Requester)
+	b.setKind(dl, dirBusy)
+	dl.txn = &dirTxn{write: true, requester: m.Requester}
+	dl.sharers = nil
+	for _, s := range invs {
+		b.sendAfter(b.params.TagLatency, s,
+			&Msg{Type: MsgInv, Line: m.Line, Requester: m.Requester})
+	}
+	resp := &Msg{Type: MsgDataExcl, Line: m.Line, Requester: m.Requester, AckCount: len(invs)}
+	delay := b.params.TagLatency
+	if !upgrade {
+		resp.Data = dl.data
+		resp.HasData = true
+		delay = b.params.LLCLatency
+	}
+	b.sendAfter(delay, m.Requester, resp)
+}
+
+// dirActWriteFwd forwards the write to the owner, who sends data+ack to
+// the writer (or data to the writer and Nack+Data to the directory when
+// a lockdown is hit).
+func dirActWriteFwd(b *Bank, dl *dirLine, m *Msg) {
+	old := dl.owner
+	b.setKind(dl, dirBusy)
+	dl.txn = &dirTxn{write: true, requester: m.Requester, fwd: true, oldOwner: old}
+	dl.owner = m.Requester // for stale-Put detection
+	b.sendAfter(b.params.TagLatency, old,
+		&Msg{Type: MsgFwdGetX, Line: m.Line, Requester: m.Requester})
+}
+
+// dirActWriteQueueWB implements goal (2) of Section 3: no further writes
+// can be performed before the blocked store. Queue, and hint the writer
+// so its SoS loads bypass the blocked MSHR.
+func dirActWriteQueueWB(b *Bank, dl *dirLine, m *Msg) {
+	b.Stats.QueuedWrites++
+	dl.pending = append(dl.pending, m)
+	b.sendAfter(b.params.TagLatency, m.Requester,
+		&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: m.Requester})
+}
+
+// dirActPutStale acknowledges a Put that lost a race (the directory
+// already moved ownership or dropped the entry); its data is dropped —
+// the core served any forward from its writeback buffer.
+func dirActPutStale(b *Bank, _ *dirLine, m *Msg) {
+	b.sendAfter(b.params.TagLatency, m.Src,
+		&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src, Stale: true})
+}
+
+// dirActPutOwned accepts an owned-line writeback. The ownership check
+// stays a guard: Exclusive says *someone* owns the line, only the txn-
+// free owner field says it is the sender.
+func dirActPutOwned(b *Bank, dl *dirLine, m *Msg) {
+	if !dl.hasOwner || dl.owner != m.Src {
+		dirActPutStale(b, dl, m)
+		return
+	}
+	if m.HasData {
+		dl.data = m.Data
+		dl.dataValid = true
+		dl.dirty = true
+	}
+	dl.hasOwner = false
+	if m.Type == MsgPutS {
+		// Section 3.8: an owned-line eviction under a lockdown becomes
+		// "silent" — the core stays in the sharer list so a future
+		// write's invalidation still reaches its load queue.
+		dl.kind = dirShared
+		dl.sharers = []network.Endpoint{m.Src}
+		if !dl.dataValid {
+			panicf("bank %d: PutS for %v without data", b.id, m.Line)
+		}
+	} else {
+		dl.kind = dirInvalid
+		if !dl.dataValid {
+			// PutE of a clean line never modified: memory is current.
+			dl.data = b.memory.ReadLine(dl.line)
+			dl.dataValid = true
+			dl.dirty = false
+			b.Stats.MemReads++
+		}
+	}
+	b.sendAfter(b.params.TagLatency, m.Src,
+		&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src})
+	b.processPending(dl)
+}
+
+// dirActPutShared drops the sender from the sharer list (non-silent
+// shared eviction). A sender not on the list is a stale ghost.
+func dirActPutShared(b *Bank, dl *dirLine, m *Msg) {
+	if !b.isSharer(dl, m.Src) {
+		dirActPutStale(b, dl, m)
+		return
+	}
+	b.removeSharer(dl, m.Src)
+	if len(dl.sharers) == 0 {
+		dl.kind = dirInvalid
+	}
+	b.sendAfter(b.params.TagLatency, m.Src,
+		&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src})
+}
+
+// dirActEvictionAck counts one eviction-invalidation acknowledgement.
+func dirActEvictionAck(b *Bank, dl *dirLine, m *Msg) {
+	if m.HasData {
+		dl.data = m.Data
+		dl.dataValid = true
+		dl.dirty = true
+	}
+	dl.txn.acksPending--
+	b.maybeFinishEviction(dl)
+}
+
+// absorbNack records a Nack's payload and delayed-ack debt, and reports
+// whether the matching DelayedAck already arrived (overtook the Nack in
+// the unordered network) and must be consumed once the entry's
+// WritersBlock bookkeeping is done.
+func (b *Bank) absorbNack(dl *dirLine, m *Msg) bool {
+	if m.HasData {
+		dl.data = m.Data
+		dl.dataValid = true
+		dl.dirty = true
+	}
+	dl.txn.delayedPending++
+	if n := b.earlyDelayed[m.Line]; n > 0 {
+		if n == 1 {
+			delete(b.earlyDelayed, m.Line)
+		} else {
+			b.earlyDelayed[m.Line] = n - 1
+		}
+		return true
+	}
+	return false
+}
+
+// dirActNackWrite enters (or extends) a write's WritersBlock: a core's
+// lockdown was hit by the write's invalidation (Figure 3.B).
+func dirActNackWrite(b *Bank, dl *dirLine, m *Msg) {
+	txn := dl.txn
+	early := b.absorbNack(dl, m)
+	if dl.kind != dirWB {
+		b.setKind(dl, dirWB)
+		b.Stats.WBEntries++
+		b.Stats.BlockedWrites++
+		// Release any reads that were queued while Busy: WritersBlock
+		// admits reads.
+		b.drainPendingReads(dl)
+	}
+	if !txn.hinted {
+		txn.hinted = true
+		b.sendAfter(b.params.TagLatency, txn.requester,
+			&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: txn.requester})
+	}
+	if early {
+		b.consumeDelayedAck(dl)
+	}
+}
+
+// dirActNackEvict enters (or extends) an eviction's WritersBlock: the
+// entry parks in the eviction buffer until the lockdown lifts (§3.5.1).
+func dirActNackEvict(b *Bank, dl *dirLine, m *Msg) {
+	early := b.absorbNack(dl, m)
+	dl.txn.acksPending--
+	if dl.kind != dirWB {
+		b.setKind(dl, dirWB)
+		b.Stats.WBEntries++
+		b.Stats.EvictionsWB++
+		b.drainPendingReads(dl)
+	}
+	if early {
+		b.consumeDelayedAck(dl)
+	}
+}
+
+// dirActDelayedEarly buffers a DelayedAck that overtook its Nack in the
+// unordered network; it is consumed when the Nack arrives.
+func dirActDelayedEarly(b *Bank, _ *dirLine, m *Msg) { b.earlyDelayed[m.Line]++ }
+
+// dirActDelayedAck accounts a lifted lockdown against the WritersBlock
+// (or buffers it if its own Nack is still in flight).
+func dirActDelayedAck(b *Bank, dl *dirLine, m *Msg) {
+	if dl.txn.delayedPending <= 0 {
+		b.earlyDelayed[m.Line]++
+		return
+	}
+	b.consumeDelayedAck(dl)
+}
+
+// dirActOwnerData stores the clean copy an owner sends on a read
+// downgrade.
+func dirActOwnerData(b *Bank, dl *dirLine, m *Msg) {
+	if !dl.txn.fwd {
+		panicf("bank %d: stray OwnerData for %v", b.id, m.Line)
+	}
+	dl.data = m.Data
+	dl.dataValid = true
+	dl.dirty = true
+	dl.txn.gotOwnerData = true
+	b.maybeCompleteRead(dl)
+}
+
+// dirActUnblockShared finishes a shared read grant (or records the
+// Unblock while the 3-hop owner data is still in flight).
+func dirActUnblockShared(b *Bank, dl *dirLine, m *Msg) {
+	dl.txn.gotUnblock = true
+	b.maybeCompleteRead(dl)
+}
+
+// dirActUnblockExcl finishes a write or exclusive-grant transaction:
+// ownership transferred, so the LLC copy is now potentially stale.
+func dirActUnblockExcl(b *Bank, dl *dirLine, m *Msg) {
+	txn := dl.txn
+	if txn.delayedPending != 0 {
+		panicf("bank %d: Unblock for %v with %d delayed acks outstanding",
+			b.id, m.Line, txn.delayedPending)
+	}
+	// Preserve dirty data in memory before dropping validity.
+	if dl.dirty && dl.dataValid {
+		b.memory.WriteLine(dl.line, dl.data)
+		b.Stats.MemWrites++
+	}
+	dl.dataValid = false
+	dl.dirty = false
+	dl.kind = dirExclusive
+	dl.owner = m.Src
+	dl.hasOwner = true
+	dl.sharers = nil
+	dl.txn = nil
+	b.processPending(dl)
+}
+
+// sendAfter schedules a message after delay cycles of local processing.
+func (b *Bank) sendAfter(delay int, dst network.Endpoint, m *Msg) {
+	b.events.After(b.now, sim.Cycle(delay), func() {
+		send(b.mesh, b.now, b.id, dst, m, b.params.DataFlits, b.params.CtrlFlits)
+	})
+}
+
+// find returns the directory entry for line, looking in the live slice
+// first, then the eviction buffer.
+func (b *Bank) find(line mem.Line) *dirLine {
+	if dl, ok := b.lines[line]; ok {
+		return dl
+	}
+	return b.evbuf[line]
+}

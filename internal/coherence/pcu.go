@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"wbsim/internal/cache"
+	"wbsim/internal/coherence/table"
 	"wbsim/internal/isa"
 	"wbsim/internal/mem"
 	"wbsim/internal/network"
@@ -19,14 +20,14 @@ const (
 	stateM
 )
 
-// CoreHooks is the interface the CPU core exposes to its private cache
-// unit. Values bind synchronously: LoadDone/AtomicDone are invoked at the
-// moment the value is architecturally bound, and the core accounts for
-// the remaining pipeline latency itself. This guarantees that an
-// invalidation processed by the PCU always sees a consistent picture of
-// which loads have performed — the property both squash-and-re-execute
-// and lockdown correctness depend on.
-type CoreHooks interface {
+// DataHooks is the value-delivery half of the core interface: the PCU
+// calls these when a transaction architecturally binds. Values bind
+// synchronously — LoadDone/AtomicDone fire at the moment of binding, and
+// the core accounts for the remaining pipeline latency itself. This
+// guarantees that an invalidation processed by the PCU always sees a
+// consistent picture of which loads have performed — the property both
+// squash-and-re-execute and lockdown correctness depend on.
+type DataHooks interface {
 	// LoadDone delivers the value of an outstanding load. tearoff is true
 	// when the value is an uncacheable tear-off copy, which only an
 	// ordered (SoS) load may consume; the core must re-request for
@@ -37,6 +38,13 @@ type CoreHooks interface {
 	// WritePerformed signals that write permission for line was acquired
 	// (data + all invalidation acks); the store buffer may drain.
 	WritePerformed(now sim.Cycle, line mem.Line)
+}
+
+// OrderingHooks is the consistency-ordering half of the core interface:
+// how the core reacts when the protocol takes a line away. Only the
+// invalidation and eviction paths consult it, which keeps the lockdown
+// machinery behind a narrow seam.
+type OrderingHooks interface {
 	// OnInvalidation is called for every invalidation that reaches the
 	// core, whether or not the line is cached (silent evictions make
 	// cache-miss invalidations possible). In squash mode the core
@@ -55,6 +63,12 @@ type CoreHooks interface {
 	// send them invalidations (Section 3.8). Lockdown cores never see
 	// this: their owned evictions under a lockdown become PutS.
 	OnOwnedEviction(now sim.Cycle, line mem.Line)
+}
+
+// CoreHooks is what a core hands to NewPCU: both halves together.
+type CoreHooks interface {
+	DataHooks
+	OrderingHooks
 }
 
 // LoadStatus is the synchronous outcome of PCU.Load.
@@ -143,9 +157,14 @@ type PCU struct {
 	mesh   *network.Mesh
 	params *Params
 	home   HomeFunc
-	hooks  CoreHooks
+	data   DataHooks
+	order  OrderingHooks
 	mode   Mode
 	events sim.EventQueue
+
+	machine *table.Machine[pcuAction]
+	cov     []uint64
+	trace   func(pcuState, pcuEvent) // test hook: observe dispatches
 
 	l1    *cache.Array
 	l2    *cache.Array
@@ -159,17 +178,21 @@ type PCU struct {
 
 // NewPCU builds a private cache unit attached at endpoint id.
 func NewPCU(id network.Endpoint, mesh *network.Mesh, params *Params, home HomeFunc, hooks CoreHooks, mode Mode) *PCU {
+	machine := pcuMachines[mode]
 	return &PCU{
-		id:     id,
-		mesh:   mesh,
-		params: params,
-		home:   home,
-		hooks:  hooks,
-		mode:   mode,
-		l1:     cache.NewArray(params.L1Lines, params.L1Ways),
-		l2:     cache.NewArray(params.L2Lines, params.L2Ways),
-		mshrs:  cache.NewMSHRFile(params.MSHRs, params.ReservedMSHRs),
-		wbBuf:  make(map[mem.Line]*wbEntry),
+		id:      id,
+		mesh:    mesh,
+		params:  params,
+		home:    home,
+		data:    hooks,
+		order:   hooks,
+		mode:    mode,
+		machine: machine,
+		cov:     machine.NewCoverage(),
+		l1:      cache.NewArray(params.L1Lines, params.L1Ways),
+		l2:      cache.NewArray(params.L2Lines, params.L2Ways),
+		mshrs:   cache.NewMSHRFile(params.MSHRs, params.ReservedMSHRs),
+		wbBuf:   make(map[mem.Line]*wbEntry),
 	}
 }
 
@@ -359,7 +382,7 @@ func (p *PCU) AtomicExec(now sim.Cycle, token uint64, addr mem.Addr, fn isa.Fn, 
 		old := e.Data.Get(addr)
 		e.Data.Set(addr, isa.EvalALU(fn, old, operand))
 		p.Stats.AtomicsExecuted++
-		p.hooks.AtomicDone(now, token, old)
+		p.data.AtomicDone(now, token, old)
 		return true
 	}
 	if m := p.mshrs.Lookup(line); m != nil {
@@ -421,112 +444,30 @@ func (p *PCU) PeekWord(addr mem.Addr) (mem.Word, bool) {
 // Network-facing handlers
 // ---------------------------------------------------------------------
 
-// Receive implements network.Receiver.
+// Receive implements network.Receiver: it classifies the message,
+// derives the line's dispatch state from its outstanding MSHRs, and
+// fires the transition row. A read and a write MSHR can coexist (SoS
+// bypass of a blocked write); the row's action receives both, resolved
+// once here.
 func (p *PCU) Receive(now sim.Cycle, nm *network.Message) {
 	p.now = now
 	m := nm.Payload.(*Msg)
-	//wbsim:partial(MsgGetS, MsgGetX, MsgPutM, MsgPutE, MsgPutS, MsgPutSh, MsgRetryRd, MsgNack, MsgDelayedAck, MsgOwnerData, MsgUnblock) -- directory-directed messages never reach a core; the default panic enforces it
-	switch m.Type {
-	case MsgData:
-		p.handleReadGrant(m)
-	case MsgTearoff:
-		p.handleTearoff(m)
-	case MsgDataExcl:
-		p.handleWriteGrant(m)
-	case MsgInvAck, MsgRedirAck:
-		p.handleAck(m)
-	case MsgInv:
-		p.handleInv(m)
-	case MsgFwdGetS:
-		p.handleFwdGetS(m)
-	case MsgFwdGetX:
-		p.handleFwdGetX(m)
-	case MsgPutAck:
-		p.handlePutAck(m)
-	case MsgBlockedHint:
-		p.handleBlockedHint(m)
-	default:
-		panicf("pcu %d: unexpected %v", p.id, m.Type)
-	}
-}
-
-// handleReadGrant installs a cacheable copy and binds all waiting loads.
-func (p *PCU) handleReadGrant(m *Msg) {
-	ms := p.readMSHR(m.Line)
-	txn := ms.Payload.(*pcuTxn)
-	st := stateS
-	if m.Excl {
-		st = stateE
-	}
-	p.install(m.Line, m.Data, st)
-	p.sendAfter(p.params.TagLatency, p.home(m.Line),
-		&Msg{Type: MsgUnblock, Line: m.Line, Requester: p.id})
-	loads := txn.loads
-	p.mshrs.Free(ms)
-	for _, lw := range loads {
-		p.hooks.LoadDone(p.now, lw.token, m.Data.Get(lw.addr), false)
-	}
-}
-
-// handleTearoff delivers uncacheable data: nothing is installed, no
-// Unblock is owed, and only ordered loads may consume the value.
-func (p *PCU) handleTearoff(m *Msg) {
-	ms := p.readMSHR(m.Line)
-	txn := ms.Payload.(*pcuTxn)
-	loads := txn.loads
-	p.mshrs.Free(ms)
-	p.Stats.TearoffsUsed++
-	for _, lw := range loads {
-		p.hooks.LoadDone(p.now, lw.token, m.Data.Get(lw.addr), true)
-	}
-}
-
-// readMSHR finds the read transaction for line (there may transiently be
-// both a blocked write and a bypass read; grants of read type match the
-// read).
-func (p *PCU) readMSHR(line mem.Line) *cache.MSHR {
-	for _, m := range p.mshrs.LookupAll(line) {
-		if !m.Payload.(*pcuTxn).write {
-			return m
+	ev := pcuEventOf(m.Type)
+	var rd, wr *cache.MSHR
+	for _, ms := range p.mshrs.LookupAll(m.Line) {
+		if ms.Payload.(*pcuTxn).write {
+			if wr == nil {
+				wr = ms
+			}
+		} else if rd == nil {
+			rd = ms
 		}
 	}
-	panicf("pcu %d: data grant for %v with no read MSHR", p.id, line)
-	return nil
-}
-
-func (p *PCU) writeMSHR(line mem.Line) *cache.MSHR {
-	for _, m := range p.mshrs.LookupAll(line) {
-		if m.Payload.(*pcuTxn).write {
-			return m
-		}
+	st := pcuStateOf(rd, wr)
+	if p.trace != nil {
+		p.trace(st, ev)
 	}
-	return nil
-}
-
-// handleWriteGrant processes the DataExcl response of a GetX.
-func (p *PCU) handleWriteGrant(m *Msg) {
-	ms := p.writeMSHR(m.Line)
-	if ms == nil {
-		panicf("pcu %d: DataExcl for %v with no write MSHR", p.id, m.Line)
-	}
-	txn := ms.Payload.(*pcuTxn)
-	txn.gotGrant = true
-	txn.acksNeeded = m.AckCount
-	if m.HasData {
-		txn.data = m.Data
-		txn.hasData = true
-	}
-	p.maybeCompleteWrite(ms)
-}
-
-// handleAck counts a direct or redirected invalidation acknowledgement.
-func (p *PCU) handleAck(m *Msg) {
-	ms := p.writeMSHR(m.Line)
-	if ms == nil {
-		panicf("pcu %d: %v for %v with no write MSHR", p.id, m.Type, m.Line)
-	}
-	ms.Payload.(*pcuTxn).acksGot++
-	p.maybeCompleteWrite(ms)
+	p.machine.Fire(p.cov, int(st), int(ev))(p, m, rd, wr)
 }
 
 // maybeCompleteWrite finishes a write transaction once the grant and all
@@ -565,114 +506,13 @@ func (p *PCU) maybeCompleteWrite(ms *cache.MSHR) {
 		e.Data.Set(aw.addr, isa.EvalALU(aw.fn, old, aw.operand))
 		e.Dirty = true
 		p.Stats.AtomicsExecuted++
-		p.hooks.AtomicDone(p.now, aw.token, old)
+		p.data.AtomicDone(p.now, aw.token, old)
 	}
 	// Loads that piggybacked on the write bind against the line now.
 	for _, lw := range loads {
-		p.hooks.LoadDone(p.now, lw.token, e.Data.Get(lw.addr), false)
+		p.data.LoadDone(p.now, lw.token, e.Data.Get(lw.addr), false)
 	}
-	p.hooks.WritePerformed(p.now, line)
-}
-
-// handleBlockedHint marks the write transaction as blocked behind a
-// WritersBlock so SoS loads bypass it (Section 3.5.2).
-func (p *PCU) handleBlockedHint(m *Msg) {
-	ms := p.writeMSHR(m.Line)
-	if ms == nil {
-		return // transaction already completed; stale hint
-	}
-	ms.Payload.(*pcuTxn).blocked = true
-}
-
-// handleInv processes an invalidation from a writer or a directory
-// eviction. The line is dropped (if present), the core is queried for
-// lockdowns, and either an InvAck (to the requester) or a Nack (to the
-// home directory) is produced.
-func (p *PCU) handleInv(m *Msg) {
-	p.Stats.InvsReceived++
-	line := m.Line
-	var data mem.LineData
-	hadOwned := false
-	if e := p.l2.Lookup(line); e != nil && e.State != stateInvalid {
-		if e.State == stateE || e.State == stateM {
-			hadOwned = true
-			data = e.Data
-		}
-		p.dropLine(line)
-	} else if wb, ok := p.wbBuf[line]; ok {
-		hadOwned = true
-		data = wb.data
-		p.consumeWB(line, wb)
-	}
-	// An invalidation may target an upgrade in flight: the S copy (or
-	// its ghost) is gone, so the eventual grant must carry data.
-	if ms := p.writeMSHR(line); ms != nil {
-		ms.Payload.(*pcuTxn).lostLine = true
-	}
-
-	nack := p.hooks.OnInvalidation(p.now, line)
-	if nack {
-		p.Stats.Nacks++
-		resp := &Msg{Type: MsgNack, Line: line, Requester: p.id}
-		if hadOwned {
-			resp.Data = data
-			resp.HasData = true
-		}
-		p.sendAfter(p.params.TagLatency, p.home(line), resp)
-		return
-	}
-	resp := &Msg{Type: MsgInvAck, Line: line, Requester: m.Requester}
-	if hadOwned && m.Eviction {
-		resp.Data = data
-		resp.HasData = true
-	}
-	p.sendAfter(p.params.TagLatency, m.Requester, resp)
-}
-
-// handleFwdGetS serves a read forwarded to this owner: data to the
-// requester, a clean copy to the directory, local downgrade to Shared.
-// Reads never interact with lockdowns.
-func (p *PCU) handleFwdGetS(m *Msg) {
-	data, ok := p.ownedData(m.Line)
-	if !ok {
-		panicf("pcu %d: FwdGetS for %v not owned", p.id, m.Line)
-	}
-	if e := p.l2.Lookup(m.Line); e != nil && e.State != stateInvalid {
-		e.State = stateS
-		e.Dirty = false
-	}
-	p.sendAfter(p.params.L1Latency, m.Requester,
-		&Msg{Type: MsgData, Line: m.Line, Requester: m.Requester, Data: data, HasData: true})
-	p.sendAfter(p.params.L1Latency, p.home(m.Line),
-		&Msg{Type: MsgOwnerData, Line: m.Line, Requester: m.Requester, Data: data, HasData: true})
-}
-
-// handleFwdGetX serves a write forwarded to this owner. With no lockdown
-// the owner sends data+ack (AckCount 0) to the writer. With a lockdown it
-// sends the data to the writer but withholds the ack: AckCount 1 plus a
-// Nack+Data to the directory, which enters WritersBlock (Figure 3.B).
-func (p *PCU) handleFwdGetX(m *Msg) {
-	data, ok := p.ownedData(m.Line)
-	if !ok {
-		panicf("pcu %d: FwdGetX for %v not owned", p.id, m.Line)
-	}
-	p.dropLine(m.Line)
-	if ms := p.writeMSHR(m.Line); ms != nil {
-		ms.Payload.(*pcuTxn).lostLine = true
-	}
-	p.Stats.InvsReceived++
-	nack := p.hooks.OnInvalidation(p.now, m.Line)
-	acks := 0
-	if nack {
-		acks = 1
-	}
-	p.sendAfter(p.params.L1Latency, m.Requester,
-		&Msg{Type: MsgDataExcl, Line: m.Line, Requester: m.Requester, Data: data, HasData: true, AckCount: acks})
-	if nack {
-		p.Stats.Nacks++
-		p.sendAfter(p.params.L1Latency, p.home(m.Line),
-			&Msg{Type: MsgNack, Line: m.Line, Requester: p.id, Data: data, HasData: true})
-	}
+	p.data.WritePerformed(p.now, line)
 }
 
 // ownedData returns the current data for a line this core owns, whether
@@ -697,20 +537,6 @@ func (p *PCU) consumeWB(line mem.Line, wb *wbEntry) {
 	if wb.staleAck {
 		delete(p.wbBuf, line)
 	}
-}
-
-// handlePutAck completes an eviction: a normal ack frees the entry; a
-// stale ack frees it only once the racing forward has been served.
-func (p *PCU) handlePutAck(m *Msg) {
-	wb, ok := p.wbBuf[m.Line]
-	if !ok {
-		return
-	}
-	if m.Stale && !wb.servedFwd {
-		wb.staleAck = true
-		return
-	}
-	delete(p.wbBuf, m.Line)
 }
 
 // ---------------------------------------------------------------------
@@ -782,25 +608,25 @@ func (p *PCU) evictLine(e *cache.Entry) {
 		// silent so a later writer's invalidation still reaches the
 		// core; in squash mode it must squash M-speculative loads on
 		// the line instead (the directory stops notifying us).
-		if p.mode == ModeLockdown && p.hooks.HasLockdown(line) {
+		if p.mode == ModeLockdown && p.order.HasLockdown(line) {
 			p.Stats.LockdownPutS++ // counted as a lockdown-forced silent eviction
 			return
 		}
 		// Leaving the sharer list ends invalidation delivery for this
 		// line: the core must squash any load still depending on it.
-		p.hooks.OnOwnedEviction(p.now, line)
+		p.order.OnOwnedEviction(p.now, line)
 		p.sendAfter(p.params.TagLatency, p.home(line),
 			&Msg{Type: MsgPutSh, Line: line, Requester: p.id})
 		return
 	}
-	if p.mode == ModeLockdown && p.hooks.HasLockdown(line) {
+	if p.mode == ModeLockdown && p.order.HasLockdown(line) {
 		p.Stats.LockdownPutS++
 		p.wbBuf[line] = &wbEntry{data: data, dirty: state == stateM}
 		p.sendAfter(p.params.TagLatency, p.home(line),
 			&Msg{Type: MsgPutS, Line: line, Requester: p.id, Data: data, HasData: true})
 		return
 	}
-	p.hooks.OnOwnedEviction(p.now, line)
+	p.order.OnOwnedEviction(p.now, line)
 	p.wbBuf[line] = &wbEntry{data: data, dirty: state == stateM}
 	t := MsgPutE
 	hasData := false

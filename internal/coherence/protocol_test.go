@@ -76,8 +76,9 @@ func (f *fakeCore) lift(now sim.Cycle, line mem.Line) {
 }
 
 // rig is a protocol test bench: n PCUs (with fake cores) + n banks.
+// The testing.TB handle lets benchmarks share it.
 type rig struct {
-	t      *testing.T
+	t      testing.TB
 	mesh   *network.Mesh
 	memory *mem.Memory
 	clock  sim.Clock
@@ -86,7 +87,7 @@ type rig struct {
 	banks  []*Bank
 }
 
-func newRig(t *testing.T, n int, params Params) *rig {
+func newRig(t testing.TB, n int, params Params) *rig {
 	t.Helper()
 	mesh := network.NewMesh(network.DefaultConfig(n), nil)
 	memory := mem.NewMemory()
@@ -100,7 +101,7 @@ func newRig(t *testing.T, n int, params Params) *rig {
 		p := NewPCU(network.Endpoint(i), mesh, &params, home, fc, ModeLockdown)
 		fc.pcu = p
 		mesh.Attach(network.Endpoint(i), i%routers, p)
-		b := NewBank(network.Endpoint(n+i), mesh, &params, memory)
+		b := NewBank(network.Endpoint(n+i), mesh, &params, memory, ModeLockdown)
 		mesh.Attach(network.Endpoint(n+i), i%routers, b)
 		r.cores = append(r.cores, fc)
 		r.pcus = append(r.pcus, p)

@@ -1,0 +1,175 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// A tiny two-state machine used throughout: actions are ints via a
+// func-free action type so tests can compare identities directly.
+type act func() int
+
+func run(a act) int {
+	if a == nil {
+		return -1
+	}
+	return a()
+}
+
+func spec() Spec[act] {
+	return Spec[act]{
+		Name:   "toy",
+		States: []string{"Idle", "Busy"},
+		Events: []string{"Go", "Stop"},
+		Rows: []Row[act]{
+			{State: 0, Event: 0, Kind: Handled, Do: func() int { return 1 }},
+			{State: 0, Event: 1, Kind: Nacked, Why: "nothing to stop", Do: func() int { return 2 }},
+			{State: 1, Event: 0, Kind: Nacked, Why: "already going", Do: func() int { return 3 }},
+			{State: 1, Event: 1, Kind: Handled, Do: func() int { return 4 }},
+		},
+	}
+}
+
+func TestBuildComplete(t *testing.T) {
+	m, err := Build(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 4 || m.Possible() != 4 {
+		t.Fatalf("size=%d possible=%d", m.Size(), m.Possible())
+	}
+	cov := m.NewCoverage()
+	if got := run(m.Fire(cov, 0, 0)); got != 1 {
+		t.Fatalf("fire(Idle,Go) action = %d", got)
+	}
+	if cov[0] != 1 {
+		t.Fatalf("coverage not counted: %v", cov)
+	}
+}
+
+// TestBuildRejectsDeletedRow is the engine half of the acceptance
+// criterion: removing one row from a complete table is a construction
+// error naming the missing pair.
+func TestBuildRejectsDeletedRow(t *testing.T) {
+	s := spec()
+	s.Rows = s.Rows[:len(s.Rows)-1] // delete (Busy, Stop)
+	_, err := Build(s)
+	if err == nil || !strings.Contains(err.Error(), "missing row (Busy, Stop)") {
+		t.Fatalf("deleted row not rejected: %v", err)
+	}
+}
+
+func TestBuildRejectsDuplicateRow(t *testing.T) {
+	s := spec()
+	s.Rows = append(s.Rows, Row[act]{State: 0, Event: 0, Kind: Handled})
+	if _, err := Build(s); err == nil || !strings.Contains(err.Error(), "duplicate row (Idle, Go)") {
+		t.Fatalf("duplicate not rejected: %v", err)
+	}
+}
+
+func TestBuildRequiresReason(t *testing.T) {
+	s := spec()
+	s.Rows[1].Why = "" // Nacked row without a reason
+	if _, err := Build(s); err == nil || !strings.Contains(err.Error(), "needs a reason") {
+		t.Fatalf("missing reason not rejected: %v", err)
+	}
+}
+
+func TestDeltaOverridesBase(t *testing.T) {
+	d := Delta[act]{
+		Name: "wb",
+		Rows: []Row[act]{{State: 1, Event: 1, Kind: Handled, Do: func() int { return 40 }}},
+	}
+	m, err := Build(spec(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "toy+wb" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	if got := run(m.Fire(nil, 1, 1)); got != 40 {
+		t.Fatalf("delta did not override: %d", got)
+	}
+	if got := run(m.Fire(nil, 0, 0)); got != 1 {
+		t.Fatalf("base row disturbed: %d", got)
+	}
+}
+
+func TestDeadAndRevive(t *testing.T) {
+	s := spec()
+	// Make Busy dead: all its rows Impossible.
+	s.Rows[2] = Row[act]{State: 1, Event: 0, Kind: Impossible, Why: "never"}
+	s.Rows[3] = Row[act]{State: 1, Event: 1, Kind: Impossible, Why: "never"}
+
+	// Undeclared dead state is an error.
+	if _, err := Build(s); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("all-impossible state not flagged: %v", err)
+	}
+	// Declared dead: fine.
+	s.DeadStates = []int{1}
+	if _, err := Build(s); err != nil {
+		t.Fatal(err)
+	}
+	// Dead state with a live row is an error.
+	live := s
+	live.Rows = append([]Row[act]{}, s.Rows...)
+	live.Rows[3] = Row[act]{State: 1, Event: 1, Kind: Handled}
+	if _, err := Build(live); err == nil || !strings.Contains(err.Error(), "dead state Busy") {
+		t.Fatalf("live row in dead state not flagged: %v", err)
+	}
+	// A delta that revives the state must supply non-impossible rows.
+	d := Delta[act]{
+		Name:         "revive",
+		Rows:         []Row[act]{{State: 1, Event: 1, Kind: Handled, Do: func() int { return 9 }}},
+		ReviveStates: []int{1},
+	}
+	m, err := Build(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(m.Fire(nil, 1, 1)); got != 9 {
+		t.Fatalf("revived row: %d", got)
+	}
+}
+
+func TestFirePanicsOnImpossible(t *testing.T) {
+	s := spec()
+	s.Rows[2] = Row[act]{State: 1, Event: 0, Kind: Impossible, Why: "a going machine ignores Go"}
+	m, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "a going machine ignores Go") {
+			t.Fatalf("impossible row did not panic with its reason: %v", r)
+		}
+	}()
+	m.Fire(m.NewCoverage(), 1, 0)
+}
+
+func TestReport(t *testing.T) {
+	s := spec()
+	s.Rows[2] = Row[act]{State: 1, Event: 0, Kind: Impossible, Why: "never"}
+	m, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := m.NewCoverage()
+	m.Fire(cov, 0, 0)
+	m.Fire(cov, 0, 0)
+	m.Fire(cov, 0, 1)
+	rep := m.Report(cov)
+	if rep.Possible != 3 || rep.Fired != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if len(rep.Unfired) != 1 || rep.Unfired[0] != "(Busy, Stop) handled" {
+		t.Fatalf("unfired: %v", rep.Unfired)
+	}
+	if rep.Percent() < 66 || rep.Percent() > 67 {
+		t.Fatalf("percent: %v", rep.Percent())
+	}
+	if !strings.Contains(rep.String(), "2/  3") {
+		t.Fatalf("summary: %q", rep.String())
+	}
+}

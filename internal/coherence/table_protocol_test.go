@@ -1,0 +1,108 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"wbsim/internal/coherence/table"
+)
+
+// TestDirTableCompleteness pins the audited shape of the directory
+// machines: every flavor builds (init-time completeness), and the
+// non-Impossible row counts match the audit in the protocol tables —
+// base MESI, the WritersBlock delta, and the non-silent-eviction delta
+// each add exactly the rows they claim to.
+func TestDirTableCompleteness(t *testing.T) {
+	want := map[dirFlavor]struct {
+		name     string
+		possible int
+	}{
+		dirFlavorBase:   {"dir", 32},
+		dirFlavorBaseNS: {"dir+ns", 41},
+		dirFlavorWB:     {"dir+wb", 48},
+		dirFlavorWBNS:   {"dir+wb+ns+wbns", 59},
+	}
+	for f, w := range want {
+		m := dirMachines[f]
+		if m.Name() != w.name {
+			t.Errorf("flavor %d: name %q, want %q", f, m.Name(), w.name)
+		}
+		if m.Possible() != w.possible {
+			t.Errorf("%s: %d non-impossible rows, want %d", m.Name(), m.Possible(), w.possible)
+		}
+		if m.Size() != int(numDirStates)*int(numDirEvents) {
+			t.Errorf("%s: size %d, want %d", m.Name(), m.Size(), int(numDirStates)*int(numDirEvents))
+		}
+	}
+}
+
+// TestDirTableRejectsDeletedRow is the acceptance check for the
+// completeness validator at the protocol level: deleting one row from
+// the real directory spec must fail construction naming the pair.
+func TestDirTableRejectsDeletedRow(t *testing.T) {
+	spec := dirBaseSpec()
+	var rows []table.Row[dirAction]
+	for _, r := range spec.Rows {
+		if r.State == int(dirStExclusive) && r.Event == int(dirEvWrite) {
+			continue // delete (E, Write): the 3-hop write forward
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) != len(spec.Rows)-1 {
+		t.Fatalf("expected to delete exactly one row, deleted %d", len(spec.Rows)-len(rows))
+	}
+	spec.Rows = rows
+	_, err := table.Build(spec, dirWBDelta())
+	if err == nil || !strings.Contains(err.Error(), "missing row (E, Write)") {
+		t.Fatalf("deleted directory row not rejected: %v", err)
+	}
+}
+
+// TestPCUTableRejectsDeletedRow does the same for the core machine.
+func TestPCUTableRejectsDeletedRow(t *testing.T) {
+	spec := pcuBaseSpec()
+	var rows []table.Row[pcuAction]
+	for _, r := range spec.Rows {
+		if r.State == int(pcuStWrite) && r.Event == int(pcuEvDataExcl) {
+			continue // delete (Wr, DataExcl): the write grant itself
+		}
+		rows = append(rows, r)
+	}
+	spec.Rows = rows
+	_, err := table.Build(spec, pcuWBDelta())
+	if err == nil || !strings.Contains(err.Error(), "missing row (Wr, DataExcl)") {
+		t.Fatalf("deleted PCU row not rejected: %v", err)
+	}
+}
+
+// TestPCUTableCompleteness pins the core-machine shape: 28 of 36 rows
+// are possible, and the WritersBlock delta only swaps actions (the
+// possible-row set is unchanged — nacking is a behavior change, not a
+// reachability change).
+func TestPCUTableCompleteness(t *testing.T) {
+	base, wb := pcuMachines[ModeSquash], pcuMachines[ModeLockdown]
+	if base.Name() != "pcu" || wb.Name() != "pcu+wb" {
+		t.Fatalf("machine names: %q, %q", base.Name(), wb.Name())
+	}
+	if base.Possible() != 28 || wb.Possible() != 28 {
+		t.Errorf("possible rows: base %d, wb %d, want 28", base.Possible(), wb.Possible())
+	}
+}
+
+// TestDirWBDeadWithoutDelta documents the delta discipline: the base
+// directory spec declares the WritersBlock states dead, so a squash-mode
+// bank reaching WBW/WBEv is a construction-time impossibility, not a
+// runtime surprise.
+func TestDirWBDeadWithoutDelta(t *testing.T) {
+	m, err := table.Build(dirBaseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []dirState{dirStWBWrite, dirStWBEvict} {
+		for e := 0; e < int(numDirEvents); e++ {
+			if k := m.RowKind(int(s), e); k != table.Impossible {
+				t.Errorf("base (%v, %v) is %v, want impossible", s, dirEvent(e), k)
+			}
+		}
+	}
+}

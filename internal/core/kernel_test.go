@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"wbsim/internal/faults"
@@ -65,6 +66,13 @@ func TestIdleSkipMatchesCycleAccurate(t *testing.T) {
 					if skipCycles != accCycles {
 						t.Errorf("cycles: idle-skip %d, cycle-accurate %d", skipCycles, accCycles)
 					}
+					// Transition fire counts must match exactly too; compare
+					// them first, then the scalar counters by value.
+					if !reflect.DeepEqual(skipRes.Coverage, accRes.Coverage) {
+						t.Errorf("transition coverage diverges:\nidle-skip:      %v\ncycle-accurate: %v",
+							skipRes.Coverage, accRes.Coverage)
+					}
+					skipRes.Coverage, accRes.Coverage = nil, nil
 					if skipRes != accRes {
 						t.Errorf("results diverge:\nidle-skip:      %+v\ncycle-accurate: %+v", skipRes, accRes)
 					}

@@ -75,7 +75,7 @@ func NewSystem(cfg Config, programs []*isa.Program) *System {
 		s.Cores = append(s.Cores, c)
 		s.PCUs = append(s.PCUs, p)
 
-		b := coherence.NewBank(network.Endpoint(n+i), mesh, &memParams, memory)
+		b := coherence.NewBank(network.Endpoint(n+i), mesh, &memParams, memory, protoMode)
 		mesh.Attach(network.Endpoint(n+i), i%routers, b)
 		s.Banks = append(s.Banks, b)
 	}
@@ -362,6 +362,23 @@ type Results struct {
 	NetFlits    uint64
 	NetFlitHops uint64
 	NetMessages uint64
+
+	// Coverage holds the merged protocol-transition fire counts of every
+	// controller in the machine (the -coverage view).
+	Coverage *coherence.CoverageAgg
+}
+
+// Coverage merges the transition fire counts of every coherence
+// controller in the machine into one aggregate.
+func (s *System) Coverage() *coherence.CoverageAgg {
+	agg := coherence.NewCoverageAgg()
+	for _, p := range s.PCUs {
+		agg.AddPCU(p)
+	}
+	for _, b := range s.Banks {
+		agg.AddBank(b)
+	}
+	return agg
 }
 
 // Collect gathers run statistics from every component.
@@ -401,5 +418,6 @@ func (s *System) Collect() Results {
 	r.NetFlits = ns.Flits
 	r.NetFlitHops = ns.FlitHops
 	r.NetMessages = ns.Messages
+	r.Coverage = s.Coverage()
 	return r
 }

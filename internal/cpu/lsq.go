@@ -416,6 +416,15 @@ func (c *Core) drainSB() {
 // coherence.CoreHooks
 // ---------------------------------------------------------------------
 
+// The core implements both halves of the PCU's hook seam: value
+// delivery (DataHooks) and the invalidation/eviction ordering callbacks
+// (OrderingHooks).
+var (
+	_ coherence.DataHooks     = (*Core)(nil)
+	_ coherence.OrderingHooks = (*Core)(nil)
+	_ coherence.CoreHooks     = (*Core)(nil)
+)
+
 // LoadDone implements coherence.CoreHooks: a missing load's value
 // arrives. Tear-off values bind only for ordered loads; unordered loads
 // must retry once ordered (Section 3.4).

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wbsim/internal/coherence"
 	"wbsim/internal/core"
 	"wbsim/internal/faults"
 	"wbsim/internal/runner"
@@ -29,6 +30,7 @@ type Engine struct {
 
 	mu       sync.Mutex
 	failures []JobFailure
+	cov      *coherence.CoverageAgg
 }
 
 // JobFailure records the identity of one failed simulation job: enough
@@ -50,7 +52,18 @@ func NewEngine(parallel int) *Engine {
 	if parallel <= 0 {
 		parallel = runner.DefaultParallel()
 	}
-	return &Engine{parallel: parallel, memo: runner.NewMemo[core.Results]()}
+	return &Engine{parallel: parallel, memo: runner.NewMemo[core.Results](), cov: coherence.NewCoverageAgg()}
+}
+
+// Coverage returns the merged protocol-transition coverage of every
+// simulation the engine has run (the -coverage view). Merging is
+// commutative, so the aggregate is deterministic at any parallelism.
+func (e *Engine) Coverage() *coherence.CoverageAgg {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	agg := coherence.NewCoverageAgg()
+	agg.Merge(e.cov)
+	return agg
 }
 
 // Parallel reports the engine's worker bound.
@@ -120,6 +133,9 @@ func (e *Engine) run(jobs []simJob) ([]core.Results, error) {
 			e.recordFailure(j, err)
 			return nil // sibling jobs keep running
 		}
+		e.mu.Lock()
+		e.cov.Merge(res.Coverage)
+		e.mu.Unlock()
 		out[i] = res
 		return nil
 	})

@@ -152,18 +152,22 @@ func Catalog() []Plan {
 			ReservedMSHRs: 1,
 		},
 		{
-			// Direct-mapped, nearly cache-less hierarchy: constant
-			// evictions, every lockdown window contested.
+			// Direct-mapped, nearly cache-less hierarchy: the litmus
+			// working sets collide in both the private caches and the
+			// directory, so capacity evictions (private Puts and
+			// directory eviction invalidations) run constantly and every
+			// lockdown window is contested.
 			Name:    "skinny-cache",
-			L1Lines: 4, L1Ways: 1,
-			L2Lines: 16, L2Ways: 1,
-			LLCLines: 64, LLCWays: 2,
+			L1Lines: 2, L1Ways: 1,
+			L2Lines: 4, L2Ways: 1,
+			LLCLines: 4, LLCWays: 1,
 			EvictionBuf: 2,
 			LDTSize:     2,
 		},
 		{
-			// Everything at once: spikes, perturbed delivery, a
-			// single-entry eviction buffer and lockdown window.
+			// Everything at once: spikes, perturbed delivery, directory
+			// pressure, a single-entry eviction buffer and a single-entry
+			// lockdown window.
 			Name:            "hostile",
 			SpikeProb:       0.02,
 			SpikeCycles:     200,

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"wbsim/internal/coherence"
 	"wbsim/internal/core"
 	"wbsim/internal/faults"
 )
@@ -30,6 +31,10 @@ type ChaosSummary struct {
 	Violations int
 	Hangs      int
 	Panics     int
+	// Coverage merges every cell's transition fire counts — the campaign
+	// answer to "which protocol rows did the chaos matrix exercise?".
+	// Excluded from JSON: it is a view, not an outcome.
+	Coverage *coherence.CoverageAgg `json:"-"`
 }
 
 // Failed reports whether any cell failed.
@@ -112,7 +117,7 @@ func (s *ChaosSummary) String() string {
 // the executable form of the paper's §3.5 claim: under every plan, every
 // sound variant must produce zero forbidden outcomes and zero hangs.
 func Chaos(tests []Test, variants []core.Variant, plans []faults.Plan, opts Options) *ChaosSummary {
-	s := &ChaosSummary{}
+	s := &ChaosSummary{Coverage: coherence.NewCoverageAgg()}
 	for _, plan := range plans {
 		p := plan
 		for _, t := range tests {
@@ -125,8 +130,15 @@ func Chaos(tests []Test, variants []core.Variant, plans []faults.Plan, opts Opti
 				s.Violations += cell.Result.Violations
 				s.Hangs += cell.Result.Hangs
 				s.Panics += cell.Result.Panics
+				s.Coverage.Merge(cell.Result.Coverage)
 			}
 		}
 	}
+	// The campaign's coverage is directed-plus-random: the litmus matrix
+	// reaches the common transitions, and the scripted protocol
+	// stimulator replays the narrow races (stale Puts, eviction
+	// WritersBlock, SoS-bypass states) that random programs cannot aim
+	// at. The stimulator is deterministic and costs a few milliseconds.
+	s.Coverage.Merge(coherence.ExerciseProtocol())
 	return s
 }

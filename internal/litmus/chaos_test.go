@@ -36,6 +36,30 @@ func TestChaosMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosCoverageBar is the transition-coverage acceptance bar: a
+// chaos campaign (random litmus matrix plus the directed protocol
+// stimulator) must exercise at least 95% of the non-Impossible rows of
+// every machine it observes.
+func TestChaosCoverageBar(t *testing.T) {
+	sum := Chaos(Suite(), core.Variants, faults.Catalog(), Options{Seeds: 16, Jitter: 24})
+	if sum.Failed() {
+		t.Fatalf("coverage campaign failed:\n%s", sum.String())
+	}
+	tot := sum.Coverage.Total()
+	if tot.Possible == 0 {
+		t.Fatal("campaign observed no machines")
+	}
+	if tot.Fired*100 < tot.Possible*95 {
+		t.Errorf("transition coverage %d/%d below the 95%% bar:\n%s",
+			tot.Fired, tot.Possible, sum.Coverage.String())
+	}
+	// Both protocol modes must be in the denominator: the campaign runs
+	// WritersBlock variants and the stimulator covers squash mode.
+	if n := len(sum.Coverage.Reports()); n != 4 {
+		t.Errorf("observed %d machines, want 4 (dir, dir+wb, pcu, pcu+wb)", n)
+	}
+}
+
 // TestChaosInducedHang drops the watchdog stall bound to 1 cycle so
 // every seed trips immediately, and checks that the hang surfaces as a
 // classified count plus a SimError whose report names the stuck core.

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"wbsim/internal/coherence"
 	"wbsim/internal/core"
 	"wbsim/internal/faults"
 	"wbsim/internal/isa"
@@ -61,6 +62,10 @@ type Result struct {
 	Errors     []error
 	Hangs      int // errors classified as watchdog/budget hangs
 	Panics     int // errors classified as contained panics
+	// Coverage merges the protocol-transition fire counts of every
+	// seed's machine (including failed seeds — a hang still exercises
+	// transitions). Excluded from JSON: it is a view, not an outcome.
+	Coverage *coherence.CoverageAgg `json:"-"`
 }
 
 // String renders the outcome histogram.
@@ -108,6 +113,7 @@ type seedOutcome struct {
 	key       string
 	forbidden bool
 	err       error
+	cov       *coherence.CoverageAgg
 }
 
 // Run executes the test under the given system variant, fanning the
@@ -118,8 +124,9 @@ func Run(t Test, variant core.Variant, opts Options) Result {
 		outs[i] = runSeed(t, variant, uint64(i+1), opts)
 		return nil // per-seed errors are part of the Result, not fatal
 	})
-	res := Result{Test: t.Name, Outcomes: make(map[string]int)}
+	res := Result{Test: t.Name, Outcomes: make(map[string]int), Coverage: coherence.NewCoverageAgg()}
 	for _, o := range outs {
+		res.Coverage.Merge(o.cov)
 		if o.err != nil {
 			res.Errors = append(res.Errors, o.err)
 			if se, ok := faults.AsSimError(o.err); ok && se.Kind == faults.KindPanic {
@@ -162,7 +169,7 @@ func runSeed(t Test, variant core.Variant, seed uint64, opts Options) (out seedO
 		sys.InitWord(a, w)
 	}
 	if _, err := sys.Run(); err != nil {
-		return seedOutcome{err: fmt.Errorf("seed %d: %w", seed, err)}
+		return seedOutcome{err: fmt.Errorf("seed %d: %w", seed, err), cov: sys.Coverage()}
 	}
 	vals := make(map[string]mem.Word)
 	var parts []string
@@ -179,6 +186,7 @@ func runSeed(t Test, variant core.Variant, seed uint64, opts Options) (out seedO
 	return seedOutcome{
 		key:       strings.Join(parts, " "),
 		forbidden: t.Forbidden != nil && t.Forbidden(vals),
+		cov:       sys.Coverage(),
 	}
 }
 

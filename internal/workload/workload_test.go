@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"wbsim/internal/core"
@@ -70,8 +71,14 @@ func TestWorkloadsDeterministic(t *testing.T) {
 			}
 			if trial == 0 {
 				first = res
-			} else if res != first {
-				t.Errorf("%s: nondeterministic results:\n%+v\n%+v", name, first, res)
+			} else {
+				if !reflect.DeepEqual(res.Coverage, first.Coverage) {
+					t.Errorf("%s: nondeterministic transition coverage:\n%v\n%v", name, first.Coverage, res.Coverage)
+				}
+				res.Coverage, first.Coverage = nil, nil
+				if res != first {
+					t.Errorf("%s: nondeterministic results:\n%+v\n%+v", name, first, res)
+				}
 			}
 		}
 	}

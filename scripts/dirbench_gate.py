@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Gate the directory/PCU dispatch microbenchmark against the
+pre-refactor record in BENCH_baseline.json.
+
+Usage: dirbench_gate.py <go-bench-output-file>
+
+Reads every `BenchmarkDirDispatch` result line from the given `go test
+-bench` output (run it with -count=N so the median is meaningful),
+takes the median of each metric, and compares it to
+benchmarks.BenchmarkDirDispatch in BENCH_baseline.json. Exits 1 if any
+metric regressed more than its threshold: 10% for B/op and allocs/op
+(deterministic in this simulator), 35% for ns/op (shared CI runners
+jitter wall-clock far more than the 10% design budget; the allocation
+gates are the load-bearing check, and ns/op medians well outside noise
+still fail).
+"""
+
+import json
+import re
+import statistics
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ns, bop, allocs = [], [], []
+    pat = re.compile(
+        r"^BenchmarkDirDispatch\b.*?(\d+(?:\.\d+)?) ns/op\s+(\d+) B/op\s+(\d+) allocs/op"
+    )
+    with open(sys.argv[1]) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                ns.append(float(m.group(1)))
+                bop.append(int(m.group(2)))
+                allocs.append(int(m.group(3)))
+    if not ns:
+        print("dirbench_gate: no BenchmarkDirDispatch results in input", file=sys.stderr)
+        return 2
+
+    with open("BENCH_baseline.json") as f:
+        base = json.load(f)["benchmarks"]["BenchmarkDirDispatch"]
+
+    checks = [
+        ("ns/op", statistics.median(ns), base["ns_per_op"], 0.35),
+        ("B/op", statistics.median(bop), base["bytes_per_op"], 0.10),
+        ("allocs/op", statistics.median(allocs), base["allocs_per_op"], 0.10),
+    ]
+    failed = False
+    for name, now, ref, budget in checks:
+        delta = (now - ref) / ref
+        status = "ok"
+        if delta > budget:
+            status = "FAIL"
+            failed = True
+        print(
+            f"dir-dispatch {name:10s} baseline {ref:>10.0f}  now {now:>10.0f}  "
+            f"{delta:+7.1%} (budget +{budget:.0%})  {status}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
