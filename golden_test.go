@@ -65,6 +65,19 @@ func TestGoldenOutputs(t *testing.T) {
 			"-chaos", "-seeds", "2", "-variants", "inorder-wb,ooo-wb")
 	})
 
+	// The sharded kernel must hit the very same goldens, byte for byte, at
+	// every shard count: parallel execution is pure performance work too.
+	for _, shards := range []string{"2", "4"} {
+		t.Run("tsosim_fft_lucb_c4s1_shards"+shards, func(t *testing.T) {
+			checkGolden(t, "golden_tsosim_fft_lucb_c4s1.txt", tsosim,
+				"-workload", "fft,lu_cb", "-cores", "4", "-scale", "1", "-shards", shards)
+		})
+	}
+	t.Run("litmus_suite_s2_shards2", func(t *testing.T) {
+		checkGolden(t, "golden_litmus_s2.txt", litmus,
+			"-variants", "inorder-base,inorder-wb,ooo-base,ooo-wb", "-seeds", "2", "-shards", "2")
+	})
+
 	// The full evaluation (Figures 8/9/10, squash study, ablations) takes
 	// a couple of minutes; run it via `make golden-full` or by setting
 	// WBSIM_GOLDEN_FULL=1.

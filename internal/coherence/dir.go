@@ -121,7 +121,7 @@ type BankStats struct {
 // Bank is one LLC bank with its directory slice.
 type Bank struct {
 	id     network.Endpoint
-	mesh   *network.Mesh
+	port   network.Port
 	params *Params
 	events sim.EventQueue
 	memory *mem.Memory
@@ -147,15 +147,17 @@ type Bank struct {
 	now sim.Cycle
 }
 
-// NewBank builds an LLC bank/directory slice attached to the mesh at the
-// given endpoint. memory is the (shared) backing store; mode selects the
-// WritersBlock protocol delta (the bank must match its cores).
-func NewBank(id network.Endpoint, mesh *network.Mesh, params *Params, memory *mem.Memory, mode Mode) *Bank {
+// NewBank builds an LLC bank/directory slice attached to the network at
+// the given endpoint. port is where outbound protocol messages go (the
+// mesh itself, or a capture port under the sharded kernel); memory is the
+// (shared) backing store; mode selects the WritersBlock protocol delta
+// (the bank must match its cores).
+func NewBank(id network.Endpoint, port network.Port, params *Params, memory *mem.Memory, mode Mode) *Bank {
 	flavor := dirFlavorFor(mode, params.NonSilentSharedEvictions)
 	machine := dirMachines[flavor]
 	return &Bank{
 		id:           id,
-		mesh:         mesh,
+		port:         port,
 		params:       params,
 		memory:       memory,
 		array:        cache.NewArray(params.LLCLines, params.LLCWays),
@@ -185,6 +187,10 @@ func (b *Bank) EventsDue(now sim.Cycle) bool {
 
 // NextEventCycle reports the cycle of the bank's earliest deferred event.
 func (b *Bank) NextEventCycle() (sim.Cycle, bool) { return b.events.NextAt() }
+
+// SetPort redirects the bank's outbound messages (the sharded kernel
+// interposes a capture port for the duration of a run).
+func (b *Bank) SetPort(p network.Port) { b.port = p }
 
 // Quiescent reports whether the bank has no pending events, transactions,
 // or queued requests.

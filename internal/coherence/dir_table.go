@@ -716,17 +716,22 @@ func dirActUnblockExcl(b *Bank, dl *dirLine, m *Msg) {
 }
 
 // sendAfter schedules a message after delay cycles of local processing.
+// The message is copied into the deferred-send record, so callers may
+// pass short-lived stack values.
 func (b *Bank) sendAfter(delay int, dst network.Endpoint, m *Msg) {
-	b.events.After(b.now, sim.Cycle(delay), func() {
-		send(b.mesh, b.now, b.id, dst, m, b.params.DataFlits, b.params.CtrlFlits)
-	})
+	b.events.AfterCall(b.now, sim.Cycle(delay), fireBankSend, &bankSend{b: b, dst: dst, m: *m})
 }
 
 // find returns the directory entry for line, looking in the live slice
-// first, then the eviction buffer.
+// first, then the eviction buffer. The eviction buffer is empty for
+// almost every message, so its lookup is gated on length to keep the
+// dispatch path to a single map access.
 func (b *Bank) find(line mem.Line) *dirLine {
 	if dl, ok := b.lines[line]; ok {
 		return dl
+	}
+	if len(b.evbuf) == 0 {
+		return nil
 	}
 	return b.evbuf[line]
 }

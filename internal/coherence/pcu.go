@@ -154,7 +154,7 @@ type PCUStats struct {
 // a presence filter that only affects hit latency.
 type PCU struct {
 	id     network.Endpoint
-	mesh   *network.Mesh
+	port   network.Port
 	params *Params
 	home   HomeFunc
 	data   DataHooks
@@ -176,12 +176,14 @@ type PCU struct {
 	now sim.Cycle
 }
 
-// NewPCU builds a private cache unit attached at endpoint id.
-func NewPCU(id network.Endpoint, mesh *network.Mesh, params *Params, home HomeFunc, hooks CoreHooks, mode Mode) *PCU {
+// NewPCU builds a private cache unit attached at endpoint id. port is
+// where outbound protocol messages go (the mesh itself, or a capture
+// port under the sharded kernel).
+func NewPCU(id network.Endpoint, port network.Port, params *Params, home HomeFunc, hooks CoreHooks, mode Mode) *PCU {
 	machine := pcuMachines[mode]
 	return &PCU{
 		id:      id,
-		mesh:    mesh,
+		port:    port,
 		params:  params,
 		home:    home,
 		data:    hooks,
@@ -213,15 +215,20 @@ func (p *PCU) EventsDue(now sim.Cycle) bool {
 // NextEventCycle reports the cycle of the PCU's earliest deferred send.
 func (p *PCU) NextEventCycle() (sim.Cycle, bool) { return p.events.NextAt() }
 
+// SetPort redirects the PCU's outbound messages (the sharded kernel
+// interposes a capture port for the duration of a run).
+func (p *PCU) SetPort(port network.Port) { p.port = port }
+
 // Quiescent reports whether the PCU has no outstanding transactions.
 func (p *PCU) Quiescent() bool {
 	return p.events.Empty() && p.mshrs.InUse() == 0 && len(p.wbBuf) == 0
 }
 
+// sendAfter schedules a message after delay cycles of local processing.
+// The message is copied into the deferred-send record, so callers may
+// pass short-lived stack values.
 func (p *PCU) sendAfter(delay int, dst network.Endpoint, m *Msg) {
-	p.events.After(p.now, sim.Cycle(delay), func() {
-		send(p.mesh, p.now, p.id, dst, m, p.params.DataFlits, p.params.CtrlFlits)
-	})
+	p.events.AfterCall(p.now, sim.Cycle(delay), firePCUSend, &pcuSend{p: p, dst: dst, m: *m})
 }
 
 // ---------------------------------------------------------------------

@@ -85,13 +85,24 @@ type Delta[A any] struct {
 // Machine is a built, immutable transition table. Coverage counters live
 // outside the machine (NewCoverage) so controllers sharing one machine
 // count independently and merge deterministically.
+//
+// The dispatch path indexes a single dense [state*ne+event] row slice:
+// kind and action live side by side in one struct so Fire touches one
+// cache line per row instead of two parallel slices. The audit reasons
+// (whys) are cold — only panics and reports read them — and stay in a
+// separate slice to keep rows small.
 type Machine[A any] struct {
-	name    string
-	states  []string
-	events  []string
-	kinds   []Kind
-	whys    []string
-	actions []A
+	name   string
+	states []string
+	events []string
+	rows   []row[A]
+	whys   []string
+}
+
+// row is one dense transition-table cell: the row kind and its action.
+type row[A any] struct {
+	kind Kind
+	do   A
 }
 
 // Build composes a base spec with deltas (applied in order, later deltas
@@ -112,12 +123,11 @@ func Build[A any](spec Spec[A], deltas ...Delta[A]) (*Machine[A], error) {
 		name += "+" + d.Name
 	}
 	m := &Machine[A]{
-		name:    name,
-		states:  spec.States,
-		events:  spec.Events,
-		kinds:   make([]Kind, ns*ne),
-		whys:    make([]string, ns*ne),
-		actions: make([]A, ns*ne),
+		name:   name,
+		states: spec.States,
+		events: spec.Events,
+		rows:   make([]row[A], ns*ne),
+		whys:   make([]string, ns*ne),
 	}
 	covered := make([]bool, ns*ne)
 	layer := func(layerName string, rows []Row[A]) error {
@@ -137,9 +147,8 @@ func Build[A any](spec Spec[A], deltas ...Delta[A]) (*Machine[A], error) {
 					name, layerName, r.Kind, spec.States[r.State], spec.Events[r.Event])
 			}
 			covered[i] = true
-			m.kinds[i] = r.Kind
+			m.rows[i] = row[A]{kind: r.Kind, do: r.Do}
 			m.whys[i] = r.Why
-			m.actions[i] = r.Do
 		}
 		return nil
 	}
@@ -167,12 +176,12 @@ func Build[A any](spec Spec[A], deltas ...Delta[A]) (*Machine[A], error) {
 		}
 	}
 	for s := 0; s < ns; s++ {
-		if err := m.checkLiveness("state", spec.States[s], deadStates[s], func(e int) Kind { return m.kinds[s*ne+e] }, ne); err != nil {
+		if err := m.checkLiveness("state", spec.States[s], deadStates[s], func(e int) Kind { return m.rows[s*ne+e].kind }, ne); err != nil {
 			return nil, err
 		}
 	}
 	for e := 0; e < ne; e++ {
-		if err := m.checkLiveness("event", spec.Events[e], deadEvents[e], func(s int) Kind { return m.kinds[s*ne+e] }, ns); err != nil {
+		if err := m.checkLiveness("event", spec.Events[e], deadEvents[e], func(s int) Kind { return m.rows[s*ne+e].kind }, ns); err != nil {
 			return nil, err
 		}
 	}
@@ -226,7 +235,7 @@ func (m *Machine[A]) NumEvents() int { return len(m.events) }
 
 // Size is the row count (NumStates × NumEvents), the length of a
 // coverage slice.
-func (m *Machine[A]) Size() int { return len(m.kinds) }
+func (m *Machine[A]) Size() int { return len(m.rows) }
 
 // NewCoverage allocates a zeroed fire-count slice for this machine.
 func (m *Machine[A]) NewCoverage() []uint64 { return make([]uint64, m.Size()) }
@@ -238,7 +247,7 @@ func (m *Machine[A]) StateName(s int) string { return m.states[s] }
 func (m *Machine[A]) EventName(e int) string { return m.events[e] }
 
 // RowKind reports the kind of one row.
-func (m *Machine[A]) RowKind(s, e int) Kind { return m.kinds[s*len(m.events)+e] }
+func (m *Machine[A]) RowKind(s, e int) Kind { return m.rows[s*len(m.events)+e].kind }
 
 // RowWhy reports the audit reason of one row.
 func (m *Machine[A]) RowWhy(s, e int) string { return m.whys[s*len(m.events)+e] }
@@ -246,8 +255,8 @@ func (m *Machine[A]) RowWhy(s, e int) string { return m.whys[s*len(m.events)+e] 
 // Possible counts the non-Impossible rows — the coverage denominator.
 func (m *Machine[A]) Possible() int {
 	n := 0
-	for _, k := range m.kinds {
-		if k != Impossible {
+	for i := range m.rows {
+		if m.rows[i].kind != Impossible {
 			n++
 		}
 	}
@@ -263,10 +272,11 @@ func (m *Machine[A]) Fire(cov []uint64, state, event int) A {
 	if cov != nil {
 		cov[i]++
 	}
-	if m.kinds[i] == Impossible {
+	r := &m.rows[i]
+	if r.kind == Impossible {
 		m.panicImpossible(state, event)
 	}
-	return m.actions[i]
+	return r.do
 }
 
 // panicImpossible reports an Impossible row firing; kept out of line so
@@ -304,7 +314,8 @@ func (r Report) String() string {
 func (m *Machine[A]) Report(cov []uint64) Report {
 	r := Report{Machine: m.name}
 	ne := len(m.events)
-	for i, k := range m.kinds {
+	for i := range m.rows {
+		k := m.rows[i].kind
 		if k == Impossible {
 			continue
 		}
@@ -328,7 +339,7 @@ func (m *Machine[A]) Dump() string {
 	for s, sn := range m.states {
 		for e, en := range m.events {
 			i := s*ne + e
-			fmt.Fprintf(&b, "%-12s %-12s %-10s %s\n", sn, en, m.kinds[i], m.whys[i])
+			fmt.Fprintf(&b, "%-12s %-12s %-10s %s\n", sn, en, m.rows[i].kind, m.whys[i])
 		}
 	}
 	return b.String()

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"sort"
+
+	"wbsim/internal/faults"
+	"wbsim/internal/network"
+	"wbsim/internal/sim"
+)
+
+// This file implements the sharded kernel: Config.Shards > 1 partitions
+// the machine's tiles (core + private cache unit + co-located LLC bank)
+// into contiguous shards, each advanced by its own worker goroutine, with
+// a deterministic cycle-epoch barrier making every run byte-identical to
+// the sequential kernel.
+//
+// The scheme is conservative parallel discrete-event simulation with a
+// fixed lookahead. Shards only interact through the mesh, and a message
+// sent at cycle c can never arrive before c + Mesh.MinDeliveryDelta()
+// (jitter, fault spikes, and link contention only add latency). So with
+// epochs no longer than that delta, a message sent inside an epoch
+// cannot arrive inside the same epoch, and each shard can tick its own
+// tiles through the whole epoch without observing the others:
+//
+//   - All outbound protocol sends are captured instead of injected
+//     (capturePort). At the barrier the coordinator replays them into
+//     the real mesh in the exact order the sequential kernel would have
+//     issued them — ascending (cycle, banks-before-PCUs, tile) with
+//     per-component append order preserved — so link reservations,
+//     message sequence numbers, jitter RNG draws, and traffic stats
+//     evolve identically to a sequential run.
+//   - All deliveries due in the next epoch are extracted from the mesh
+//     heap up front (in the sequential kernel's global delivery order,
+//     with the PerturbDelivery fault already applied) and routed to the
+//     destination tile's shard, which hands each to its receiver at the
+//     message's exact arrival cycle.
+//
+// Within one cycle the sequential Step order is mesh deliveries, then
+// banks, then PCUs, then cores. Deliveries never send (receive handlers
+// only mutate their own component and schedule deferred events), banks
+// touch only their home lines and the line-homed shared memory, and a
+// PCU talks only to its own core, so same-cycle work on different
+// shards commutes and the partitioned execution is order-equivalent to
+// the sequential interleaving.
+//
+// Epochs are additionally cut at watchdog-due cycles and MaxCycles so
+// progress checks and hang trips observe the machine at exactly the
+// cycles the sequential run loop would have, and the barrier applies
+// the same idle-skip fast-forward (fastForward) across whole epochs
+// when every core is idle-stable, so hang and deadlock runs cost
+// O(trip-cycle / CheckPeriod) barriers rather than O(trip-cycle) ticks.
+
+// capturedSend is one buffered protocol send: where it came from, when,
+// and the message itself. phase orders banks before PCUs within a cycle,
+// matching the sequential Step's component order.
+type capturedSend struct {
+	cycle sim.Cycle
+	phase uint8 // 0 = bank, 1 = PCU
+	tile  int32
+	msg   *network.Message
+}
+
+// capturePort implements network.Port for one component, appending every
+// send to its shard's epoch buffer. Messages handed to Send are freshly
+// allocated per send, so retaining the pointer is safe.
+type capturePort struct {
+	sh    *shard
+	phase uint8
+	tile  int32
+}
+
+// Send implements network.Port.
+func (cp *capturePort) Send(now sim.Cycle, msg *network.Message) {
+	cp.sh.sends = append(cp.sh.sends, capturedSend{cycle: now, phase: cp.phase, tile: cp.tile, msg: msg})
+}
+
+// shard is one worker's slice of the machine plus its per-epoch state.
+// Fields are touched by the worker during an epoch and by the
+// coordinator between the done receive and the next cmds send; the
+// channel operations order the two.
+type shard struct {
+	sys   *System
+	tiles []int // global tile indices, ascending
+
+	cmds chan epochCmd
+	done chan struct{}
+
+	// Epoch inputs, set by the coordinator before dispatch.
+	deliveries []*network.Message // next epoch's arrivals for this shard, in global delivery order
+	dIdx       int
+
+	// Epoch outputs, read by the coordinator at the barrier.
+	sends      []capturedSend
+	lastActive sim.Cycle // last cycle (this run) a tile did real work
+	anyActive  bool
+	idleStable bool      // every local core IdleStable at epoch end
+	next       sim.Cycle // earliest local self-scheduled event
+	haveNext   bool
+	panicked   any
+}
+
+type epochCmd struct {
+	start, end sim.Cycle
+}
+
+// work is the worker goroutine: it runs epochs until cmds closes. A
+// panic inside the shard's slice of the machine is recorded and the
+// barrier released; the coordinator re-raises it inside Run's recover
+// boundary so it surfaces as the same *faults.SimError a sequential run
+// would produce.
+func (sh *shard) work() {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicked = r
+			sh.done <- struct{}{}
+		}
+	}()
+	for cmd := range sh.cmds {
+		sh.runEpoch(cmd.start, cmd.end)
+		sh.done <- struct{}{}
+	}
+}
+
+// runEpoch ticks the shard's tiles through cycles [start, end],
+// delivering this shard's extracted arrivals at their exact cycles and
+// mirroring the sequential Step's per-cycle component order.
+func (sh *shard) runEpoch(start, end sim.Cycle) {
+	sys := sh.sys
+	for now := start; now <= end; now++ {
+		if sys.shardHook != nil {
+			sys.shardHook(sh.tiles[0], now)
+		}
+		for sh.dIdx < len(sh.deliveries) && sh.deliveries[sh.dIdx].Arrival() == now {
+			sys.Mesh.Deliver(now, sh.deliveries[sh.dIdx])
+			sh.dIdx++
+			sh.lastActive, sh.anyActive = now, true
+		}
+		for _, i := range sh.tiles {
+			if b := sys.Banks[i]; b.EventsDue(now) {
+				b.Tick(now)
+				sh.lastActive, sh.anyActive = now, true
+			}
+		}
+		for _, i := range sh.tiles {
+			if p := sys.PCUs[i]; p.EventsDue(now) {
+				p.Tick(now)
+				sh.lastActive, sh.anyActive = now, true
+			}
+		}
+		for _, i := range sh.tiles {
+			c := sys.Cores[i]
+			c.Tick(now)
+			if c.QuietTicks() == 0 {
+				sh.lastActive, sh.anyActive = now, true
+			}
+		}
+	}
+	// Barrier report: idle-stability and the earliest local wake-up, for
+	// the coordinator's whole-epoch idle skip.
+	sh.idleStable = true
+	sh.haveNext = false
+	for _, i := range sh.tiles {
+		if !sys.Cores[i].IdleStable() {
+			sh.idleStable = false
+		}
+		sh.considerNext(sys.Banks[i].NextEventCycle())
+		sh.considerNext(sys.PCUs[i].NextEventCycle())
+		sh.considerNext(sys.Cores[i].NextEventCycle(end))
+	}
+}
+
+func (sh *shard) considerNext(at sim.Cycle, ok bool) {
+	if ok && (!sh.haveNext || at < sh.next) {
+		sh.haveNext, sh.next = true, at
+	}
+}
+
+// shardOfTile maps tile i of n onto one of k contiguous shards. Every
+// tile lands on exactly one shard and every shard gets at least one tile
+// when k <= n (the property test pins this down).
+func shardOfTile(i, n, k int) int {
+	return i * k / n
+}
+
+// runSharded is the Shards > 1 run loop. It owns the clock, the mesh,
+// the watchdog, and the done/hang decisions; workers own their tiles
+// within an epoch. The contract with Run: identical return values,
+// identical machine state afterwards.
+func (s *System) runSharded() (cycles sim.Cycle, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cycles = s.Clock.Now()
+			err = faults.PanicError(r, s.HangReport("panic", -1, 0))
+		}
+	}()
+
+	n := len(s.Cores)
+	k := s.Cfg.Shards
+	if k > n {
+		k = n
+	}
+
+	// Build shards and interpose capture ports; restore the direct mesh
+	// ports and stop the workers on every exit path.
+	shards := make([]*shard, k)
+	for si := range shards {
+		shards[si] = &shard{
+			sys:  s,
+			cmds: make(chan epochCmd, 1),
+			done: make(chan struct{}, 1),
+		}
+	}
+	for i := 0; i < n; i++ {
+		sh := shards[shardOfTile(i, n, k)]
+		sh.tiles = append(sh.tiles, i)
+		s.Banks[i].SetPort(&capturePort{sh: sh, phase: 0, tile: int32(i)})
+		s.PCUs[i].SetPort(&capturePort{sh: sh, phase: 1, tile: int32(i)})
+	}
+	defer func() {
+		for i := 0; i < n; i++ {
+			s.Banks[i].SetPort(s.Mesh)
+			s.PCUs[i].SetPort(s.Mesh)
+		}
+		for _, sh := range shards {
+			close(sh.cmds)
+		}
+	}()
+	for _, sh := range shards {
+		go sh.work()
+	}
+
+	wd := faults.NewWatchdog(s.Cfg.Watchdog, n)
+	accurate := s.Cfg.CycleAccurate
+	epoch := s.Mesh.MinDeliveryDelta()
+
+	// Mirror the sequential run loop's first header, at cycle 0 with
+	// nothing executed yet.
+	if s.Done() {
+		return 0, nil
+	}
+	if wd.Due(0) {
+		if err := s.checkProgress(wd, 0); err != nil {
+			return 0, err
+		}
+	}
+
+	var replay []capturedSend
+	var extracted []*network.Message
+	start := sim.Cycle(1)
+	for {
+		// Epoch end: the lookahead bound, cut at the next watchdog-due
+		// cycle and at MaxCycles so both are observed at a barrier.
+		end := start + epoch - 1
+		if wcfg := wd.Config(); !wcfg.Disable {
+			due := start + (wcfg.CheckPeriod-start%wcfg.CheckPeriod)%wcfg.CheckPeriod
+			if due < end {
+				end = due
+			}
+		}
+		if s.Cfg.MaxCycles < end {
+			end = s.Cfg.MaxCycles
+		}
+
+		// Extract the epoch's deliveries and route each to its
+		// destination tile's shard, preserving global delivery order.
+		extracted = s.Mesh.ExtractDeliverable(end, extracted[:0])
+		for _, sh := range shards {
+			sh.deliveries = sh.deliveries[:0]
+			sh.dIdx = 0
+		}
+		for _, msg := range extracted {
+			tile := int(msg.Dst)
+			if tile >= n {
+				tile -= n // bank endpoints are n..2n-1
+			}
+			sh := shards[shardOfTile(tile, n, k)]
+			sh.deliveries = append(sh.deliveries, msg)
+		}
+
+		// Run the epoch.
+		for _, sh := range shards {
+			sh.cmds <- epochCmd{start: start, end: end}
+		}
+		for _, sh := range shards {
+			<-sh.done
+		}
+		for _, sh := range shards {
+			if sh.panicked != nil {
+				panic(sh.panicked)
+			}
+		}
+
+		// Replay captured sends into the real mesh in sequential order:
+		// ascending cycle, banks before PCUs, ascending tile; the stable
+		// sort preserves each component's own send order.
+		replay = replay[:0]
+		for _, sh := range shards {
+			replay = append(replay, sh.sends...)
+			sh.sends = sh.sends[:0]
+		}
+		sort.SliceStable(replay, func(a, b int) bool {
+			x, y := &replay[a], &replay[b]
+			if x.cycle != y.cycle {
+				return x.cycle < y.cycle
+			}
+			if x.phase != y.phase {
+				return x.phase < y.phase
+			}
+			return x.tile < y.tile
+		})
+		for i := range replay {
+			s.Mesh.Send(replay[i].cycle, replay[i].msg)
+		}
+
+		// Done check. The completion cycle is the last cycle any shard
+		// did real work — exactly where the sequential loop stops — and
+		// every tick after it was a quiet-done fast path, so the
+		// overshoot to the epoch end is rolled back arithmetically.
+		if s.Done() {
+			c := sim.Cycle(0)
+			for _, sh := range shards {
+				if sh.anyActive && sh.lastActive > c {
+					c = sh.lastActive
+				}
+			}
+			if over := uint64(end - c); over > 0 {
+				for _, core := range s.Cores {
+					core.RollbackQuiet(over)
+				}
+			}
+			s.Clock.FastForwardTo(c)
+			for _, b := range s.Banks {
+				b.CheckInvariants()
+			}
+			return c, nil
+		}
+
+		s.Clock.FastForwardTo(end)
+		if end >= s.Cfg.MaxCycles {
+			return end, faults.HangError(s.HangReport("max-cycles", -1, 0))
+		}
+		if wd.Due(end) {
+			if err := s.checkProgress(wd, end); err != nil {
+				return end, err
+			}
+		}
+
+		start = end + 1
+
+		// Whole-epoch idle skip, mirroring fastForward: when every core
+		// is idle-stable the machine can only change at the earliest
+		// next event, so the cycles before it are credited instead of
+		// executed. The same clamps apply — the next watchdog-due cycle
+		// and MaxCycles are never jumped past — and the post-skip
+		// header checks run here just as the sequential loop's header
+		// would observe the landing cycle.
+		if accurate {
+			continue
+		}
+		all := true
+		for _, sh := range shards {
+			if !sh.idleStable {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		t := s.Cfg.MaxCycles + 1
+		if at, ok := s.Mesh.NextEventCycle(); ok && at < t {
+			t = at
+		}
+		for _, sh := range shards {
+			if sh.haveNext && sh.next < t {
+				t = sh.next
+			}
+		}
+		if wcfg := wd.Config(); !wcfg.Disable {
+			due := end + (wcfg.CheckPeriod-end%wcfg.CheckPeriod)%wcfg.CheckPeriod
+			if due+1 < t {
+				t = due + 1
+			}
+		}
+		if s.Cfg.MaxCycles+1 < t {
+			t = s.Cfg.MaxCycles + 1
+		}
+		if t <= end+1 {
+			continue
+		}
+		skipped := uint64(t - 1 - end)
+		for _, core := range s.Cores {
+			core.CreditIdle(skipped)
+		}
+		s.Clock.FastForwardTo(t - 1)
+		now := t - 1
+		if now >= s.Cfg.MaxCycles {
+			return now, faults.HangError(s.HangReport("max-cycles", -1, 0))
+		}
+		if wd.Due(now) {
+			if err := s.checkProgress(wd, now); err != nil {
+				return now, err
+			}
+		}
+		start = t
+	}
+}

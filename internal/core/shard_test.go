@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wbsim/internal/faults"
+	"wbsim/internal/isa"
+	"wbsim/internal/sim"
+)
+
+// TestShardPartition is the property test for the tile partitioner:
+// for every system size and shard count, every tile must land on
+// exactly one shard, shards must be contiguous and monotone (the
+// capture-replay merge relies on ascending tile order within a shard),
+// and no shard may be empty when shards <= tiles.
+func TestShardPartition(t *testing.T) {
+	for n := 1; n <= 256; n++ {
+		for k := 1; k <= 8; k++ {
+			if k > n {
+				continue
+			}
+			seen := make([]int, k)
+			prev := 0
+			for i := 0; i < n; i++ {
+				s := shardOfTile(i, n, k)
+				if s < 0 || s >= k {
+					t.Fatalf("n=%d k=%d: tile %d maps to shard %d, out of range", n, k, i, s)
+				}
+				if s < prev {
+					t.Fatalf("n=%d k=%d: tile %d maps to shard %d after shard %d (not monotone)", n, k, i, s, prev)
+				}
+				prev = s
+				seen[s]++
+			}
+			total := 0
+			for s, c := range seen {
+				if c == 0 {
+					t.Fatalf("n=%d k=%d: shard %d is empty", n, k, s)
+				}
+				total += c
+			}
+			if total != n {
+				t.Fatalf("n=%d k=%d: %d tiles assigned, want %d", n, k, total, n)
+			}
+		}
+	}
+}
+
+// TestShardedFullStatsDeterminism diffs the complete Results structure —
+// every counter, the merged transition coverage, and the architectural
+// registers — across shard counts (including an uneven 3-way split of 4
+// tiles) under three representative fault plans. The golden gate only
+// sees stdout; this test proves the underlying statistics are identical,
+// not just the printed subset.
+func TestShardedFullStatsDeterminism(t *testing.T) {
+	planNames := []string{"delay-spikes", "reorder", "hostile"}
+	plans := []*faults.Plan{nil}
+	for _, p := range faults.Catalog() {
+		for _, want := range planNames {
+			if p.Name == want {
+				p := p
+				plans = append(plans, &p)
+			}
+		}
+	}
+	if len(plans) != len(planNames)+1 {
+		t.Fatalf("fault catalog is missing one of %v", planNames)
+	}
+
+	const cores = 4
+	for _, plan := range plans {
+		name := "none"
+		if plan != nil {
+			name = plan.Name
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) (sim.Cycle, Results, [cores][16]uint64) {
+				rng := sim.NewRand(777)
+				progs := make([]*isa.Program, cores)
+				for i := range progs {
+					progs[i] = randomProgram(rng, i)
+				}
+				cfg := SmallConfig(cores, OoOWB)
+				cfg.Seed = 42
+				cfg.Faults = plan
+				cfg.Shards = shards
+				sys := NewSystem(cfg, progs)
+				cycles, err := sys.Run()
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				var regs [cores][16]uint64
+				for i, c := range sys.Cores {
+					for r := 1; r < 16; r++ {
+						regs[i][r] = uint64(c.Reg(isa.Reg(r)))
+					}
+				}
+				return cycles, sys.Collect(), regs
+			}
+			refCycles, refRes, refRegs := run(1)
+			for _, shards := range []int{2, 3, 4} {
+				cycles, res, regs := run(shards)
+				if cycles != refCycles {
+					t.Errorf("shards=%d: cycles %d, want %d", shards, cycles, refCycles)
+				}
+				if !reflect.DeepEqual(res.Coverage, refRes.Coverage) {
+					t.Errorf("shards=%d: transition coverage diverges", shards)
+				}
+				got, want := res, refRes
+				got.Coverage, want.Coverage = nil, nil
+				if got != want {
+					t.Errorf("shards=%d: results diverge:\ngot:  %+v\nwant: %+v", shards, got, want)
+				}
+				if regs != refRegs {
+					t.Errorf("shards=%d: architectural registers diverge", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedPanicContained checks the sharded kernel's recover chain: a
+// panic inside a worker goroutine must be forwarded through the barrier
+// and surface as the same contained *faults.SimError a sequential panic
+// produces — not kill the process, and not deadlock the other workers.
+func TestShardedPanicContained(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	b.MovImm(1, 0x5000)
+	loop := b.Here()
+	b.Load(2, 1, 0)
+	b.BranchI(isa.FnEQ, 2, 0, loop)
+	b.Halt()
+
+	cfg := SmallConfig(4, OoOWB)
+	cfg.Shards = 2
+	cfg.MaxCycles = 20000
+	progs := make([]*isa.Program, 4)
+	for i := range progs {
+		progs[i] = b.Program()
+	}
+	sys := NewSystem(cfg, progs)
+	// Blow up inside the second shard's worker (tiles 2..3) at the first
+	// cycle it executes past 40. (>=, not ==: the idle-skip may
+	// legitimately warp over any particular cycle.)
+	sys.shardHook = func(firstTile int, now sim.Cycle) {
+		if firstTile == 2 && now >= 40 {
+			panic("injected worker panic")
+		}
+	}
+	_, err := sys.Run()
+	var simErr *faults.SimError
+	if !errors.As(err, &simErr) {
+		t.Fatalf("worker panic surfaced as %v, want *faults.SimError", err)
+	}
+	if simErr.Kind != faults.KindPanic {
+		t.Fatalf("worker panic surfaced as kind %v, want KindPanic", simErr.Kind)
+	}
+	if !strings.Contains(err.Error(), "injected worker panic") {
+		t.Fatalf("panic payload lost: %v", err)
+	}
+}
+
+// TestShardedMatchesSequentialErrors checks that hang errors (MaxCycles)
+// carry identical reports under sharding, including the in-flight
+// message census taken at the barrier.
+func TestShardedMatchesSequentialErrors(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	b.MovImm(1, 0x5000)
+	loop := b.Here()
+	b.Load(2, 1, 0)
+	b.BranchI(isa.FnEQ, 2, 0, loop)
+	b.Halt()
+
+	run := func(shards int) (sim.Cycle, string) {
+		cfg := SmallConfig(2, OoOWB)
+		cfg.MaxCycles = 20000
+		cfg.Watchdog.Disable = true
+		cfg.Shards = shards
+		sys := NewSystem(cfg, []*isa.Program{b.Program(), b.Program()})
+		cycles, err := sys.Run()
+		if err == nil {
+			t.Fatalf("shards=%d: spin loop finished?", shards)
+		}
+		return cycles, err.Error()
+	}
+	refCycles, refErr := run(1)
+	for _, shards := range []int{2} {
+		cycles, errStr := run(shards)
+		if cycles != refCycles || errStr != refErr {
+			t.Errorf("shards=%d: cycle %d %q, want cycle %d %q", shards, cycles, errStr, refCycles, refErr)
+		}
+	}
+}
+
+func TestShardOfTileExamples(t *testing.T) {
+	// Spot-check the contiguous split the docs promise: 16 tiles over 4
+	// shards is 4 tiles each.
+	for i := 0; i < 16; i++ {
+		if got, want := shardOfTile(i, 16, 4), i/4; got != want {
+			t.Fatalf("shardOfTile(%d, 16, 4) = %d, want %d", i, got, want)
+		}
+	}
+	if fmt.Sprint(shardOfTile(4, 5, 2)) != "1" {
+		t.Fatalf("uneven split broken")
+	}
+}

@@ -7,7 +7,10 @@
 // views.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Geometry constants. The paper's system uses 64-byte lines; words are
 // 8 bytes, and all loads and stores in the tiny ISA are word sized and
@@ -59,7 +62,13 @@ func (d *LineData) Set(a Addr, w Word) { d[WordIndex(a)] = w }
 // Memory is the sparse backing store behind the LLC. Only lines that were
 // ever written are materialized; unwritten lines read as zero, matching
 // the zero-initialized memory the paper's litmus examples assume.
+//
+// Access is guarded by a mutex: under the sharded kernel, banks on
+// different shards touch memory concurrently. Every line is homed at
+// exactly one bank, so the values read and written stay deterministic —
+// the lock only protects the map structure itself.
 type Memory struct {
+	mu    sync.Mutex
 	lines map[Line]*LineData
 }
 
@@ -70,6 +79,8 @@ func NewMemory() *Memory {
 
 // ReadLine returns a copy of the line's data.
 func (m *Memory) ReadLine(l Line) LineData {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if d, ok := m.lines[l]; ok {
 		return *d
 	}
@@ -78,12 +89,16 @@ func (m *Memory) ReadLine(l Line) LineData {
 
 // WriteLine replaces the line's data.
 func (m *Memory) WriteLine(l Line, d LineData) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	nd := d
 	m.lines[l] = &nd
 }
 
 // ReadWord returns the word at address a.
 func (m *Memory) ReadWord(a Addr) Word {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if d, ok := m.lines[LineOf(a)]; ok {
 		return d.Get(a)
 	}
@@ -92,6 +107,8 @@ func (m *Memory) ReadWord(a Addr) Word {
 
 // WriteWord stores w at address a.
 func (m *Memory) WriteWord(a Addr, w Word) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	l := LineOf(a)
 	d, ok := m.lines[l]
 	if !ok {
@@ -102,4 +119,8 @@ func (m *Memory) WriteWord(a Addr, w Word) {
 }
 
 // Footprint reports how many distinct lines have been materialized.
-func (m *Memory) Footprint() int { return len(m.lines) }
+func (m *Memory) Footprint() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.lines)
+}

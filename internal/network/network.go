@@ -69,6 +69,11 @@ type Message struct {
 	seq     uint64
 }
 
+// Arrival reports the cycle the message lands at its destination. It is
+// meaningful only after Send has stamped the message (the sharded kernel
+// reads it when routing extracted deliveries to shards).
+func (m *Message) Arrival() sim.Cycle { return m.arrival }
+
 // Receiver consumes messages delivered to an endpoint. Receivers must
 // always accept delivery (endpoint input queues are unbounded); any
 // protocol-level back-pressure is expressed by queuing inside the
@@ -76,6 +81,14 @@ type Message struct {
 // guarantees that invalidations always reach the load queue.
 type Receiver interface {
 	Receive(now sim.Cycle, msg *Message)
+}
+
+// Port accepts outbound messages from a component. The mesh itself is
+// the usual Port; the sharded kernel interposes capture ports that
+// buffer sends during an epoch and replay them into the mesh at the
+// epoch barrier in canonical order.
+type Port interface {
+	Send(now sim.Cycle, msg *Message)
 }
 
 // Faults describes transport-level adversity injected by a fault plan
@@ -176,6 +189,14 @@ type Mesh struct {
 	cfg Config
 	rng *sim.Rand
 
+	// drng is a dedicated stream for the PerturbDelivery fault, forked
+	// from rng at construction only when that fault is active. Keeping
+	// delivery-order draws off the injection stream (jitter, spikes) lets
+	// the sharded kernel perturb extracted batches centrally with exactly
+	// the draw sequence the sequential tick would have used, regardless
+	// of how sends interleave with deliveries.
+	drng *sim.Rand
+
 	// Flat per-endpoint tables, grown by Attach. routerOf is -1 for ids
 	// that were never attached.
 	routerOf []int
@@ -193,13 +214,16 @@ type Mesh struct {
 	seq      uint64
 	stats    Stats
 
-	// Reusable arena for tickPerturbed: bucketOf maps a dense pair id
-	// (src*len(routerOf)+dst) to its bucket for the current batch (-1
-	// outside a batch), order lists live bucket ids in first-appearance
-	// order, and pairQ pools the buckets themselves.
+	// Reusable arena for perturbed delivery ordering: bucketOf maps a
+	// dense pair id (src*len(routerOf)+dst) to its bucket for the current
+	// batch (-1 outside a batch), order lists live bucket ids in
+	// first-appearance order, pairQ pools the buckets themselves, and
+	// batch is the scratch slice the current cycle's deliverables are
+	// gathered into.
 	bucketOf []int32
 	order    []int32
 	pairQ    []pairBucket
+	batch    []*Message
 }
 
 // NewMesh builds a mesh for the given configuration. rng may be nil when
@@ -223,6 +247,9 @@ func NewMesh(cfg Config, rng *sim.Rand) *Mesh {
 		for b := 0; b < nr; b++ {
 			m.routes[a*nr+b] = m.computeRoute(a, b)
 		}
+	}
+	if cfg.Faults.PerturbDelivery {
+		m.drng = rng.Fork(0xd317)
 	}
 	return m
 }
@@ -368,18 +395,39 @@ func (m *Mesh) NextEventCycle() (at sim.Cycle, ok bool) {
 	return m.inFlight.h[0].arrival, true
 }
 
-// tickPerturbed gathers the cycle's deliverable batch and delivers it in
-// a randomized order. Messages between the same endpoint pair keep their
-// relative (arrival, injection) order — the batch is heap-popped in that
-// order and each pair's bucket is consumed front-first — so only the
-// ordering freedom the mesh never promised (between different pairs) is
-// exercised. Deliveries cannot extend the batch: a Receive may Send, but
-// new messages always arrive at a strictly later cycle, so the arena is
-// never touched reentrantly. The RNG is drawn only for non-empty batches
-// (one Intn per delivery), exactly as many times as the map-based
-// implementation this replaced, keeping perturbed runs bit-identical.
+// tickPerturbed gathers the cycle's deliverable batch, reorders it under
+// the PerturbDelivery fault, and delivers it. Deliveries cannot extend
+// the batch: a Receive may Send, but new messages always arrive at a
+// strictly later cycle, so the gather scratch is never touched
+// reentrantly.
 func (m *Mesh) tickPerturbed(now sim.Cycle) {
 	if len(m.inFlight.h) == 0 || m.inFlight.h[0].arrival > now {
+		return
+	}
+	for len(m.inFlight.h) > 0 && m.inFlight.h[0].arrival <= now {
+		msg := m.inFlight.h[0]
+		m.inFlight.pop()
+		m.batch = append(m.batch, msg)
+	}
+	m.OrderPerturbed(m.batch)
+	for i, msg := range m.batch {
+		m.deliver(now, msg)
+		m.batch[i] = nil
+	}
+	m.batch = m.batch[:0]
+}
+
+// OrderPerturbed reorders one same-cycle delivery batch in place under
+// the PerturbDelivery fault (no-op when the fault is off). batch must be
+// in heap-pop (arrival, injection) order. Messages between the same
+// endpoint pair keep their relative order — each pair's bucket is
+// consumed front-first — so only the ordering freedom the mesh never
+// promised (between different pairs) is exercised. One drng.Intn is
+// drawn per delivery; because the draws come from the dedicated delivery
+// stream, the sequential tick and the sharded kernel's central
+// reordering of extracted batches consume identical sequences.
+func (m *Mesh) OrderPerturbed(batch []*Message) {
+	if !m.cfg.Faults.PerturbDelivery || len(batch) == 0 {
 		return
 	}
 	// The dense pair id space is len(routerOf)^2; (re)size lazily so late
@@ -391,11 +439,9 @@ func (m *Mesh) tickPerturbed(now sim.Cycle) {
 			m.bucketOf[i] = -1
 		}
 	}
-	// Group the batch into per-pair FIFOs in heap-pop order.
+	// Group the batch into per-pair FIFOs in batch order.
 	nBuckets := 0
-	for len(m.inFlight.h) > 0 && m.inFlight.h[0].arrival <= now {
-		msg := m.inFlight.h[0]
-		m.inFlight.pop()
+	for _, msg := range batch {
 		p := int(msg.Src)*nep + int(msg.Dst)
 		bi := m.bucketOf[p]
 		if bi == -1 {
@@ -410,12 +456,13 @@ func (m *Mesh) tickPerturbed(now sim.Cycle) {
 		b := &m.pairQ[bi]
 		b.msgs = append(b.msgs, msg)
 	}
-	// Deliver: pick a random live pair, pop its front. When a pair runs
+	// Emit: pick a random live pair, pop its front. When a pair runs
 	// dry it is swap-removed from order, mirroring the original
 	// order[i] = order[len-1] semantics so the RNG->pair mapping (and
 	// hence every perturbed run) is unchanged.
+	out := 0
 	for len(m.order) > 0 {
-		i := m.rng.Intn(len(m.order))
+		i := m.drng.Intn(len(m.order))
 		b := &m.pairQ[m.order[i]]
 		msg := b.msgs[b.head]
 		b.head++
@@ -423,7 +470,8 @@ func (m *Mesh) tickPerturbed(now sim.Cycle) {
 			m.order[i] = m.order[len(m.order)-1]
 			m.order = m.order[:len(m.order)-1]
 		}
-		m.deliver(now, msg)
+		batch[out] = msg
+		out++
 	}
 	// Reset the arena: clear message references (so delivered messages
 	// can be collected), rewind buckets, and un-map the pair ids.
@@ -444,6 +492,83 @@ func (m *Mesh) deliver(now sim.Cycle, msg *Message) {
 		panic(fmt.Sprintf("network: message to unattached endpoint %d", msg.Dst))
 	}
 	m.recvOf[msg.Dst].Receive(now, msg)
+}
+
+// Deliver hands an extracted message to its endpoint's receiver. The
+// sharded kernel extracts an epoch's deliveries centrally
+// (ExtractDeliverable) and has each shard call Deliver for its own
+// endpoints at the message's arrival cycle; the sequential kernel never
+// needs it.
+func (m *Mesh) Deliver(now sim.Cycle, msg *Message) { m.deliver(now, msg) }
+
+// ExtractDeliverable pops every in-flight message arriving at or before
+// upto, appends them to buf, and returns the extended slice. Messages
+// come out in (arrival, injection) order — exactly the order sequential
+// Ticks would deliver them — with the PerturbDelivery fault already
+// applied within each same-arrival batch. Extracted messages are no
+// longer the mesh's responsibility: the caller must Deliver each at its
+// Arrival cycle.
+func (m *Mesh) ExtractDeliverable(upto sim.Cycle, buf []*Message) []*Message {
+	start := len(buf)
+	for len(m.inFlight.h) > 0 && m.inFlight.h[0].arrival <= upto {
+		msg := m.inFlight.h[0]
+		m.inFlight.pop()
+		buf = append(buf, msg)
+	}
+	if m.cfg.Faults.PerturbDelivery {
+		// Perturb per same-arrival batch, matching the per-cycle batches
+		// tickPerturbed sees sequentially (the mesh is ticked every cycle
+		// a delivery is due, so a sequential batch never spans cycles).
+		for i := start; i < len(buf); {
+			j := i + 1
+			for j < len(buf) && buf[j].arrival == buf[i].arrival {
+				j++
+			}
+			m.OrderPerturbed(buf[i:j])
+			i = j
+		}
+	}
+	return buf
+}
+
+// MinDeliveryDelta reports the minimum number of cycles between a Send
+// at cycle c and its delivery, over every attached endpoint pair: the
+// sharded kernel's epoch length. A message sent during an epoch of that
+// length can never arrive inside the same epoch, so shards may advance
+// an epoch independently once its incoming deliveries are known. Jitter,
+// fault spikes, and link contention only ever add latency, so the
+// uncontended path is a sound lower bound: LocalLatency for same-router
+// pairs, SwitchLatency per hop otherwise, plus the smallest message's
+// serialization flits.
+func (m *Mesh) MinDeliveryDelta() sim.Cycle {
+	minFlits := m.cfg.CtrlFlits
+	if m.cfg.DataFlits < minFlits {
+		minFlits = m.cfg.DataFlits
+	}
+	best := sim.Cycle(0)
+	for a, ra := range m.routerOf {
+		if ra == -1 {
+			continue
+		}
+		for b, rb := range m.routerOf {
+			if rb == -1 || a == b {
+				continue
+			}
+			hops := len(m.routes[ra*m.numRouters+rb])
+			d := sim.Cycle(hops * m.cfg.SwitchLatency)
+			if hops == 0 {
+				d = sim.Cycle(m.cfg.LocalLatency)
+			}
+			d += sim.Cycle(minFlits)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+	}
+	if best < 1 {
+		best = 1
+	}
+	return best
 }
 
 // Quiescent reports whether no messages are in flight.

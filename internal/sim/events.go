@@ -15,23 +15,46 @@ type EventQueue struct {
 	seq uint64
 }
 
+// Events carry a static callback plus its argument rather than a bare
+// closure: a caller with a prepared argument struct (AtCall/AfterCall)
+// schedules with exactly one allocation — the argument — where a
+// capturing closure would cost a second one. Func values are
+// pointer-shaped, so boxing fn into the arg slot of the closure-style API
+// (At/After) allocates nothing.
 type event struct {
-	at  Cycle
-	seq uint64
-	fn  func()
+	at   Cycle
+	seq  uint64
+	call func(any)
+	arg  any
 }
+
+// runFunc adapts the closure-style API onto the (call, arg) event shape.
+func runFunc(arg any) { arg.(func())() }
 
 // At schedules fn to run at cycle at (which must not be in the past when
 // Run is called for the current cycle).
 func (q *EventQueue) At(at Cycle, fn func()) {
-	q.h = append(q.h, event{at: at, seq: q.seq, fn: fn})
-	q.seq++
-	q.siftUp(len(q.h) - 1)
+	q.AtCall(at, runFunc, fn)
 }
 
 // After schedules fn to run delay cycles after now.
 func (q *EventQueue) After(now Cycle, delay Cycle, fn func()) {
-	q.At(now+delay, fn)
+	q.AtCall(now+delay, runFunc, fn)
+}
+
+// AtCall schedules call(arg) to run at cycle at. call should be a static
+// function so the only allocation on the scheduling path is the caller's
+// argument value (hot paths pack their whole deferred action into one
+// struct).
+func (q *EventQueue) AtCall(at Cycle, call func(any), arg any) {
+	q.h = append(q.h, event{at: at, seq: q.seq, call: call, arg: arg})
+	q.seq++
+	q.siftUp(len(q.h) - 1)
+}
+
+// AfterCall schedules call(arg) to run delay cycles after now.
+func (q *EventQueue) AfterCall(now Cycle, delay Cycle, call func(any), arg any) {
+	q.AtCall(now+delay, call, arg)
 }
 
 // Run fires every event due at or before now, in order. Events scheduled
@@ -40,9 +63,9 @@ func (q *EventQueue) After(now Cycle, delay Cycle, fn func()) {
 func (q *EventQueue) Run(now Cycle) int {
 	fired := 0
 	for len(q.h) > 0 && q.h[0].at <= now {
-		fn := q.h[0].fn
+		call, arg := q.h[0].call, q.h[0].arg
 		q.pop()
-		fn()
+		call(arg)
 		fired++
 	}
 	return fired
@@ -85,7 +108,7 @@ func (q *EventQueue) siftUp(i int) {
 func (q *EventQueue) pop() {
 	n := len(q.h) - 1
 	q.h[0] = q.h[n]
-	q.h[n] = event{} // drop the fn reference so closures can be collected
+	q.h[n] = event{} // drop the call/arg references so they can be collected
 	q.h = q.h[:n]
 	q.siftDown(0)
 }

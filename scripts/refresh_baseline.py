@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Re-record the refreshable sections of BENCH_baseline.json.
+
+Runs the end-to-end throughput benchmark (sequential and sharded
+kernels) and the experiments-all wall-clock run on the current tree,
+then rewrites the corresponding entries of BENCH_baseline.json in
+place:
+
+  benchmarks.BenchmarkSimulatorThroughput   per-shard ns/op, B/op,
+                                            allocs/op, sim-cycles/op and
+                                            the sim_cycles_per_sec
+                                            headline (shards=1)
+  wall_clock.experiments_all_c4s1           real/user seconds
+
+The DirDispatch record is deliberately NOT touched: it is the
+pre-refactor reference the dispatch regression gate
+(scripts/dirbench_gate.py) compares against, and refreshing it would
+erase the gate's meaning.
+
+Usage:
+  python3 scripts/refresh_baseline.py              # benchmarks only
+  python3 scripts/refresh_baseline.py --wall-clock # + experiments all (minutes)
+"""
+
+import argparse
+import datetime
+import json
+import platform
+import re
+import resource
+import subprocess
+import sys
+import time
+
+BASELINE = "BENCH_baseline.json"
+BENCH_RE = re.compile(
+    r"^BenchmarkSimulatorThroughput/shards=(\d+)\S*\s+\d+\s+(\d+) ns/op"
+    r"\s+(\d+) sim-cycles/op\s+(\d+) sim-cycles/sec\s+(\d+) B/op\s+(\d+) allocs/op",
+    re.M,
+)
+
+
+def run(cmd):
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    return subprocess.run(cmd, check=True, capture_output=True, text=True)
+
+
+def bench_throughput():
+    out = run([
+        "go", "test", "-count=1", "-run", "^$",
+        "-bench", "SimulatorThroughput", "-benchtime", "3x", "-benchmem", ".",
+    ]).stdout
+    shards = {}
+    for m in BENCH_RE.finditer(out):
+        shards["shards=" + m.group(1)] = {
+            "ns_per_op": int(m.group(2)),
+            "sim_cycles_per_op": int(m.group(3)),
+            "sim_cycles_per_sec": int(m.group(4)),
+            "bytes_per_op": int(m.group(5)),
+            "allocs_per_op": int(m.group(6)),
+        }
+    if "shards=1" not in shards:
+        sys.exit("refresh_baseline: no shards=1 result in benchmark output:\n" + out)
+    return shards
+
+
+def wall_clock_experiments():
+    before = time.monotonic()
+    run(["go", "run", "./cmd/experiments", "all", "-cores", "4", "-scale", "1"])
+    real = time.monotonic() - before
+    user = resource.getrusage(resource.RUSAGE_CHILDREN).ru_utime
+    return round(real, 1), round(user, 1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--wall-clock", action="store_true",
+                    help="also re-record the experiments-all wall clock (minutes)")
+    args = ap.parse_args()
+
+    with open(BASELINE) as f:
+        doc = json.load(f)
+
+    today = datetime.date.today().isoformat()
+    gover = run(["go", "env", "GOVERSION"]).stdout.strip()
+    shards = bench_throughput()
+    head = shards["shards=1"]
+    doc["benchmarks"]["BenchmarkSimulatorThroughput"] = {
+        "cmd": "go test -count=1 -run '^$' -bench SimulatorThroughput -benchmem -benchtime=3x .",
+        "recorded": today,
+        "ns_per_op": head["ns_per_op"],
+        "sim_cycles_per_op": head["sim_cycles_per_op"],
+        "sim_cycles_per_sec": head["sim_cycles_per_sec"],
+        "bytes_per_op": head["bytes_per_op"],
+        "allocs_per_op": head["allocs_per_op"],
+        "by_shards": shards,
+    }
+
+    if args.wall_clock:
+        real, user = wall_clock_experiments()
+        wc = doc["wall_clock"]["experiments_all_c4s1"]
+        wc["real_s"], wc["user_s"] = real, user
+        wc["recorded"] = today
+
+    doc["machine"]["go"] = gover
+    doc["machine"]["cpus"] = __import__("os").cpu_count()
+    doc["machine"]["goarch"] = platform.machine().replace("x86_64", "amd64")
+
+    with open(BASELINE, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print("updated %s (recorded %s)" % (BASELINE, today), file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
