@@ -11,10 +11,10 @@ GO ?= go
 
 .PHONY: verify build test vet lint wbsimlint race bench chaos-short chaos \
 	alloc-gate golden-short golden-full profile bench-compare bench-kernel \
-	bench-dir bench-compare-dir coverage-report \
-	print-staticcheck-version print-govulncheck-version
+	bench-dir bench-compare-dir coverage-report check-liveness \
+	check-liveness-deep print-staticcheck-version print-govulncheck-version
 
-verify: build vet lint test race alloc-gate golden-short chaos-short
+verify: build vet lint test race alloc-gate golden-short chaos-short check-liveness
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,23 @@ chaos:
 # programs + the directed protocol stimulator) exercise?
 coverage-report:
 	$(GO) run ./cmd/litmus -chaos -seeds 12 -coverage
+
+# Liveness gate: the model checker (cmd/wbsimcheck) over the shipping
+# coherence tables. Two exhaustive proofs — 2-core/1-line contention in
+# both modes (the lockdown run covers the full Nack/DelayedAck/
+# WritersBlock row family) — plus a bounded 3-core/2-bank sweep: the
+# capped run cannot rule out livelocks, but any safety violation or
+# hard deadlock within its 50k-state radius fails the gate.
+check-liveness:
+	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 1 -ops 2
+	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 1 -ops 2 -mode lockdown -lockdowns 1
+	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -max-states 50000
+
+# Nightly liveness sweep: the two-core/two-line space exhaustively
+# (~18k states) and the three-core sweep at a 10x deeper cap.
+check-liveness-deep: check-liveness
+	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 2 -ops 2
+	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -max-states 500000
 
 # Zero-allocation gates for the event-driven kernel: a warmed-up mesh
 # cycle and a drained System.Step may not allocate (see DESIGN.md,

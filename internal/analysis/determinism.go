@@ -14,6 +14,7 @@ import (
 // and covered by panicboundary/statsdiscipline instead.
 var simPathPackages = map[string]bool{
 	"cache":     true,
+	"check":     true,
 	"coherence": true,
 	"core":      true,
 	"cpu":       true,

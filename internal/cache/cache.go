@@ -162,6 +162,22 @@ func (a *Array) Install(e *Entry, l mem.Line) *Entry {
 	return e
 }
 
+// LRURank reports e's eviction rank among the valid frames of its set:
+// 0 means e is the least recently used — the next victim among valid
+// frames. Raw LRU ticks come from a per-array monotone counter and so
+// differ between runs that reach equivalent states; canonical state
+// fingerprints (the model checker's) use the rank instead.
+func (a *Array) LRURank(e *Entry) int {
+	rank := 0
+	for i := range a.frames[e.set] {
+		o := &a.frames[e.set][i]
+		if o.valid && o != e && o.lru < e.lru {
+			rank++
+		}
+	}
+	return rank
+}
+
 // Evict invalidates frame e, removing it from the index.
 func (a *Array) Evict(e *Entry) {
 	if !e.valid {

@@ -1,0 +1,297 @@
+// Package check is the exhaustive explicit-state explorer over the
+// coherence Model (internal/coherence/model.go): a work-queue BFS over
+// canonical state fingerprints that proves, at small configurations,
+// the two properties the chaos campaigns can only sample —
+//
+//   - Safety: no reachable state violates single-writer, read-value
+//     coherence, or a table invariant (an Impossible row firing or a
+//     structural check panicking is contained and reported, never
+//     crashes the explorer).
+//   - Liveness: from every reachable state some terminal (fully
+//     drained) state remains reachable. States that cannot reach one
+//     form a trap — a deadlock when the trap state has no transitions
+//     at all, a livelock when it still spins. Stimulus choices are
+//     weakly fair by construction (store retries and lockdown lifts
+//     are always enabled), so a trap is a genuine protocol hole, not a
+//     starved scheduler.
+//
+// The Model has no snapshot: exploration is replay-based. Each node
+// records only (parent, choice index); materializing a state replays
+// its choice path from a fresh initial model. BFS order makes the first
+// counterexample found minimal in transition count.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wbsim/internal/coherence"
+)
+
+// Config bounds one exploration.
+type Config struct {
+	Model coherence.ModelConfig
+	// MaxStates caps exploration (0 = unlimited). A capped run proves
+	// nothing about liveness; Result.Exhaustive reports whether the cap
+	// was hit.
+	MaxStates int
+}
+
+// Counterexample is a minimized violating run: the choice path from the
+// initial state, the table dispatch stream it produces (the same
+// "(State, Event)" format the component trace hooks emit), and the full
+// final state for diagnosis.
+type Counterexample struct {
+	Kind       string   // "safety" or "deadlock" or "livelock"
+	Reason     string   // what was violated
+	Steps      []string // choice descriptions, in order
+	Dispatches []string // "<component> (State, Event)" per table firing
+	FinalState string   // DumpState of the violating state
+}
+
+// String renders the counterexample as the checker's report format.
+func (c *Counterexample) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", strings.ToUpper(c.Kind), c.Reason)
+	fmt.Fprintf(&sb, "counterexample (%d steps):\n", len(c.Steps))
+	for i, s := range c.Steps {
+		fmt.Fprintf(&sb, "  %3d. %s\n", i+1, s)
+	}
+	sb.WriteString("dispatch stream:\n")
+	for _, d := range c.Dispatches {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	sb.WriteString("final state:\n")
+	for _, line := range strings.Split(strings.TrimRight(c.FinalState, "\n"), "\n") {
+		fmt.Fprintf(&sb, "  %s\n", line)
+	}
+	return sb.String()
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	States      int  // distinct states reached
+	Transitions int  // edges traversed (including duplicates)
+	Terminals   int  // distinct terminal states
+	MaxDepth    int  // deepest BFS level reached
+	Exhaustive  bool // full state space explored (MaxStates not hit)
+
+	// Violation is the first safety violation found (minimal by BFS
+	// order); Trap is the liveness violation. At most one is non-nil:
+	// exploration stops at the first safety violation, and the liveness
+	// pass only runs on a safe, exhaustively explored graph.
+	Violation *Counterexample
+	Trap      *Counterexample
+}
+
+// Passed reports whether both properties held.
+func (r *Result) Passed() bool { return r.Violation == nil && r.Trap == nil }
+
+// node is one BFS entry; the state itself is re-materialized by
+// replaying the choice path encoded in the parent chain.
+type node struct {
+	parent int32
+	choice int32
+	depth  int32
+}
+
+type explorer struct {
+	cfg   Config
+	nodes []node
+	succs [][]int32 // forward adjacency over node ids (deduplicated)
+	term  []bool
+	fps   map[string]int32
+}
+
+// Explore runs the BFS to completion (or the state cap) and, on a safe
+// exhaustive graph, the backward liveness pass.
+func Explore(cfg Config) *Result {
+	e := &explorer{cfg: cfg, fps: make(map[string]int32)}
+	res := &Result{Exhaustive: true}
+
+	init := coherence.NewModel(cfg.Model)
+	e.fps[init.Fingerprint()] = 0
+	e.nodes = append(e.nodes, node{parent: -1, choice: -1})
+	e.succs = append(e.succs, nil)
+	e.term = append(e.term, init.Terminal())
+
+	for head := 0; head < len(e.nodes); head++ {
+		id := int32(head)
+		if cfg.MaxStates > 0 && len(e.nodes) >= cfg.MaxStates {
+			res.Exhaustive = false
+			break
+		}
+		path := e.path(id)
+		base := e.replay(path)
+		numChoices := base.NumChoices()
+		if numChoices == 0 && !e.term[id] {
+			// Absolutely stuck and not drained: report the shortest
+			// deadlock immediately (BFS order makes it minimal).
+			res.Trap = e.render("deadlock",
+				"state has no transitions and is not drained (deadlock)", path)
+			e.fill(res)
+			return res
+		}
+		for c := 0; c < numChoices; c++ {
+			m := base
+			if c > 0 {
+				m = e.replay(path)
+			}
+			m.ApplyIndex(c)
+			res.Transitions++
+			step := append(append([]int32{}, path...), int32(c))
+			if v := m.Violation(); v != "" {
+				res.Violation = e.render("safety", v, step)
+				e.fill(res)
+				return res
+			}
+			fp := m.Fingerprint()
+			to, seen := e.fps[fp]
+			if !seen {
+				to = int32(len(e.nodes))
+				e.fps[fp] = to
+				e.nodes = append(e.nodes, node{parent: id, choice: int32(c), depth: e.nodes[id].depth + 1})
+				e.succs = append(e.succs, nil)
+				isTerm := m.Terminal()
+				e.term = append(e.term, isTerm)
+				if isTerm {
+					if tv := m.CheckTerminal(); tv != "" {
+						res.Violation = e.render("safety", tv, step)
+						e.fill(res)
+						return res
+					}
+				} else if m.NumChoices() == 0 {
+					// Deadlock check at enqueue time, not dequeue: a hard
+					// deadlock (no transitions, not drained) is reported
+					// even on capped runs, as long as BFS reaches it. Only
+					// livelocks need the exhaustive backward pass.
+					res.Trap = e.render("deadlock",
+						"state has no transitions and is not drained (deadlock)", step)
+					e.fill(res)
+					return res
+				}
+			}
+			e.addSucc(id, to)
+		}
+	}
+	e.fill(res)
+	if res.Exhaustive {
+		e.liveness(res)
+	}
+	return res
+}
+
+// fill copies the graph-size counters into the result.
+func (e *explorer) fill(res *Result) {
+	res.States = len(e.nodes)
+	for id := range e.nodes {
+		if e.term[id] {
+			res.Terminals++
+		}
+		if d := int(e.nodes[id].depth); d > res.MaxDepth {
+			res.MaxDepth = d
+		}
+	}
+}
+
+// addSucc records a forward edge once.
+func (e *explorer) addSucc(from, to int32) {
+	for _, s := range e.succs[from] {
+		if s == to {
+			return
+		}
+	}
+	e.succs[from] = append(e.succs[from], to)
+}
+
+// path reconstructs the choice sequence leading to id.
+func (e *explorer) path(id int32) []int32 {
+	var rev []int32
+	for n := id; e.nodes[n].parent >= 0; n = e.nodes[n].parent {
+		rev = append(rev, e.nodes[n].choice)
+	}
+	sort.SliceStable(rev, func(i, j int) bool { return i > j }) // reverse
+	return rev
+}
+
+// replay materializes the state at the end of a choice path.
+func (e *explorer) replay(path []int32) *coherence.Model {
+	m := coherence.NewModel(e.cfg.Model)
+	for _, c := range path {
+		m.ApplyIndex(int(c))
+	}
+	return m
+}
+
+// liveness runs the backward-reachability pass: mark every node that can
+// reach a terminal state; anything unmarked is a trap. Requires the full
+// graph, so it only runs after an exhaustive, safe exploration.
+func (e *explorer) liveness(res *Result) {
+	if res.Violation != nil {
+		return
+	}
+	preds := make([][]int32, len(e.nodes))
+	for from, ss := range e.succs {
+		for _, to := range ss {
+			preds[to] = append(preds[to], int32(from))
+		}
+	}
+	live := make([]bool, len(e.nodes))
+	var queue []int32
+	for id := range e.nodes {
+		if e.term[id] {
+			live[id] = true
+			queue = append(queue, int32(id))
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, p := range preds[n] {
+			if !live[p] {
+				live[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	// The shallowest dead node is the minimal trap entry; prefer one
+	// with no successors at all (a hard deadlock) over a spinning
+	// livelock if both exist at reasonable depth.
+	trap, stuck := int32(-1), int32(-1)
+	for id := range e.nodes {
+		if live[id] {
+			continue
+		}
+		if trap < 0 {
+			trap = int32(id)
+		}
+		if stuck < 0 && len(e.succs[id]) == 0 {
+			stuck = int32(id)
+		}
+	}
+	if trap < 0 {
+		return
+	}
+	kind, reason := "livelock", "state can keep transitioning but no terminal (drained) state is reachable"
+	if stuck >= 0 {
+		trap = stuck
+		kind, reason = "deadlock", "no transitions remain and the system is not drained"
+	}
+	res.Trap = e.render(kind, reason, e.path(trap))
+}
+
+// render replays a violating path with tracing enabled and packages the
+// counterexample.
+func (e *explorer) render(kind, reason string, path []int32) *Counterexample {
+	ce := &Counterexample{Kind: kind, Reason: reason}
+	m := coherence.NewModel(e.cfg.Model)
+	m.SetTrace(func(d string) { ce.Dispatches = append(ce.Dispatches, d) })
+	for _, c := range path {
+		ce.Steps = append(ce.Steps, m.ChoiceDesc(int(c)))
+		m.ApplyIndex(int(c))
+	}
+	m.SetTrace(nil)
+	ce.FinalState = m.DumpState()
+	return ce
+}

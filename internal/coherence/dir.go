@@ -66,6 +66,22 @@ type dirTxn struct {
 	// whose lockdowns nacked the invalidation.
 	delayedPending int
 	hinted         bool
+
+	// Diagnosis-only wait ledgers (best effort, never read by protocol
+	// logic): which endpoints the outstanding acksPending / delayedPending
+	// debts are owed by. Hang reports turn these into wait-for edges.
+	ackFrom     []network.Endpoint
+	delayedFrom []network.Endpoint
+}
+
+// removeEP deletes the first occurrence of ep, preserving order.
+func removeEP(s []network.Endpoint, ep network.Endpoint) []network.Endpoint {
+	for i, e := range s {
+		if e == ep {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // dirLine is the directory slice entry for one line, including the LLC
@@ -305,8 +321,8 @@ func (b *Bank) allocateAndFetch(m *Msg) {
 		// (Section 3.5) — and retry after a backoff.
 		b.sendAfter(b.params.TagLatency, m.Requester,
 			&Msg{Type: MsgBlockedHint, Line: m.Line, Requester: m.Requester})
-		retry := *m
-		b.events.After(b.now, sim.Cycle(b.params.LLCLatency), func() { b.redispatch(&retry) })
+		b.events.AfterCall(b.now, sim.Cycle(b.params.LLCLatency),
+			fireBankRetry, &bankRetry{b: b, m: *m})
 		return
 	}
 	if victim.Valid() {
@@ -317,13 +333,56 @@ func (b *Bank) allocateAndFetch(m *Msg) {
 	dl.pending = append(dl.pending, m)
 	b.lines[m.Line] = dl
 	b.Stats.MemReads++
-	b.events.After(b.now, sim.Cycle(b.params.MemLatency), func() {
-		dl.data = b.memory.ReadLine(dl.line)
-		dl.dataValid = true
-		dl.dirty = false
-		dl.kind = dirInvalid
-		b.processPending(dl)
-	})
+	b.events.AfterCall(b.now, sim.Cycle(b.params.MemLatency),
+		fireBankFetchDone, &bankFetchDone{b: b, dl: dl})
+}
+
+// The bank's deferred actions are scheduled as static fire functions
+// with one argument struct each (like bankSend in messages.go), never as
+// anonymous closures. Beyond saving an allocation, this keeps every
+// pending event inspectable: the model checker folds each component's
+// event queue into the state fingerprint by looking at the scheduled
+// argument values, which a closure would hide.
+
+// bankRetry re-enters a write that was turned away by a full directory
+// (BlockedHint) after its backoff.
+type bankRetry struct {
+	b *Bank
+	m Msg
+}
+
+func fireBankRetry(a any) {
+	r := a.(*bankRetry)
+	r.b.redispatch(&r.m)
+}
+
+// bankFetchDone lands a memory fetch for a Fetching entry and replays
+// the requests queued on it.
+type bankFetchDone struct {
+	b  *Bank
+	dl *dirLine
+}
+
+func fireBankFetchDone(a any) {
+	f := a.(*bankFetchDone)
+	b, dl := f.b, f.dl
+	dl.data = b.memory.ReadLine(dl.line)
+	dl.dataValid = true
+	dl.dirty = false
+	dl.kind = dirInvalid
+	b.processPending(dl)
+}
+
+// bankRequeue re-dispatches one request orphaned by a completed
+// eviction; it re-enters as a fresh request and allocates anew.
+type bankRequeue struct {
+	b *Bank
+	m *Msg
+}
+
+func fireBankRequeue(a any) {
+	r := a.(*bankRequeue)
+	r.b.redispatch(r.m)
 }
 
 // ---------------------------------------------------------------------
@@ -424,14 +483,16 @@ func (b *Bank) startEviction(frame *cache.Entry) {
 		b.requeueOrphans(dl)
 		return
 	case dirShared:
-		dl.txn = &dirTxn{eviction: true, acksPending: len(dl.sharers)}
+		dl.txn = &dirTxn{eviction: true, acksPending: len(dl.sharers),
+			ackFrom: append([]network.Endpoint(nil), dl.sharers...)}
 		for _, s := range dl.sharers {
 			b.sendAfter(b.params.TagLatency, s,
 				&Msg{Type: MsgInv, Line: dl.line, Requester: b.id, Eviction: true})
 		}
 		dl.sharers = nil
 	case dirExclusive:
-		dl.txn = &dirTxn{eviction: true, acksPending: 1}
+		dl.txn = &dirTxn{eviction: true, acksPending: 1,
+			ackFrom: []network.Endpoint{dl.owner}}
 		b.sendAfter(b.params.TagLatency, dl.owner,
 			&Msg{Type: MsgInv, Line: dl.line, Requester: b.id, Eviction: true})
 		dl.hasOwner = false
@@ -463,8 +524,7 @@ func (b *Bank) requeueOrphans(dl *dirLine) {
 	pending := dl.pending
 	dl.pending = nil
 	for _, m := range pending {
-		mm := m
-		b.events.After(b.now, 1, func() { b.redispatch(mm) })
+		b.events.AfterCall(b.now, 1, fireBankRequeue, &bankRequeue{b: b, m: m})
 	}
 }
 
@@ -513,6 +573,16 @@ type TransientLine struct {
 	AcksLeft  int              // invalidation acks outstanding
 	Delayed   int              // DelayedAcks outstanding from lockdowns
 	InEvBuf   bool
+
+	// Wait-for detail: who the outstanding debts are owed by (the
+	// diagnosis ledgers in dirTxn), and the forward/unblock legs a
+	// non-eviction transaction is still waiting on.
+	AckFrom      []network.Endpoint
+	DelayedFrom  []network.Endpoint
+	Fwd          bool // 3-hop read: owner copy expected
+	GotOwnerData bool
+	GotUnblock   bool
+	OldOwner     network.Endpoint // valid when Fwd
 }
 
 // String renders one transient entry compactly.
@@ -558,6 +628,12 @@ func (b *Bank) TransientLines(now sim.Cycle) []TransientLine {
 			t.Requester = dl.txn.requester
 			t.AcksLeft = dl.txn.acksPending
 			t.Delayed = dl.txn.delayedPending
+			t.AckFrom = append([]network.Endpoint(nil), dl.txn.ackFrom...)
+			t.DelayedFrom = append([]network.Endpoint(nil), dl.txn.delayedFrom...)
+			t.Fwd = dl.txn.fwd
+			t.GotOwnerData = dl.txn.gotOwnerData
+			t.GotUnblock = dl.txn.gotUnblock
+			t.OldOwner = dl.txn.oldOwner
 		}
 		out = append(out, t)
 	}
@@ -603,7 +679,7 @@ func (b *Bank) DumpState() string {
 }
 
 // sortedLines returns the map's keys in ascending line order.
-func sortedLines(m map[mem.Line]*dirLine) []mem.Line {
+func sortedLines[V any](m map[mem.Line]V) []mem.Line {
 	keys := make([]mem.Line, 0, len(m))
 	//wbsim:nondet -- keys are sorted before use
 	for line := range m {

@@ -218,15 +218,19 @@ func dirBaseSpec() table.Spec[dirAction] {
 
 		// Owned-line writebacks: only an Exclusive entry naming the sender
 		// as owner accepts; every other state means the Put lost a race
-		// with a forward or an eviction and is acknowledged stale.
+		// with a forward or an eviction and is acknowledged stale — except
+		// a Put from a Busy transaction's own requester, which merely
+		// overtook its own Unblock on the request network and must wait
+		// for it (a stale ack there would promise a forward that is not
+		// coming, stranding the core's writeback buffer).
 		dn(dirStNoEntry, dirEvPutOwned, "put raced the directory eviction that dropped the entry", dirActPutStale),
 		dn(dirStInvalid, dirEvPutOwned, "ownership already returned; duplicate or reordered put", dirActPutStale),
 		dn(dirStShared, dirEvPutOwned, "put lost a race with a read downgrade; the forward was served from the writeback buffer", dirActPutStale),
 		dh(dirStExclusive, dirEvPutOwned, dirActPutOwned),
 		dn(dirStFetching, dirEvPutOwned, "entry was evicted and refetched while the put was in flight", dirActPutStale),
 		dn(dirStBusyShared, dirEvPutOwned, "put lost a race with an in-flight read forward", dirActPutStale),
-		dn(dirStBusyExcl, dirEvPutOwned, "put lost a race with a new exclusive grant", dirActPutStale),
-		dn(dirStBusyWrite, dirEvPutOwned, "put lost a race with an in-flight write forward", dirActPutStale),
+		dh(dirStBusyExcl, dirEvPutOwned, dirActPutRace),
+		dh(dirStBusyWrite, dirEvPutOwned, dirActPutRace),
 		dn(dirStBusyEvict, dirEvPutOwned, "put crossed the eviction invalidation on the unordered network", dirActPutStale),
 		dx(dirStWBWrite, dirEvPutOwned, whyWBDead),
 		dx(dirStWBEvict, dirEvPutOwned, whyWBDead),
@@ -407,6 +411,23 @@ func dirWBNSDelta() table.Delta[dirAction] {
 	}
 }
 
+// dirPreFixDelta reverts the (BusyE, PutOwned) and (BusyW, PutOwned)
+// rows to their pre-fix stale handling: a Put that overtook its own
+// grant's Unblock was acknowledged stale, promising a forward that was
+// never coming and stranding the core's writeback buffer entry — the
+// hostile-geometry deadlock (EXPERIMENTS.md E22). The delta exists only
+// so the model checker can demonstrate that the old tables reach the
+// deadlock; nothing on the simulation path composes it.
+func dirPreFixDelta() table.Delta[dirAction] {
+	return table.Delta[dirAction]{
+		Name: "prefix",
+		Rows: []table.Row[dirAction]{
+			dn(dirStBusyExcl, dirEvPutOwned, "pre-fix: put treated as stale while the grant's own Unblock is in flight", dirActPutStale),
+			dn(dirStBusyWrite, dirEvPutOwned, "pre-fix: put treated as stale while the write's own Unblock is in flight", dirActPutStale),
+		},
+	}
+}
+
 // dirMachines holds the four composed directory machines, built (and
 // completeness-checked) at package init.
 var dirMachines = func() [numDirFlavors]*table.Machine[dirAction] {
@@ -533,6 +554,32 @@ func dirActPutStale(b *Bank, _ *dirLine, m *Msg) {
 		&Msg{Type: MsgPutAck, Line: m.Line, Requester: m.Src, Stale: true})
 }
 
+// dirActPutRace disambiguates an owned-line Put that lands in a grant or
+// write transaction still awaiting its Unblock. The freshly-granted core
+// can install, evict, and send its Put on the request network before its
+// Unblock (response network) reaches the directory; under network jitter
+// the Put may overtake it. That Put is not stale — no forward is in
+// flight, and a stale ack would tell the core to hold its writeback
+// buffer for a forward that never comes (the quiescence leak behind the
+// hostile-geometry hang). Queue it: once the Unblock lands and the entry
+// stabilizes to Exclusive with the requester as owner, the redispatch
+// accepts it as a normal PutOwned. A Put from any other core did lose a
+// race with the in-flight grant/forward and is acked stale.
+// One exception within the exception: when the transaction forwarded to
+// the Put's own sender (a core re-requesting a line whose eviction is
+// still in flight makes it both requester and old owner), the Put races
+// that forward, not the Unblock — the writeback buffer serves the
+// forward, and the stale ack is the designed answer. Queueing it would
+// later replay a stale writeback over the re-granted line.
+func dirActPutRace(b *Bank, dl *dirLine, m *Msg) {
+	txn := dl.txn
+	if txn != nil && m.Src == txn.requester && !(txn.fwd && txn.oldOwner == m.Src) {
+		dl.pending = append(dl.pending, m)
+		return
+	}
+	dirActPutStale(b, dl, m)
+}
+
 // dirActPutOwned accepts an owned-line writeback. The ownership check
 // stays a guard: Exclusive says *someone* owns the line, only the txn-
 // free owner field says it is the sender.
@@ -594,6 +641,7 @@ func dirActEvictionAck(b *Bank, dl *dirLine, m *Msg) {
 		dl.dirty = true
 	}
 	dl.txn.acksPending--
+	dl.txn.ackFrom = removeEP(dl.txn.ackFrom, m.Src)
 	b.maybeFinishEviction(dl)
 }
 
@@ -616,6 +664,7 @@ func (b *Bank) absorbNack(dl *dirLine, m *Msg) bool {
 		}
 		return true
 	}
+	dl.txn.delayedFrom = append(dl.txn.delayedFrom, m.Src)
 	return false
 }
 
@@ -647,6 +696,7 @@ func dirActNackWrite(b *Bank, dl *dirLine, m *Msg) {
 func dirActNackEvict(b *Bank, dl *dirLine, m *Msg) {
 	early := b.absorbNack(dl, m)
 	dl.txn.acksPending--
+	dl.txn.ackFrom = removeEP(dl.txn.ackFrom, m.Src)
 	if dl.kind != dirWB {
 		b.setKind(dl, dirWB)
 		b.Stats.WBEntries++
@@ -669,6 +719,7 @@ func dirActDelayedAck(b *Bank, dl *dirLine, m *Msg) {
 		b.earlyDelayed[m.Line]++
 		return
 	}
+	dl.txn.delayedFrom = removeEP(dl.txn.delayedFrom, m.Src)
 	b.consumeDelayedAck(dl)
 }
 

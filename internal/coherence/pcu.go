@@ -650,6 +650,65 @@ func (p *PCU) evictLine(e *cache.Entry) {
 }
 
 // DumpState renders MSHR and writeback-buffer state for debugging.
+// MSHRWait describes one outstanding miss for hang diagnosis: the line,
+// its home bank, and what the transaction is still waiting on.
+type MSHRWait struct {
+	Line     mem.Line
+	Home     network.Endpoint
+	Write    bool
+	Blocked  bool // write parked behind a WritersBlock (Hint received)
+	GotGrant bool // data/permission arrived; acks may still be missing
+	AcksLeft int  // invalidation acks the writer still expects
+	Reserved bool // allocated from the SoS-reserved pool
+}
+
+// WBWait describes one writeback-buffer entry for hang diagnosis. An
+// entry with StaleAck and no ServedFwd is the classic orphan signature:
+// the directory promised a forward that has not arrived.
+type WBWait struct {
+	Line      mem.Line
+	Dirty     bool
+	StaleAck  bool
+	ServedFwd bool
+}
+
+// PCUWaitSnapshot is the core-side half of a wait-for graph: what this
+// PCU is waiting on (MSHRs) and what it is holding back (writeback
+// buffer entries awaiting forwards). Order is deterministic.
+type PCUWaitSnapshot struct {
+	Core  network.Endpoint
+	MSHRs []MSHRWait
+	WBBuf []WBWait
+}
+
+// WaitSnapshot captures the PCU's outstanding transactions for hang
+// diagnosis.
+func (p *PCU) WaitSnapshot() PCUWaitSnapshot {
+	s := PCUWaitSnapshot{Core: p.id}
+	p.mshrs.ForEach(func(m *cache.MSHR) {
+		t := m.Payload.(*pcuTxn)
+		w := MSHRWait{
+			Line:     m.Line,
+			Home:     p.home(m.Line),
+			Write:    t.write,
+			Blocked:  t.blocked,
+			GotGrant: t.gotGrant,
+			Reserved: m.Reserved,
+		}
+		if t.acksNeeded > t.acksGot {
+			w.AcksLeft = t.acksNeeded - t.acksGot
+		}
+		s.MSHRs = append(s.MSHRs, w)
+	})
+	for _, line := range sortedLines(p.wbBuf) {
+		wb := p.wbBuf[line]
+		s.WBBuf = append(s.WBBuf, WBWait{
+			Line: line, Dirty: wb.dirty, StaleAck: wb.staleAck, ServedFwd: wb.servedFwd,
+		})
+	}
+	return s
+}
+
 func (p *PCU) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pcu %d: mshrs=%d wbBuf=%d\n", p.id, p.mshrs.InUse(), len(p.wbBuf))
@@ -658,5 +717,10 @@ func (p *PCU) DumpState() string {
 		fmt.Fprintf(&b, "  mshr line=%v write=%v upgrade=%v blocked=%v grant=%v acks=%d/%d loads=%d atomics=%d\n",
 			m.Line, t.write, t.upgrade, t.blocked, t.gotGrant, t.acksGot, t.acksNeeded, len(t.loads), len(t.atomics))
 	})
+	for _, line := range sortedLines(p.wbBuf) {
+		wb := p.wbBuf[line]
+		fmt.Fprintf(&b, "  wb line=%v dirty=%v staleAck=%v servedFwd=%v\n",
+			line, wb.dirty, wb.staleAck, wb.servedFwd)
+	}
 	return b.String()
 }

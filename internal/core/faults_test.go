@@ -55,6 +55,32 @@ func TestWatchdogCommitStall(t *testing.T) {
 	if !strings.Contains(se.Detail(), "* core 0:") {
 		t.Errorf("detail does not mark the stuck core:\n%s", se.Detail())
 	}
+
+	// The wait-for analysis must run and explain the stall: the core's
+	// outstanding MSHR gives at least one core0 -> bank edge, and with
+	// no circular dependency the report names starvation suspects
+	// instead of a cycle.
+	if r.WaitFor == nil {
+		t.Fatal("report has no wait-for graph")
+	}
+	if len(r.WaitFor.Edges) == 0 {
+		t.Error("wait-for graph has no edges despite an outstanding miss")
+	}
+	found := false
+	for _, e := range r.WaitFor.Edges {
+		if e.From == "core0" && strings.Contains(e.To, "bank") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no core0 -> bank wait edge: %+v", r.WaitFor.Edges)
+	}
+	if r.WaitFor.HasCycle() {
+		t.Errorf("a plain cold miss is not a deadlock cycle: %v", r.WaitFor.Cycle)
+	}
+	if !strings.Contains(se.Detail(), "wait-for graph") {
+		t.Errorf("detail does not render the wait-for graph:\n%s", se.Detail())
+	}
 }
 
 // TestWatchdogTransientAge: with an infinite stall bound but a tiny

@@ -329,7 +329,11 @@ func (s *System) HangReport(reason string, stuckCore int, stallAge sim.Cycle) *f
 		}
 		return r.Transients[i].Line < r.Transients[j].Line
 	})
+	for _, p := range s.PCUs {
+		r.PCUs = append(r.PCUs, p.WaitSnapshot())
+	}
 	r.NetPerVNet, r.NetInFlight = s.Mesh.InFlightCensus()
+	r.Finalize()
 	return r
 }
 

@@ -24,9 +24,21 @@ type HangReport struct {
 
 	Cores      []cpu.Snapshot            // per-core LSQ/ROB/commit snapshot
 	Transients []coherence.TransientLine // transient directory entries, oldest first
+	PCUs       []coherence.PCUWaitSnapshot
 
 	NetPerVNet  [network.NumVNets]int // in-flight message census by virtual network
 	NetInFlight int
+
+	// WaitFor is the wait-for graph derived from Transients and PCUs:
+	// either a cycle naming the deadlock participants, or a starvation
+	// suspect list. Populated by Finalize.
+	WaitFor *WaitForGraph
+}
+
+// Finalize derives the report's wait-for analysis from the collected
+// snapshots. Call after Transients/PCUs/NetInFlight are filled in.
+func (r *HangReport) Finalize() {
+	r.WaitFor = BuildWaitFor(r)
 }
 
 // OldestTransient returns the oldest transient directory entry, if any.
@@ -78,6 +90,7 @@ func (r *HangReport) String() string {
 			fmt.Fprintf(&b, "  %s\n", t)
 		}
 	}
+	r.WaitFor.render(&b)
 	return b.String()
 }
 

@@ -167,16 +167,33 @@ func Catalog() []Plan {
 		{
 			// Everything at once: spikes, perturbed delivery, directory
 			// pressure, a single-entry eviction buffer and a single-entry
-			// lockdown window.
+			// lockdown window — on a starved hierarchy. The 4x1 LLC and
+			// two-line fully-associative L2 make freshly granted lines
+			// evict almost immediately, so a core's Put routinely races
+			// its own Unblock on the perturbed network; this squeeze
+			// exposed the PR-5 BusyE/BusyW stale-Put deadlock
+			// (EXPERIMENTS.md E22) and stays in the catalog so the chaos
+			// gate re-walks it every run.
 			Name:            "hostile",
 			SpikeProb:       0.02,
 			SpikeCycles:     200,
 			PerturbDelivery: true,
 			JitterMax:       12,
 			EvictionBuf:     1,
-			LLCLines:        64,
-			LLCWays:         2,
-			LDTSize:         1,
+			// Two MSHRs (one reserved) bound the in-flight transactions
+			// that can pin frames of the two-line L2: at fill time at
+			// most one *other* transaction pins a resident line, so a
+			// victim frame always exists. More MSHRs than L2 frames
+			// would let upgrades pin the whole cache against a fill.
+			// (The model checker proves exactly this geometry —
+			// DESIGN.md §10.)
+			MSHRs:         2,
+			ReservedMSHRs: 1,
+			L2Lines:       2,
+			L2Ways:        2,
+			LLCLines:      4,
+			LLCWays:       1,
+			LDTSize:       1,
 		},
 	}
 }

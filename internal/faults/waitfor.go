@@ -1,0 +1,222 @@
+package faults
+
+// Wait-for analysis over a HangReport: turn the snapshot's outstanding
+// transactions into explicit "who is waiting on whom" edges, then look
+// for a cycle. A cycle is a deadlock explanation; its absence downgrades
+// the diagnosis to starvation, for which the analysis names the usual
+// suspects (orphaned writeback-buffer entries, the oldest transient
+// directory entry, cores waiting on an empty network).
+//
+// Nodes are named strings: "core3" for a core/PCU, "bank1 L0x40" for a
+// directory transaction on a line at a bank. The graph is best effort —
+// it is built from diagnosis ledgers the protocol keeps as it runs (see
+// dirTxn.ackFrom/delayedFrom), never consulted by protocol logic.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wbsim/internal/network"
+)
+
+// WaitEdge is one wait-for dependency: From cannot make progress until
+// To acts. Why says what is awaited.
+type WaitEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Why  string `json:"why"`
+}
+
+// WaitForGraph is the wait-for analysis attached to a HangReport.
+type WaitForGraph struct {
+	Edges []WaitEdge `json:"edges"`
+	// Cycle lists the node names forming the first wait-for cycle found,
+	// in order (the first node is repeated conceptually, not textually).
+	// Empty when no cycle exists.
+	Cycle []string `json:"cycle,omitempty"`
+	// Suspects is the starvation suspect list, populated only when no
+	// cycle was found: states that can absorb progress forever without
+	// ever being unblocked by anything in the graph.
+	Suspects []string `json:"suspects,omitempty"`
+}
+
+// HasCycle reports whether a wait-for cycle was found.
+func (g *WaitForGraph) HasCycle() bool { return len(g.Cycle) > 0 }
+
+// coreName renders a core endpoint node name. Core endpoints are the
+// first Cores endpoints, so the endpoint value is the core index.
+func coreName(ep network.Endpoint) string { return fmt.Sprintf("core%d", int(ep)) }
+
+// txnName renders a directory-transaction node name. The bank number is
+// the raw endpoint, matching the rest of the report's rendering.
+func txnName(bank network.Endpoint, line any) string {
+	return fmt.Sprintf("bank%d %v", int(bank), line)
+}
+
+// BuildWaitFor derives the wait-for graph from a report's transient
+// directory entries and PCU snapshots. Deterministic: edge order follows
+// the (already sorted) report slices.
+func BuildWaitFor(r *HangReport) *WaitForGraph {
+	g := &WaitForGraph{}
+	add := func(from, to, why string) {
+		g.Edges = append(g.Edges, WaitEdge{From: from, To: to, Why: why})
+	}
+
+	// Core side: every outstanding MSHR waits on its line's home bank.
+	for _, p := range r.PCUs {
+		from := coreName(p.Core)
+		for _, w := range p.MSHRs {
+			to := txnName(w.Home, w.Line)
+			switch {
+			case w.Write && w.Blocked:
+				add(from, to, "write parked behind WritersBlock (Hint received)")
+			case w.Write && w.GotGrant && w.AcksLeft > 0:
+				add(from, to, fmt.Sprintf("write granted, %d invalidation ack(s) outstanding", w.AcksLeft))
+			case w.Write:
+				add(from, to, "awaits write grant")
+			default:
+				add(from, to, "awaits read data")
+			}
+		}
+	}
+
+	// Directory side: every transient transaction waits on the endpoints
+	// recorded in its ledgers.
+	for _, t := range r.Transients {
+		if !t.HasTxn {
+			continue
+		}
+		from := txnName(t.Bank, t.Line)
+		for _, ep := range t.AckFrom {
+			add(from, coreName(ep), "awaits eviction invalidation ack")
+		}
+		for _, ep := range t.DelayedFrom {
+			add(from, coreName(ep), "awaits DelayedAck (lockdown held)")
+		}
+		if t.Fwd && !t.GotOwnerData {
+			add(from, coreName(t.OldOwner), "awaits owner data (3-hop forward)")
+		}
+		if !t.Eviction && !t.GotUnblock {
+			add(from, coreName(t.Requester), "awaits Unblock from requester")
+		}
+	}
+
+	g.Cycle = findCycle(g.Edges)
+	if g.Cycle == nil {
+		g.Suspects = suspects(r)
+	}
+	return g
+}
+
+// findCycle runs an iterative DFS with three-colour marking and returns
+// the first cycle found, as the node sequence around the loop.
+func findCycle(edges []WaitEdge) []string {
+	adj := map[string][]string{}
+	var order []string
+	seen := map[string]bool{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		for _, n := range []string{e.From, e.To} {
+			if !seen[n] {
+				seen[n] = true
+				order = append(order, n)
+			}
+		}
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := map[string]int{}
+	var stack []string
+	var walk func(n string) []string
+	walk = func(n string) []string {
+		colour[n] = grey
+		stack = append(stack, n)
+		for _, to := range adj[n] {
+			switch colour[to] {
+			case white:
+				if c := walk(to); c != nil {
+					return c
+				}
+			case grey:
+				// Found: slice the stack from the first occurrence of to.
+				for i, s := range stack {
+					if s == to {
+						return append([]string(nil), stack[i:]...)
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		colour[n] = black
+		return nil
+	}
+	for _, n := range order {
+		if colour[n] == white {
+			if c := walk(n); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// suspects names the starvation candidates when no cycle explains the
+// hang: orphaned writeback-buffer entries (a promised forward that never
+// arrived — the PR-5 deadlock signature), the oldest transient entry,
+// and cores waiting on an empty network (a lost message).
+func suspects(r *HangReport) []string {
+	var out []string
+	for _, p := range r.PCUs {
+		for _, wb := range p.WBBuf {
+			if wb.StaleAck && !wb.ServedFwd {
+				out = append(out, fmt.Sprintf(
+					"%s holds %v in its writeback buffer with a stale PutAck — the directory promised a forward that has not arrived",
+					coreName(p.Core), wb.Line))
+			}
+		}
+	}
+	if t, ok := r.OldestTransient(); ok {
+		out = append(out, fmt.Sprintf(
+			"bank%d %v transient in %s for %d cycles (oldest entry, %d request(s) queued behind it)",
+			int(t.Bank), t.Line, t.State, t.Age, t.Pending))
+	}
+	if r.NetInFlight == 0 {
+		for _, p := range r.PCUs {
+			for _, w := range p.MSHRs {
+				out = append(out, fmt.Sprintf(
+					"%s has an MSHR outstanding for %v with an empty network — a message was lost or never sent",
+					coreName(p.Core), w.Line))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// renderWaitFor appends the graph to a report's String output.
+func (g *WaitForGraph) render(b *strings.Builder) {
+	if g == nil || (len(g.Edges) == 0 && len(g.Suspects) == 0) {
+		return
+	}
+	fmt.Fprintf(b, "wait-for graph (%d edges):\n", len(g.Edges))
+	for i, e := range g.Edges {
+		if i >= 16 {
+			fmt.Fprintf(b, "  ... %d more\n", len(g.Edges)-i)
+			break
+		}
+		fmt.Fprintf(b, "  %s -> %s (%s)\n", e.From, e.To, e.Why)
+	}
+	if g.HasCycle() {
+		fmt.Fprintf(b, "wait-for cycle: %s -> %s\n",
+			strings.Join(g.Cycle, " -> "), g.Cycle[0])
+		return
+	}
+	b.WriteString("no wait-for cycle found — starvation suspects:\n")
+	for _, s := range g.Suspects {
+		fmt.Fprintf(b, "  %s\n", s)
+	}
+}

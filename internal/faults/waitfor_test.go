@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"wbsim/internal/coherence"
+	"wbsim/internal/network"
+)
+
+// TestWaitForCycleDetection builds the classic cross-lockdown shape:
+// core0's write to line A is blocked on a DelayedAck that core1 owes,
+// and the transaction core1 is waiting on needs core0's Unblock.
+func TestWaitForCycleDetection(t *testing.T) {
+	r := &HangReport{
+		Reason: "commit-stall",
+		PCUs: []coherence.PCUWaitSnapshot{
+			{Core: 0, MSHRs: []coherence.MSHRWait{
+				{Line: 0x40, Home: 2, Write: true, Blocked: true},
+			}},
+			{Core: 1, MSHRs: []coherence.MSHRWait{
+				{Line: 0x80, Home: 2},
+			}},
+		},
+		Transients: []coherence.TransientLine{
+			{Bank: 2, Line: 0x40, State: "WB", HasTxn: true, Write: true,
+				Requester: 0, Delayed: 1, DelayedFrom: []network.Endpoint{1}},
+			{Bank: 2, Line: 0x80, State: "Busy", HasTxn: true,
+				Requester: 0, GotUnblock: false},
+		},
+		NetInFlight: 3,
+	}
+	r.Finalize()
+	g := r.WaitFor
+	if g == nil || !g.HasCycle() {
+		t.Fatalf("expected a wait-for cycle, got %+v", g)
+	}
+	cyc := strings.Join(g.Cycle, " -> ")
+	for _, node := range []string{"core0", "core1", "bank2"} {
+		if !strings.Contains(cyc, node) {
+			t.Errorf("cycle %q does not name %s", cyc, node)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "wait-for cycle:") {
+		t.Errorf("report rendering missing the cycle:\n%s", out)
+	}
+	if strings.Contains(out, "starvation suspects") {
+		t.Errorf("cycle found but suspects also printed:\n%s", out)
+	}
+}
+
+func TestWaitForSuspectsWhenAcyclic(t *testing.T) {
+	// The PR-5 signature: an orphaned writeback-buffer entry whose stale
+	// PutAck promised a forward that never arrived. No cycle exists —
+	// the graph must fall back to the suspect list and name the orphan.
+	r := &HangReport{
+		Reason: "commit-stall",
+		PCUs: []coherence.PCUWaitSnapshot{
+			{Core: 1, WBBuf: []coherence.WBWait{
+				{Line: 0x40, Dirty: true, StaleAck: true},
+			}},
+		},
+		Transients: []coherence.TransientLine{
+			{Bank: 3, Line: 0x40, State: "Busy", Age: 9000, Pending: 2,
+				HasTxn: true, Eviction: true},
+		},
+		NetInFlight: 0,
+	}
+	r.Finalize()
+	g := r.WaitFor
+	if g == nil || g.HasCycle() {
+		t.Fatalf("expected no cycle, got %+v", g)
+	}
+	if len(g.Suspects) == 0 {
+		t.Fatal("no starvation suspects named")
+	}
+	joined := strings.Join(g.Suspects, "\n")
+	if !strings.Contains(joined, "stale PutAck") {
+		t.Errorf("suspects do not name the orphaned wbBuf entry:\n%s", joined)
+	}
+	if !strings.Contains(joined, "oldest entry") {
+		t.Errorf("suspects do not name the oldest transient:\n%s", joined)
+	}
+	out := r.String()
+	if !strings.Contains(out, "no wait-for cycle found — starvation suspects:") {
+		t.Errorf("report rendering missing the suspect list:\n%s", out)
+	}
+}
+
+func TestWaitForEmptyReport(t *testing.T) {
+	r := &HangReport{Reason: "max-cycles"}
+	r.Finalize()
+	if r.WaitFor.HasCycle() {
+		t.Fatal("cycle in an empty graph")
+	}
+	// Rendering an empty graph must not add noise.
+	if out := r.String(); strings.Contains(out, "wait-for graph") {
+		t.Errorf("empty graph rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,60 @@
+package litmus
+
+import (
+	"testing"
+
+	"wbsim/internal/core"
+	"wbsim/internal/faults"
+)
+
+// hostileTightPlan is the aggressive geometry that exposed the PR-5
+// liveness hole: the hostile catalog plan squeezed to a 4-line/1-way
+// LLC, a 2-line/1-way L2, and a single-entry eviction buffer. Under
+// this pressure a freshly granted line is evicted almost immediately,
+// and the delivery perturbation lets the PutE/PutM overtake the grant's
+// own Unblock on the request network. The directory (still BusyE/BusyW,
+// owner not yet recorded) used to misread that Put as stale and promise
+// a forward that was never coming, stranding the core's writeback
+// buffer entry forever: every core halted, network empty, banks
+// quiescent, but PCU.Quiescent() false — the watchdog's commit-stall at
+// ~1M cycles was the only symptom. Fixed by the (BusyE|BusyW, PutOwned)
+// dirActPutRace rows, which queue the requester's own racing Put behind
+// its Unblock. See EXPERIMENTS.md E22 and internal/coherence/check.
+func hostileTightPlan(t *testing.T) *faults.Plan {
+	t.Helper()
+	plan, err := faults.ByName("hostile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.LLCLines = 4
+	plan.LLCWays = 1
+	plan.L2Lines = 2
+	plan.L2Ways = 1
+	plan.EvictionBuf = 1
+	return &plan
+}
+
+// TestHostileTightDeadlockRegression pins the PR-5 deadlock: before the
+// dirActPutRace fix, seeds 12, 32 and 38 of this exact campaign hung on
+// every variant (including inorder-base, so the bug was in the
+// protocol, not the speculation machinery). All 60 seeds must now
+// complete on all four variants with zero hangs, panics or TSO
+// violations.
+func TestHostileTightDeadlockRegression(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Plan = hostileTightPlan(t)
+	if testing.Short() {
+		opts.Seeds = 40 // covers the known-bad seeds 12, 32, 38
+	}
+	test := MPHitUnderMiss()
+	for _, variant := range core.Variants {
+		res := Run(test, variant, opts)
+		if res.Hangs != 0 || res.Panics != 0 {
+			t.Errorf("%v: %d hangs, %d panics (want 0/0): %v",
+				variant, res.Hangs, res.Panics, res.Errors)
+		}
+		if res.Violations != 0 {
+			t.Errorf("%v: %d TSO violations", variant, res.Violations)
+		}
+	}
+}

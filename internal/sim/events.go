@@ -86,6 +86,74 @@ func (q *EventQueue) NextAt() (at Cycle, ok bool) {
 	return q.h[0].at, true
 }
 
+// PendingEvent describes one scheduled event without firing it. Arg is
+// the scheduled argument value (nil for the closure-style At/After API,
+// whose argument is the closure itself). The model checker uses the
+// enumeration to fold a component's private event queue into a canonical
+// state fingerprint, so the order is the deterministic (at, seq) firing
+// order, not heap layout.
+type PendingEvent struct {
+	At  Cycle
+	Seq uint64
+	Arg any
+}
+
+// Pending returns the scheduled events in (at, seq) order. The slice is
+// freshly allocated; mutating it does not affect the queue.
+func (q *EventQueue) Pending() []PendingEvent {
+	order := q.sortedIndices()
+	out := make([]PendingEvent, len(order))
+	for i, j := range order {
+		ev := q.h[j]
+		out[i] = PendingEvent{At: ev.at, Seq: ev.seq, Arg: ev.arg}
+	}
+	return out
+}
+
+// FireNth removes and fires the n-th pending event in (at, seq) order,
+// ignoring simulated time. This is the model checker's transition
+// primitive: exhaustively firing each pending event in turn explores
+// every latency assignment the timed simulator could produce, without
+// committing to one. It panics if n is out of range.
+func (q *EventQueue) FireNth(n int) {
+	order := q.sortedIndices()
+	if n < 0 || n >= len(order) {
+		panic("sim: FireNth index out of range")
+	}
+	j := order[n]
+	call, arg := q.h[j].call, q.h[j].arg
+	q.remove(j)
+	call(arg)
+}
+
+// sortedIndices returns heap-slice indices ordered by (at, seq).
+func (q *EventQueue) sortedIndices() []int {
+	order := make([]int, len(q.h))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: queues the checker enumerates are tiny (a handful
+	// of scheduled sends), and this avoids the sort.Slice closure.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && q.less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// remove deletes the event at heap index j, restoring the heap property.
+func (q *EventQueue) remove(j int) {
+	n := len(q.h) - 1
+	q.h[j] = q.h[n]
+	q.h[n] = event{}
+	q.h = q.h[:n]
+	if j < n {
+		q.siftDown(j)
+		q.siftUp(j)
+	}
+}
+
 func (q *EventQueue) less(i, j int) bool {
 	if q.h[i].at != q.h[j].at {
 		return q.h[i].at < q.h[j].at
