@@ -11,7 +11,7 @@ GO ?= go
 
 .PHONY: verify build test vet lint wbsimlint race bench chaos-short chaos \
 	alloc-gate golden-short golden-full profile bench-compare bench-kernel \
-	bench-dir bench-compare-dir coverage-report check-liveness \
+	bench-dir bench-compare-dir bench-check coverage-report check-liveness \
 	check-liveness-deep print-staticcheck-version print-govulncheck-version
 
 verify: build vet lint test race alloc-gate golden-short chaos-short check-liveness
@@ -100,11 +100,27 @@ check-liveness:
 	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 1 -ops 2 -mode lockdown -lockdowns 1
 	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -max-states 50000
 
-# Nightly liveness sweep: the two-core/two-line space exhaustively
-# (~18k states) and the three-core sweep at a 10x deeper cap.
+# Nightly liveness sweep. The two-core/two-line space runs exhaustively
+# both raw (~18k states) and reduced, and the raw/reduced pair
+# cross-checks the reductions on every nightly: both must pass with the
+# same verdict. The state-space reductions close the three-core/2-bank/
+# 2-line squash space exhaustively (2.7M canonical states, ~3 min) —
+# previously only reachable capped — but the closed graph peaks at
+# ~17GB RSS (the BFS frontier holds materialized models; edges are kept
+# for the liveness backward pass), so hosts with less memory must bound
+# it: CHECK3C_FLAGS='-max-states 2000000' keeps 73% of the space inside
+# ~13GB (CI's standard 16GB runner does this; run uncapped on a >=24GB
+# host for the full closure). Lockdown at that geometry does NOT close:
+# at depth 38 it already held 2.1M canonical states with the frontier
+# still growing ~26% per layer (projected >=50M states, beyond any
+# budget), so it runs at a 500k-state cap — 10x the tier-1 radius; any
+# safety violation or hard deadlock inside that radius fails the gate.
+CHECK3C_FLAGS ?=
 check-liveness-deep: check-liveness
 	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 2 -ops 2
-	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -max-states 500000
+	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 2 -ops 2 -reduce sym,por
+	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -reduce sym,por -progress $(CHECK3C_FLAGS)
+	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -mode lockdown -lockdowns 1 -reduce sym,por -max-states 500000
 
 # Zero-allocation gates for the event-driven kernel: a warmed-up mesh
 # cycle and a drained System.Step may not allocate (see DESIGN.md,
@@ -137,6 +153,13 @@ bench-dir:
 bench-compare-dir:
 	@$(GO) test -count=5 -run '^$$' -bench 'DirDispatch$$' -benchtime 200x -benchmem ./internal/coherence | tee /tmp/wbsim-dirbench-new.txt
 	@python3 scripts/dirbench_gate.py /tmp/wbsim-dirbench-new.txt
+
+# Model-checker throughput gate: re-run the deep 2c/2l exploration (raw
+# and fully reduced) and compare states/sec to the records in
+# BENCH_check.json; counters must match exactly and a >35% states/sec
+# deficit exits non-zero (see scripts/checkbench_gate.py).
+bench-check:
+	@python3 scripts/checkbench_gate.py
 
 # Kernel microbenchmarks: cycles/sec and allocs/op for the scheduler's
 # inner loop and the mesh (loaded and quiescent), plus a short

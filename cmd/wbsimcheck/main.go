@@ -27,6 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"wbsim/internal/coherence"
@@ -38,9 +41,38 @@ import (
 type report struct {
 	Config    coherence.ModelConfig `json:"config"`
 	MaxStates int                   `json:"max_states,omitempty"`
+	Workers   int                   `json:"workers"`
+	Reduce    string                `json:"reduce"`
 	Result    *check.Result         `json:"result"`
 	WallMS    float64               `json:"wall_ms"`
+	StatesSec float64               `json:"states_per_sec"`
+	PeakRSSKB int64                 `json:"peak_rss_kb,omitempty"`
 	Passed    bool                  `json:"passed"`
+}
+
+// peakRSSKB reads the process's high-water resident set from
+// /proc/self/status (VmHWM). Returns 0 where that interface does not
+// exist (non-Linux); the report omits the field then.
+func peakRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		var kb int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &kb); err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
 }
 
 func main() { os.Exit(mainExit()) }
@@ -57,8 +89,21 @@ func mainExit() int {
 		corrupt   = flag.Bool("corrupt", false, "run with the corrupted write-grant row (SWMR break)")
 		maxStates = flag.Int("max-states", 0, "state cap, 0 = unlimited (exhaustive)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel frontier workers (output is byte-identical at any count)")
+		reduce    = flag.String("reduce", "none", "sound reductions: none, sym, por, or sym,por")
+		progress  = flag.Bool("progress", false, "print per-layer frontier progress to stderr")
 	)
 	flag.Parse()
+
+	// Exploration retains every fingerprint, so the live heap only
+	// grows; the default GC target reclaims little but rescans the
+	// whole graph constantly (over half the wall time at default GOGC).
+	// With pooled clones the steady-state allocation rate is low enough
+	// that a very relaxed target costs a few MB of peak RSS and buys
+	// ~10% wall time. Honour an explicit GOGC from the environment.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(1600)
+	}
 
 	mcfg := coherence.ModelConfig{
 		Cores: *cores, Banks: *banks, Lines: *lines, OpsPerCore: *ops,
@@ -78,16 +123,45 @@ func mainExit() int {
 		return 2
 	}
 
+	ccfg := check.Config{Model: mcfg, MaxStates: *maxStates, Workers: *workers}
+	for _, r := range strings.Split(*reduce, ",") {
+		switch strings.TrimSpace(r) {
+		case "", "none":
+		case "sym":
+			ccfg.Symmetry = true
+		case "por":
+			ccfg.POR = true
+		default:
+			fmt.Fprintf(os.Stderr, "wbsimcheck: unknown -reduce %q (want none, sym, por, or sym,por)\n", r)
+			return 2
+		}
+	}
 	start := time.Now()
-	res := check.Explore(check.Config{Model: mcfg, MaxStates: *maxStates})
+	if *progress {
+		ccfg.Progress = func(p check.ProgressInfo) {
+			el := time.Since(start).Seconds()
+			rate := 0.0
+			if el > 0 {
+				rate = float64(p.States) / el
+			}
+			fmt.Fprintf(os.Stderr, "wbsimcheck: depth %d frontier %d states %d transitions %d deferred %d (%.0f states/sec)\n",
+				p.Depth, p.Frontier, p.States, p.Transitions, p.DeferredEdges, rate)
+		}
+	}
+	res := check.Explore(ccfg)
 	wall := time.Since(start)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
+		rate := 0.0
+		if s := wall.Seconds(); s > 0 {
+			rate = float64(res.States) / s
+		}
 		if err := enc.Encode(report{
-			Config: mcfg, MaxStates: *maxStates, Result: res,
-			WallMS: float64(wall.Microseconds()) / 1000, Passed: res.Passed(),
+			Config: mcfg, MaxStates: *maxStates, Workers: *workers, Reduce: *reduce,
+			Result: res, WallMS: float64(wall.Microseconds()) / 1000,
+			StatesSec: rate, PeakRSSKB: peakRSSKB(), Passed: res.Passed(),
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "wbsimcheck: %v\n", err)
 			return 2
@@ -101,6 +175,10 @@ func mainExit() int {
 			mcfg.Cores, mcfg.Banks, mcfg.Lines, mcfg.OpsPerCore, *mode)
 		fmt.Printf("explored %d states, %d transitions, %d terminals, depth %d in %v (%s)\n",
 			res.States, res.Transitions, res.Terminals, res.MaxDepth, wall.Round(time.Millisecond), scope)
+		if res.SymmetryGroup > 1 || res.DeferredEdges > 0 {
+			fmt.Printf("reductions: symmetry group %d, %d deferred diamond edges\n",
+				res.SymmetryGroup, res.DeferredEdges)
+		}
 		if res.Violation != nil {
 			fmt.Print(res.Violation.String())
 		}

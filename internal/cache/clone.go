@@ -1,0 +1,183 @@
+package cache
+
+import "wbsim/internal/mem"
+
+// Deep-copy support for the model checker's state cloning
+// (coherence.Model.Clone). The structures here hand out interior
+// pointers (*Entry frames, *MSHR entries) that the coherence layer
+// stores in its own state, so each Clone returns a remap function
+// translating a pointer into the original structure to its counterpart
+// in the copy.
+
+// Clone returns a deep copy of the array and a remap function from
+// frames of the original to the corresponding frames of the copy
+// (nil maps to nil). LRU ticks and occupancy are preserved exactly, so
+// victim selection in the copy matches the original.
+func (a *Array) Clone() (*Array, func(*Entry) *Entry) {
+	out := &Array{
+		sets:     a.sets,
+		ways:     a.ways,
+		frames:   make([][]Entry, len(a.frames)),
+		tags:     make([][]mem.Line, len(a.tags)),
+		occupied: a.occupied,
+		lruTick:  a.lruTick,
+	}
+	for s, fs := range a.frames {
+		if fs == nil {
+			continue
+		}
+		nfs := make([]Entry, len(fs))
+		copy(nfs, fs)
+		out.frames[s] = nfs
+		nts := make([]mem.Line, len(a.tags[s]))
+		copy(nts, a.tags[s])
+		out.tags[s] = nts
+	}
+	remap := func(e *Entry) *Entry {
+		if e == nil {
+			return nil
+		}
+		return &out.frames[e.set][e.way]
+	}
+	return out, remap
+}
+
+// CloneInto overwrites dst — an array of the same geometry, previously
+// produced by Clone on this configuration — with a's contents, reusing
+// dst's frame and tag storage. Returns the remap function into dst.
+func (a *Array) CloneInto(dst *Array) func(*Entry) *Entry {
+	dst.sets, dst.ways = a.sets, a.ways
+	dst.occupied, dst.lruTick = a.occupied, a.lruTick
+	if len(dst.frames) != len(a.frames) {
+		dst.frames = make([][]Entry, len(a.frames))
+		dst.tags = make([][]mem.Line, len(a.frames))
+	}
+	for s, fs := range a.frames {
+		if fs == nil {
+			dst.frames[s], dst.tags[s] = nil, nil
+			continue
+		}
+		if len(dst.frames[s]) != len(fs) {
+			dst.frames[s] = make([]Entry, len(fs))
+			dst.tags[s] = make([]mem.Line, len(fs))
+		}
+		copy(dst.frames[s], fs)
+		copy(dst.tags[s], a.tags[s])
+	}
+	return func(e *Entry) *Entry {
+		if e == nil {
+			return nil
+		}
+		return &dst.frames[e.set][e.way]
+	}
+}
+
+// Clone returns a deep copy of the MSHR file and a remap function from
+// entries of the original to entries of the copy. clonePayload rewrites
+// each live entry's Payload (the coherence layer stores transaction
+// state there); nil shares payloads.
+func (f *MSHRFile) Clone(clonePayload func(any) any) (*MSHRFile, func(*MSHR) *MSHR) {
+	out := &MSHRFile{
+		entries:  make([]MSHR, len(f.entries)),
+		index:    make(map[mem.Line][]*MSHR, len(f.index)),
+		capacity: f.capacity,
+		reserved: f.reserved,
+		inUse:    f.inUse,
+		resInUse: f.resInUse,
+	}
+	copy(out.entries, f.entries)
+	if clonePayload != nil {
+		for i := range out.entries {
+			if out.entries[i].valid {
+				out.entries[i].Payload = clonePayload(out.entries[i].Payload)
+			}
+		}
+	}
+	remap := func(m *MSHR) *MSHR {
+		if m == nil {
+			return nil
+		}
+		for i := range f.entries {
+			if &f.entries[i] == m {
+				return &out.entries[i]
+			}
+		}
+		panic("cache: remapping MSHR foreign to the cloned file")
+	}
+	//wbsim:nondet -- per-key rebuild; remap is a pure pointer translation
+	for l, es := range f.index {
+		nes := make([]*MSHR, len(es))
+		for i, e := range es {
+			nes[i] = remap(e)
+		}
+		out.index[l] = nes
+	}
+	return out, remap
+}
+
+// CloneInto overwrites dst — a file of the same capacity — with f's
+// contents, reusing dst's entry and index storage. Invalid entries get a
+// nil payload so dst never retains a stale pointer into the source.
+// universe, when non-nil, must contain every line the file can index
+// (the model checker's fixed line set); it replaces the index-map
+// iterations with ordered lookups, which is cheaper for the tiny maps
+// the checker clones millions of times.
+func (f *MSHRFile) CloneInto(dst *MSHRFile, clonePayload func(any) any, universe []mem.Line) {
+	if len(dst.entries) != len(f.entries) {
+		dst.entries = make([]MSHR, len(f.entries))
+	}
+	copy(dst.entries, f.entries)
+	dst.capacity, dst.reserved = f.capacity, f.reserved
+	dst.inUse, dst.resInUse = f.inUse, f.resInUse
+	for i := range dst.entries {
+		if dst.entries[i].valid {
+			if clonePayload != nil {
+				dst.entries[i].Payload = clonePayload(dst.entries[i].Payload)
+			}
+		} else {
+			dst.entries[i].Payload = nil
+		}
+	}
+	remap := func(m *MSHR) *MSHR {
+		for i := range f.entries {
+			if &f.entries[i] == m {
+				return &dst.entries[i]
+			}
+		}
+		panic("cache: remapping MSHR foreign to the cloned file")
+	}
+	if universe != nil {
+		indexed := 0
+		for _, l := range universe {
+			es, ok := f.index[l]
+			if !ok {
+				delete(dst.index, l)
+				continue
+			}
+			indexed++
+			nes := dst.index[l][:0]
+			for _, e := range es {
+				nes = append(nes, remap(e))
+			}
+			dst.index[l] = nes
+		}
+		if indexed != len(f.index) {
+			panic("cache: MSHR file indexes a line outside the given universe")
+		}
+		return
+	}
+	//wbsim:nondet -- each delete decision depends only on its own key
+	for l := range dst.index {
+		if _, ok := f.index[l]; !ok {
+			delete(dst.index, l)
+		}
+	}
+	//wbsim:nondet -- per-key rebuild; remap is a pure pointer translation
+	for l, es := range f.index {
+		nes := dst.index[l][:0]
+		for _, e := range es {
+			nes = append(nes, remap(e))
+		}
+		dst.index[l] = nes
+	}
+}

@@ -1,7 +1,8 @@
 // Package check is the exhaustive explicit-state explorer over the
-// coherence Model (internal/coherence/model.go): a work-queue BFS over
-// canonical state fingerprints that proves, at small configurations,
-// the two properties the chaos campaigns can only sample —
+// coherence Model (internal/coherence/model.go): a layer-synchronous
+// BFS over deduplicated state fingerprints that proves, at small
+// configurations, the two properties the chaos campaigns can only
+// sample —
 //
 //   - Safety: no reachable state violates single-writer, read-value
 //     coherence, or a table invariant (an Impossible row firing or a
@@ -15,15 +16,20 @@
 //     are always enabled), so a trap is a genuine protocol hole, not a
 //     starved scheduler.
 //
-// The Model has no snapshot: exploration is replay-based. Each node
-// records only (parent, choice index); materializing a state replays
-// its choice path from a fresh initial model. BFS order makes the first
-// counterexample found minimal in transition count.
+// States are materialized by deep-cloning the frontier (one clone per
+// transition) rather than replaying choice paths, expansion is sharded
+// across Workers with all cross-layer decisions resolved
+// deterministically at layer barriers, and two sound reductions are
+// available: Symmetry dedups states up to the model's automorphism
+// group, and POR skips the second leg of commuting-delivery diamonds
+// while reconstructing the skipped edges, so the explored graph keeps
+// the exact state and edge set liveness checking needs. BFS order makes
+// the first counterexample found minimal in transition count, and the
+// output is byte-identical at any worker count.
 package check
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"wbsim/internal/coherence"
@@ -36,6 +42,34 @@ type Config struct {
 	// nothing about liveness; Result.Exhaustive reports whether the cap
 	// was hit.
 	MaxStates int
+	// Workers shards frontier expansion across goroutines (0 or 1 =
+	// serial). Results, including counterexamples, are byte-identical
+	// at any worker count.
+	Workers int
+	// Symmetry dedups states up to the model's automorphism group
+	// (simultaneous core/line renamings that preserve the program).
+	// Sound for both properties: every orbit member reaches the same
+	// canonical successors.
+	Symmetry bool
+	// POR enables partial-order reduction over commuting message
+	// deliveries: the second leg of each delivery diamond is skipped
+	// and its edge reconstructed from the sibling's target, preserving
+	// the exact reachable state and edge set.
+	POR bool
+	// Progress, when set, is called once per completed BFS layer.
+	Progress func(ProgressInfo)
+	// CollectStates retains every admitted state's canonical
+	// fingerprint in Result.StateSet (differential testing; expensive).
+	CollectStates bool
+}
+
+// ProgressInfo is one per-layer progress snapshot.
+type ProgressInfo struct {
+	Depth         int // completed BFS depth
+	Frontier      int // states admitted at this depth
+	States        int // total distinct states so far
+	Transitions   int // total edges traversed so far
+	DeferredEdges int // POR-skipped edges reconstructed so far
 }
 
 // Counterexample is a minimized violating run: the choice path from the
@@ -71,11 +105,21 @@ func (c *Counterexample) String() string {
 
 // Result summarizes one exploration.
 type Result struct {
-	States      int  // distinct states reached
-	Transitions int  // edges traversed (including duplicates)
+	States      int  // distinct states reached (canonical orbits under Symmetry)
+	Transitions int  // edges traversed (including duplicates and deferred POR edges)
 	Terminals   int  // distinct terminal states
 	MaxDepth    int  // deepest BFS level reached
 	Exhaustive  bool // full state space explored (MaxStates not hit)
+
+	// SymmetryGroup is the automorphism group order used (1 when
+	// Symmetry is off or the config admits no renaming).
+	SymmetryGroup int
+	// DeferredEdges counts POR-skipped diamond edges that were
+	// reconstructed instead of executed (included in Transitions).
+	DeferredEdges int
+	// StateSet holds every admitted state's canonical fingerprint when
+	// Config.CollectStates is set, in node-id order.
+	StateSet []string `json:"-"`
 
 	// Violation is the first safety violation found (minimal by BFS
 	// order); Trap is the liveness violation. At most one is non-nil:
@@ -88,210 +132,69 @@ type Result struct {
 // Passed reports whether both properties held.
 func (r *Result) Passed() bool { return r.Violation == nil && r.Trap == nil }
 
-// node is one BFS entry; the state itself is re-materialized by
-// replaying the choice path encoded in the parent chain.
-type node struct {
-	parent int32
-	choice int32
-	depth  int32
-}
-
-type explorer struct {
-	cfg   Config
-	nodes []node
-	succs [][]int32 // forward adjacency over node ids (deduplicated)
-	term  []bool
-	fps   map[string]int32
-}
-
 // Explore runs the BFS to completion (or the state cap) and, on a safe
 // exhaustive graph, the backward liveness pass.
 func Explore(cfg Config) *Result {
-	e := &explorer{cfg: cfg, fps: make(map[string]int32)}
-	res := &Result{Exhaustive: true}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	en := &engine{
+		cfg:     cfg,
+		workers: workers,
+		sym:     cfg.Symmetry,
+		por:     cfg.POR,
+		store:   newStateStore(),
+		pools:   make([][]*coherence.Model, workers),
+	}
+	res := &Result{Exhaustive: true, SymmetryGroup: 1}
+	en.res = res
 
 	init := coherence.NewModel(cfg.Model)
-	e.fps[init.Fingerprint()] = 0
-	e.nodes = append(e.nodes, node{parent: -1, choice: -1})
-	e.succs = append(e.succs, nil)
-	e.term = append(e.term, init.Terminal())
+	if en.sym {
+		res.SymmetryGroup = init.SymmetrySize()
+	}
+	root := en.store.seed(en.keyOf(init), init)
+	root.id, root.depth = 0, 0
+	root.term = init.Terminal()
+	root.model = nil
+	en.store.drain() // the root is admitted here, not at a barrier
+	en.nodes = append(en.nodes, root)
+	en.succs = append(en.succs, nil)
+	en.models = append(en.models, init)
+	if cfg.CollectStates {
+		fp, _ := init.CanonicalFingerprint()
+		if !en.sym {
+			res.StateSet = append(res.StateSet, fp)
+		} else {
+			res.StateSet = append(res.StateSet, string(root.fp))
+		}
+	}
 
-	for head := 0; head < len(e.nodes); head++ {
-		id := int32(head)
-		if cfg.MaxStates > 0 && len(e.nodes) >= cfg.MaxStates {
+	layerLo := 0
+	for depth := int32(0); ; depth++ {
+		layerHi := len(en.nodes)
+		if layerLo == layerHi {
+			break
+		}
+		if en.runLayer(int32(layerLo), int32(layerHi), depth) {
+			return res
+		}
+		for i := layerLo; i < layerHi; i++ {
+			// Only two layers of models stay live; retired ones feed the
+			// CloneInto pools.
+			en.recycleRR(en.models[i])
+			en.models[i] = nil
+		}
+		if cfg.MaxStates > 0 && (en.droppedAny || (len(en.nodes) >= cfg.MaxStates && len(en.nodes) > layerHi)) {
 			res.Exhaustive = false
 			break
 		}
-		path := e.path(id)
-		base := e.replay(path)
-		numChoices := base.NumChoices()
-		if numChoices == 0 && !e.term[id] {
-			// Absolutely stuck and not drained: report the shortest
-			// deadlock immediately (BFS order makes it minimal).
-			res.Trap = e.render("deadlock",
-				"state has no transitions and is not drained (deadlock)", path)
-			e.fill(res)
-			return res
-		}
-		for c := 0; c < numChoices; c++ {
-			m := base
-			if c > 0 {
-				m = e.replay(path)
-			}
-			m.ApplyIndex(c)
-			res.Transitions++
-			step := append(append([]int32{}, path...), int32(c))
-			if v := m.Violation(); v != "" {
-				res.Violation = e.render("safety", v, step)
-				e.fill(res)
-				return res
-			}
-			fp := m.Fingerprint()
-			to, seen := e.fps[fp]
-			if !seen {
-				to = int32(len(e.nodes))
-				e.fps[fp] = to
-				e.nodes = append(e.nodes, node{parent: id, choice: int32(c), depth: e.nodes[id].depth + 1})
-				e.succs = append(e.succs, nil)
-				isTerm := m.Terminal()
-				e.term = append(e.term, isTerm)
-				if isTerm {
-					if tv := m.CheckTerminal(); tv != "" {
-						res.Violation = e.render("safety", tv, step)
-						e.fill(res)
-						return res
-					}
-				} else if m.NumChoices() == 0 {
-					// Deadlock check at enqueue time, not dequeue: a hard
-					// deadlock (no transitions, not drained) is reported
-					// even on capped runs, as long as BFS reaches it. Only
-					// livelocks need the exhaustive backward pass.
-					res.Trap = e.render("deadlock",
-						"state has no transitions and is not drained (deadlock)", step)
-					e.fill(res)
-					return res
-				}
-			}
-			e.addSucc(id, to)
-		}
+		layerLo = layerHi
 	}
-	e.fill(res)
+	en.fill(res)
 	if res.Exhaustive {
-		e.liveness(res)
+		en.liveness(res)
 	}
 	return res
-}
-
-// fill copies the graph-size counters into the result.
-func (e *explorer) fill(res *Result) {
-	res.States = len(e.nodes)
-	for id := range e.nodes {
-		if e.term[id] {
-			res.Terminals++
-		}
-		if d := int(e.nodes[id].depth); d > res.MaxDepth {
-			res.MaxDepth = d
-		}
-	}
-}
-
-// addSucc records a forward edge once.
-func (e *explorer) addSucc(from, to int32) {
-	for _, s := range e.succs[from] {
-		if s == to {
-			return
-		}
-	}
-	e.succs[from] = append(e.succs[from], to)
-}
-
-// path reconstructs the choice sequence leading to id.
-func (e *explorer) path(id int32) []int32 {
-	var rev []int32
-	for n := id; e.nodes[n].parent >= 0; n = e.nodes[n].parent {
-		rev = append(rev, e.nodes[n].choice)
-	}
-	sort.SliceStable(rev, func(i, j int) bool { return i > j }) // reverse
-	return rev
-}
-
-// replay materializes the state at the end of a choice path.
-func (e *explorer) replay(path []int32) *coherence.Model {
-	m := coherence.NewModel(e.cfg.Model)
-	for _, c := range path {
-		m.ApplyIndex(int(c))
-	}
-	return m
-}
-
-// liveness runs the backward-reachability pass: mark every node that can
-// reach a terminal state; anything unmarked is a trap. Requires the full
-// graph, so it only runs after an exhaustive, safe exploration.
-func (e *explorer) liveness(res *Result) {
-	if res.Violation != nil {
-		return
-	}
-	preds := make([][]int32, len(e.nodes))
-	for from, ss := range e.succs {
-		for _, to := range ss {
-			preds[to] = append(preds[to], int32(from))
-		}
-	}
-	live := make([]bool, len(e.nodes))
-	var queue []int32
-	for id := range e.nodes {
-		if e.term[id] {
-			live[id] = true
-			queue = append(queue, int32(id))
-		}
-	}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, p := range preds[n] {
-			if !live[p] {
-				live[p] = true
-				queue = append(queue, p)
-			}
-		}
-	}
-	// The shallowest dead node is the minimal trap entry; prefer one
-	// with no successors at all (a hard deadlock) over a spinning
-	// livelock if both exist at reasonable depth.
-	trap, stuck := int32(-1), int32(-1)
-	for id := range e.nodes {
-		if live[id] {
-			continue
-		}
-		if trap < 0 {
-			trap = int32(id)
-		}
-		if stuck < 0 && len(e.succs[id]) == 0 {
-			stuck = int32(id)
-		}
-	}
-	if trap < 0 {
-		return
-	}
-	kind, reason := "livelock", "state can keep transitioning but no terminal (drained) state is reachable"
-	if stuck >= 0 {
-		trap = stuck
-		kind, reason = "deadlock", "no transitions remain and the system is not drained"
-	}
-	res.Trap = e.render(kind, reason, e.path(trap))
-}
-
-// render replays a violating path with tracing enabled and packages the
-// counterexample.
-func (e *explorer) render(kind, reason string, path []int32) *Counterexample {
-	ce := &Counterexample{Kind: kind, Reason: reason}
-	m := coherence.NewModel(e.cfg.Model)
-	m.SetTrace(func(d string) { ce.Dispatches = append(ce.Dispatches, d) })
-	for _, c := range path {
-		ce.Steps = append(ce.Steps, m.ChoiceDesc(int(c)))
-		m.ApplyIndex(int(c))
-	}
-	m.SetTrace(nil)
-	ce.FinalState = m.DumpState()
-	return ce
 }

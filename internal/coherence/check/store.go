@@ -1,0 +1,124 @@
+package check
+
+import (
+	"bytes"
+	"sync"
+
+	"wbsim/internal/coherence"
+)
+
+// stateStore is the deduplication set over state fingerprints, striped
+// for concurrent insertion by the layer workers. Fingerprint bytes are
+// interned into per-stripe append-only arenas instead of one Go string
+// per state: the map buckets key on a 64-bit FNV digest and fall back
+// to a byte compare, so the per-state overhead is one entry struct and
+// the fingerprint bytes themselves.
+type stateStore struct {
+	stripes [numStripes]storeStripe
+}
+
+const numStripes = 64
+
+type storeStripe struct {
+	mu      sync.Mutex
+	arena   []byte
+	buckets map[uint64][]*entry
+	news    []*entry // entries created since the last drain (one BFS layer)
+}
+
+// entry is one deduplicated state. Discovery-candidate fields hold the
+// minimal (parent, pos) discoverer seen so far this layer; the barrier
+// freezes them when it assigns the id.
+type entry struct {
+	fp    []byte // interned fingerprint bytes (dedup key)
+	id    int32  // node id, -1 until the barrier admits it
+	depth int32
+
+	// Chosen discovery transition: minimal (parent, pos) over all
+	// discoverers this layer. rec is the choice in the parent's
+	// chain-concrete coordinates.
+	parent int32
+	pos    int32
+	rec    coherence.Choice
+
+	// model is the concrete child state kept by the first inserter;
+	// mparent/mpos identify which transition produced it, so the
+	// barrier can tell whether it matches the chosen discoverer or
+	// must be rebuilt from the parent.
+	model         *coherence.Model
+	mparent, mpos int32
+	term, dead    bool
+	dropped       bool // discarded by the MaxStates admission cap
+}
+
+func newStateStore() *stateStore {
+	s := &stateStore{}
+	for i := range s.stripes {
+		s.stripes[i].buckets = make(map[uint64][]*entry)
+	}
+	return s
+}
+
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// insert records one discovery of the state with fingerprint fp via
+// (parent, pos, rec), keeping the minimal discoverer. The first
+// inserter donates its child model. Returns the entry and whether this
+// call created it.
+func (s *stateStore) insert(fp []byte, parent, pos int32, rec coherence.Choice, model *coherence.Model) (*entry, bool) {
+	dig := fnv64(fp)
+	st := &s.stripes[dig%numStripes]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, e := range st.buckets[dig] {
+		if !bytes.Equal(e.fp, fp) {
+			continue
+		}
+		if e.id < 0 { // discovered earlier this same layer: keep min (parent, pos)
+			if parent < e.parent || (parent == e.parent && pos < e.pos) {
+				e.parent, e.pos, e.rec = parent, pos, rec
+			}
+		}
+		return e, false
+	}
+	st.arena = append(st.arena, fp...)
+	e := &entry{
+		fp:     st.arena[len(st.arena)-len(fp):],
+		id:     -1,
+		parent: parent, pos: pos, rec: rec,
+		model: model, mparent: parent, mpos: pos,
+	}
+	st.buckets[dig] = append(st.buckets[dig], e)
+	st.news = append(st.news, e)
+	return e, true
+}
+
+// seed installs the root entry (id 0) outside the worker path.
+func (s *stateStore) seed(fp []byte, model *coherence.Model) *entry {
+	e, created := s.insert(fp, -1, -1, coherence.Choice{}, model)
+	if !created {
+		panic("check: store seeded twice")
+	}
+	return e
+}
+
+// drain returns every entry created since the previous drain, in
+// stripe-scan order (the barrier sorts them before assigning ids).
+func (s *stateStore) drain() []*entry {
+	var out []*entry
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		out = append(out, st.news...)
+		st.news = nil
+		st.mu.Unlock()
+	}
+	return out
+}

@@ -34,8 +34,8 @@ package coherence
 // which needs the full state graph.
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -114,11 +114,29 @@ type Model struct {
 	latest    []uint64 // per line index: last version committed by any store
 	violation string   // first safety violation, sticky
 
+	// sym is the lazily computed symmetry group (model_symmetry.go);
+	// immutable once built and shared across clones.
+	sym *symGroup
+
 	// Reused scratch buffers (enumeration, fingerprint assembly).
 	chScratch  []choice
 	fpScratch  []byte
-	msgScratch []byte
-	keyScratch []string
+	kaBuf      []byte  // key arena for multiset sorting
+	kaOffs     []int32 // start/end span pairs into kaBuf
+	symScratch []byte
+	shScratch  []int64
+
+	// Arenas backing this model's per-state heap objects (in-flight
+	// messages, directory lines, transactions, network envelopes).
+	// CloneInto resets and refills them, so a pooled model's
+	// steady-state clone performs no heap allocation for these. Safe
+	// because no model ever references another model's objects:
+	// Clone/CloneInto deep-copy every such pointer (model_clone.go).
+	msgArena  []Msg
+	dlArena   []dirLine
+	dtxnArena []dirTxn
+	ptxnArena []pcuTxn
+	netArena  []network.Message
 }
 
 // modelPort funnels every component's sends into the model's multiset.
@@ -396,6 +414,48 @@ func (m *Model) choices() []choice {
 // NumChoices counts the enabled transitions.
 func (m *Model) NumChoices() int { return len(m.choices()) }
 
+// Choice is the exported view of one enabled transition, opaque to
+// callers but compact and storable: the explorer records a state's
+// discovery as (parent, Choice) and re-applies the record during
+// deterministic replay. A Choice is only meaningful against the exact
+// state it was enumerated from (delivery choices index the in-flight
+// multiset in injection order, which replay reproduces).
+type Choice = choice
+
+// Key packs a choice into a single ordered integer. The explorer uses
+// it for deterministic tie-breaking (canonical parent selection) that
+// must not depend on goroutine scheduling.
+func (c choice) Key() uint64 {
+	return uint64(c.kind)<<48 | uint64(uint32(c.comp))<<24 | uint64(uint32(c.idx))
+}
+
+// Choices enumerates the enabled transitions. The returned slice is the
+// model's reused scratch buffer: it is valid until the next enumeration
+// on this model, and callers that keep records must copy the elements
+// (they are small values).
+func (m *Model) Choices() []Choice { return m.choices() }
+
+// Apply executes one recorded choice with the same panic containment as
+// ApplyIndex. The record must come from this state's enumeration (or a
+// deterministic replay of it).
+func (m *Model) Apply(ch Choice) {
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				m.fail(fmt.Sprintf("panic: %v", r))
+			}
+		}()
+		m.applyChoice(ch)
+	}()
+	if m.violation == "" {
+		m.checkSWMR()
+	}
+}
+
+// IsDelivery reports whether ch delivers an in-flight network message
+// (the only choice kind the partial-order reduction considers).
+func (m *Model) IsDelivery(ch Choice) bool { return ch.kind == chDeliver }
+
 // ChoiceDesc renders the i-th enabled transition for counterexample
 // traces. It must be called before the choice is applied.
 func (m *Model) ChoiceDesc(i int) string {
@@ -403,7 +463,12 @@ func (m *Model) ChoiceDesc(i int) string {
 	if i < 0 || i >= len(cs) {
 		return fmt.Sprintf("choice %d of %d", i, len(cs))
 	}
-	ch := cs[i]
+	return m.DescribeChoice(cs[i])
+}
+
+// DescribeChoice renders one enabled transition for counterexample
+// traces. It must be called before the choice is applied.
+func (m *Model) DescribeChoice(ch Choice) string {
 	switch ch.kind {
 	case chDeliver:
 		nm := m.net[ch.idx]
@@ -677,9 +742,11 @@ func (m *Model) CheckTerminal() (violation string) {
 	return ""
 }
 
-// memWord reads line's word 0 from backing memory.
+// memWord reads line's word 0 from backing memory. A model's memory is
+// private to the goroutine fingerprinting it, so the unsynced read is
+// safe and skips a mutex on a very hot path.
 func (m *Model) memWord(line mem.Line) uint64 {
-	d := m.memory.ReadLine(line)
+	d := m.memory.ReadLineUnsynced(line)
 	return uint64(d.Get(line.Base()))
 }
 
@@ -705,8 +772,16 @@ func fpBool(b []byte, v bool) []byte {
 	return append(b, '0')
 }
 
-// fpInt appends a decimal integer plus a separator.
+// fpInt appends a decimal integer plus a separator. Fingerprint values
+// are almost always tiny non-negative ints (endpoints, types, versions),
+// so the two-digit fast path skips strconv's general machinery.
 func fpInt(b []byte, v int64) []byte {
+	if v >= 0 && v < 100 {
+		if v >= 10 {
+			b = append(b, byte('0'+v/10))
+		}
+		return append(b, byte('0'+v%10), ',')
+	}
 	return append(strconv.AppendInt(b, v, 10), ',')
 }
 
@@ -756,7 +831,12 @@ func (m *Model) eventKey(b []byte, arg any) []byte {
 // per-set rank. Excluded as non-semantic: stats, cycle stamps (time is
 // abstracted), raw LRU ticks, event (at, seq) keys, and the L1 presence
 // filter (it only modulates hit latency, never protocol behaviour).
-func (m *Model) Fingerprint() string {
+func (m *Model) Fingerprint() string { return string(m.FingerprintBytes()) }
+
+// FingerprintBytes is Fingerprint without the string allocation; the
+// returned slice aliases the model's scratch buffer and is valid only
+// until the next fingerprint call on the same model.
+func (m *Model) FingerprintBytes() []byte {
 	b := m.fpScratch[:0]
 	for _, c := range m.cores {
 		b = append(b, 'c')
@@ -834,18 +914,34 @@ func (m *Model) Fingerprint() string {
 	// Network multiset: serialize each message, then sort the per-message
 	// keys so delivery-order-equivalent states coincide.
 	b = append(b, 'n')
-	keys := m.keyScratch[:0]
+	kb, offs := m.kaBuf[:0], m.kaOffs[:0]
 	for _, nm := range m.net {
-		keys = append(keys, string(m.msgKey(m.msgScratch[:0], nm.Payload.(*Msg), nm.Dst)))
+		start := int32(len(kb))
+		kb = m.msgKey(kb, nm.Payload.(*Msg), nm.Dst)
+		offs = append(offs, start, int32(len(kb)))
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		b = append(b, k...)
+	b = appendSortedKeys(b, kb, offs)
+	m.kaBuf, m.kaOffs = kb, offs
+	m.fpScratch = b
+	return b
+}
+
+// appendSortedKeys appends the keys serialized in kb (as start/end
+// offset pairs in offs) to b in sorted order, ';'-terminated. Sorting
+// offset spans in an arena instead of []string keeps the fingerprint
+// hot path (one call per multiset per serialized state) allocation-free.
+func appendSortedKeys(b, kb []byte, offs []int32) []byte {
+	for i := 2; i < len(offs); i += 2 {
+		for j := i; j > 0 && bytes.Compare(kb[offs[j]:offs[j+1]], kb[offs[j-2]:offs[j-1]]) < 0; j -= 2 {
+			offs[j], offs[j-2] = offs[j-2], offs[j]
+			offs[j+1], offs[j-1] = offs[j-1], offs[j+1]
+		}
+	}
+	for i := 0; i < len(offs); i += 2 {
+		b = append(b, kb[offs[i]:offs[i+1]]...)
 		b = append(b, ';')
 	}
-	m.keyScratch = keys
-	m.fpScratch = b
-	return string(b)
+	return b
 }
 
 // dirLineKey serializes one directory entry.
@@ -892,20 +988,18 @@ func (m *Model) dirLineKey(b []byte, bank *Bank, dl *dirLine) []byte {
 // multiset of serialized arguments.
 func (m *Model) eventMultiset(b []byte, q *sim.EventQueue) []byte {
 	b = append(b, 'E')
-	pes := q.Pending()
-	if len(pes) == 0 {
+	n := q.Len()
+	if n == 0 {
 		return b
 	}
-	keys := m.keyScratch[:0]
-	for _, pe := range pes {
-		keys = append(keys, string(m.eventKey(m.msgScratch[:0], pe.Arg)))
+	kb, offs := m.kaBuf[:0], m.kaOffs[:0]
+	for i := 0; i < n; i++ {
+		start := int32(len(kb))
+		kb = m.eventKey(kb, q.ArgAt(i))
+		offs = append(offs, start, int32(len(kb)))
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		b = append(b, k...)
-		b = append(b, ';')
-	}
-	m.keyScratch = keys
+	b = appendSortedKeys(b, kb, offs)
+	m.kaBuf, m.kaOffs = kb, offs
 	return b
 }
 

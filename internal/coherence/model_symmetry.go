@@ -1,0 +1,575 @@
+package coherence
+
+// Symmetry reduction. The model's components are interchangeable up to
+// renaming: permuting core indices (together with the per-core program
+// structure), line addresses (together with their directory homes), and
+// the induced bank indices maps reachable states onto reachable states.
+// The checker deduplicates on a canonical fingerprint — the
+// lexicographically minimal serialization of the state over the model's
+// automorphism group — so one representative stands for every state in
+// its orbit.
+//
+// The group is computed by brute-force validation at first use: a
+// candidate (core permutation π, line permutation σ) is an automorphism
+// iff
+//
+//   - every core's program maps onto the target core's program:
+//     σ(line(c, i)) == line(π(c), i) for every program step i (the
+//     model's programs are structurally symmetric but not identical —
+//     core c starts at line c — so most permutations fail this);
+//   - σ respects directory homing: the induced bank map
+//     β(l mod B) = σ(l) mod B is well defined (and then a bijection);
+//   - the cache geometry is name-independent: every array the model
+//     builds is single-set (L1/L2 are 1×1, the LLC is fully
+//     associative), so set indexing cannot distinguish renamed lines.
+//
+// Configs are tiny (≤ a handful of cores/lines), so the factorial
+// enumeration is instantaneous, and the group is cached on the Model
+// and shared by Clone.
+//
+// Serialization under a permutation keeps every component's own state
+// byte-for-byte but emits it in renamed order with renamed endpoint and
+// line fields; order-insensitive collections that the identity
+// fingerprint keeps in insertion order (directory sharer lists) are
+// sorted, since insertion order is not preserved by renaming (and is
+// not semantic: it only orders invalidation sends within a single
+// transition, which the unordered network erases).
+
+import (
+	"bytes"
+
+	"wbsim/internal/mem"
+	"wbsim/internal/network"
+	"wbsim/internal/sim"
+)
+
+// symPerm is one automorphism: old-index → new-index maps plus their
+// inverses (serialization iterates new indices).
+type symPerm struct {
+	core, line, bank          []int32
+	invCore, invLine, invBank []int32
+}
+
+// symGroup is the model's automorphism group; perms[0] is the identity.
+type symGroup struct {
+	perms []*symPerm
+}
+
+// symmetry returns the cached automorphism group, computing it on first
+// use. The group depends only on the config, so clones share it.
+func (m *Model) symmetry() *symGroup {
+	if m.sym == nil {
+		m.sym = computeSymmetry(m.cfg)
+	}
+	return m.sym
+}
+
+// SymmetrySize reports the order of the model's automorphism group (the
+// best-case state reduction factor).
+func (m *Model) SymmetrySize() int { return len(m.symmetry().perms) }
+
+// permutations enumerates all permutations of [0, n) in lexicographic
+// order (so the identity comes first).
+func permutations(n int) [][]int32 {
+	var out [][]int32
+	cur := make([]int32, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			out = append(out, append([]int32(nil), cur...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			cur = append(cur, int32(v))
+			rec()
+			cur = cur[:len(cur)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// invert returns the inverse permutation.
+func invert(p []int32) []int32 {
+	inv := make([]int32, len(p))
+	for i, v := range p {
+		inv[v] = int32(i)
+	}
+	return inv
+}
+
+// computeSymmetry enumerates and validates every (core, line)
+// permutation pair against the config's program and home structure.
+func computeSymmetry(cfg ModelConfig) *symGroup {
+	g := &symGroup{}
+	for _, cp := range permutations(cfg.Cores) {
+		for _, lp := range permutations(cfg.Lines) {
+			if p := buildPerm(cfg, cp, lp); p != nil {
+				g.perms = append(g.perms, p)
+			}
+		}
+	}
+	if len(g.perms) == 0 {
+		panic("model: symmetry group lost its identity element")
+	}
+	return g
+}
+
+// buildPerm validates one candidate pair and derives the induced bank
+// permutation; it returns nil if the pair is not an automorphism.
+func buildPerm(cfg ModelConfig, cp, lp []int32) *symPerm {
+	// Program compatibility: core c's step i touches line (c+i) mod L,
+	// so σ((c+i) mod L) must be (π(c)+i) mod L. Store/load alternation
+	// is positional and identical across cores, so it needs no check.
+	for c := 0; c < cfg.Cores; c++ {
+		for i := 0; i < cfg.OpsPerCore; i++ {
+			if lp[(c+i)%cfg.Lines] != (cp[c]+int32(i))%int32(cfg.Lines) {
+				return nil
+			}
+		}
+	}
+	// Home compatibility: line id li+1 is homed at bank (li+1) mod B;
+	// the induced bank map must be a well-defined bijection.
+	bank := make([]int32, cfg.Banks)
+	for i := range bank {
+		bank[i] = -1
+	}
+	for li := 0; li < cfg.Lines; li++ {
+		from := int32((li + 1) % cfg.Banks)
+		to := int32((int(lp[li]) + 1) % cfg.Banks)
+		if bank[from] >= 0 && bank[from] != to {
+			return nil
+		}
+		bank[from] = to
+	}
+	// Banks no modeled line homes at (possible when Lines < Banks) are
+	// unconstrained; extend order-preservingly over the leftovers so the
+	// result is deterministic.
+	taken := make([]bool, cfg.Banks)
+	for _, to := range bank {
+		if to >= 0 {
+			if taken[to] {
+				return nil
+			}
+			taken[to] = true
+		}
+	}
+	next := 0
+	for i := range bank {
+		if bank[i] >= 0 {
+			continue
+		}
+		for taken[next] {
+			next++
+		}
+		bank[i] = int32(next)
+		taken[next] = true
+	}
+	return &symPerm{
+		core: cp, line: lp, bank: bank,
+		invCore: invert(cp), invLine: invert(lp), invBank: invert(bank),
+	}
+}
+
+// mapEP renames an endpoint (cores first, then banks).
+func (m *Model) mapEP(p *symPerm, ep network.Endpoint) network.Endpoint {
+	if int(ep) < m.cfg.Cores {
+		return network.Endpoint(p.core[ep])
+	}
+	return network.Endpoint(m.cfg.Cores + int(p.bank[int(ep)-m.cfg.Cores]))
+}
+
+// mapLine renames a line id (line ids are 1-based line indices).
+func (m *Model) mapLine(p *symPerm, l mem.Line) mem.Line {
+	return mem.Line(p.line[int(l)-1] + 1)
+}
+
+// ---------------------------------------------------------------------
+// Delivery signatures (partial-order reduction support)
+// ---------------------------------------------------------------------
+
+// MsgSig is the structural signature of one in-flight message: the full
+// message content plus its destination, with no multiset position. Two
+// deliveries with equal signatures are interchangeable (same handler,
+// same component state read, same effect). The explorer stores
+// signatures in canonical coordinates — mapped through a state's own
+// canonicalizing group element — which is what keeps the partial-order
+// bookkeeping sound when symmetry reduction is on.
+type MsgSig struct {
+	Type           MsgType
+	Line           mem.Line
+	Src, Dst, Req  network.Endpoint
+	Ack            int
+	Excl, Ev, Up   bool
+	Stale, HasData bool
+	Data0          uint64
+}
+
+// DeliverySig returns the signature of a delivery choice (ch must be a
+// delivery enumerated from this state).
+func (m *Model) DeliverySig(ch Choice) MsgSig {
+	nm := m.net[ch.idx]
+	pm := nm.Payload.(*Msg)
+	return MsgSig{
+		Type: pm.Type, Line: pm.Line, Src: pm.Src, Dst: nm.Dst,
+		Req: pm.Requester, Ack: pm.AckCount, Excl: pm.Excl,
+		Ev: pm.Eviction, Up: pm.Upgrade, Stale: pm.Stale,
+		HasData: pm.HasData, Data0: uint64(pm.Data[0]),
+	}
+}
+
+// MapSig renames a signature through group element g (an index returned
+// by CanonicalFingerprint).
+func (m *Model) MapSig(sig MsgSig, g int) MsgSig {
+	p := m.symmetry().perms[g]
+	sig.Line = m.mapLine(p, sig.Line)
+	sig.Src = m.mapEP(p, sig.Src)
+	sig.Dst = m.mapEP(p, sig.Dst)
+	sig.Req = m.mapEP(p, sig.Req)
+	return sig
+}
+
+// ---------------------------------------------------------------------
+// Canonical fingerprint
+// ---------------------------------------------------------------------
+
+// CanonicalFingerprint returns the lexicographically minimal
+// serialization of the state over the automorphism group, plus the
+// index of a group element achieving it. When several elements achieve
+// the minimum the state is self-symmetric and any of them is a valid
+// canonicalizer (the explorer relies only on g mapping this concrete
+// state onto the canonical representative).
+func (m *Model) CanonicalFingerprint() (string, int) {
+	b, g := m.CanonicalFingerprintBytes()
+	return string(b), g
+}
+
+// CanonicalFingerprintBytes is CanonicalFingerprint without the string
+// allocation; the returned slice aliases the model's scratch buffer and
+// is valid only until the next fingerprint call on the same model.
+func (m *Model) CanonicalFingerprintBytes() ([]byte, int) {
+	grp := m.symmetry()
+	if len(grp.perms) == 1 {
+		b := m.fingerprintMapped(grp.perms[0], m.fpScratch[:0], nil)
+		m.fpScratch = b
+		return b, 0
+	}
+	best := -1
+	bestBuf := m.fpScratch[:0]
+	candBuf := m.symScratch[:0]
+	for i, p := range grp.perms {
+		var fb *fpBound
+		if best >= 0 {
+			fb = &fpBound{bound: bestBuf}
+		}
+		candBuf = m.fingerprintMapped(p, candBuf[:0], fb)
+		if fb != nil && fb.decided > 0 {
+			continue // proven greater mid-serialization; cannot win
+		}
+		if best < 0 || bytes.Compare(candBuf, bestBuf) < 0 {
+			bestBuf, candBuf = candBuf, bestBuf
+			best = i
+		}
+	}
+	m.fpScratch, m.symScratch = bestBuf, candBuf
+	return bestBuf, best
+}
+
+// fpBound tracks an incremental lexicographic comparison of a candidate
+// serialization against the best complete one found so far, so the
+// canonical-minimum search can abandon a candidate as soon as a byte
+// proves it cannot win. decided: 0 = equal so far, -1 = candidate is
+// strictly smaller (it will win; stop comparing), +1 = strictly greater
+// (abort the serialization).
+type fpBound struct {
+	bound   []byte
+	matched int
+	decided int8
+}
+
+// step folds the bytes appended since the last call into the
+// comparison; it reports true when the candidate is proven greater and
+// serialization may stop. Aborting is only ever a shortcut: a candidate
+// that completes is still compared in full by the caller.
+func (fb *fpBound) step(b []byte) bool {
+	if fb == nil || fb.decided != 0 {
+		return fb != nil && fb.decided > 0
+	}
+	lim := len(b)
+	if len(fb.bound) < lim {
+		lim = len(fb.bound)
+	}
+	for i := fb.matched; i < lim; i++ {
+		if b[i] != fb.bound[i] {
+			if b[i] > fb.bound[i] {
+				fb.decided = 1
+				return true
+			}
+			fb.decided = -1
+			return false
+		}
+	}
+	fb.matched = lim
+	if len(b) > len(fb.bound) {
+		fb.decided = 1 // the bound is a proper prefix: it sorts first
+		return true
+	}
+	return false
+}
+
+// fingerprintMapped serializes the state renamed by p: components in
+// new-index order, endpoint and line fields renamed, sharer lists
+// sorted. With the identity permutation it matches Fingerprint except
+// for the sharer-list sorting (which the canonical form needs so that
+// renaming-order artifacts cannot split an orbit). A non-nil fb aborts
+// the serialization (returning the partial buffer, fb.decided > 0) as
+// soon as a section boundary proves the candidate lexicographically
+// greater than fb.bound.
+func (m *Model) fingerprintMapped(p *symPerm, b []byte, fb *fpBound) []byte {
+	for nj := 0; nj < m.cfg.Cores; nj++ {
+		c := m.cores[p.invCore[nj]]
+		b = append(b, 'c')
+		b = fpInt(b, int64(c.pc))
+		b = fpBool(b, c.waitLoad)
+		b = fpInt(b, int64(c.locksUsed))
+		for nli := 0; nli < m.cfg.Lines; nli++ {
+			oli := p.invLine[nli]
+			b = fpBool(b, c.locked[oli])
+			b = fpBool(b, c.seen[oli])
+			b = fpInt(b, int64(c.observed[oli]))
+		}
+		if fb.step(b) {
+			return b
+		}
+	}
+	b = append(b, 'v')
+	for nli := 0; nli < m.cfg.Lines; nli++ {
+		oli := p.invLine[nli]
+		b = fpInt(b, int64(m.latest[oli]))
+		b = fpInt(b, int64(m.memWord(m.lines[oli])))
+	}
+	if fb.step(b) {
+		return b
+	}
+	for nj := 0; nj < m.cfg.Cores; nj++ {
+		pcu := m.pcus[p.invCore[nj]]
+		b = append(b, 'p')
+		for nli := 0; nli < m.cfg.Lines; nli++ {
+			line := m.lines[p.invLine[nli]]
+			newID := int64(nli + 1)
+			if e := pcu.l2.Lookup(line); e != nil && e.Valid() {
+				b = append(b, 'l')
+				b = fpInt(b, newID)
+				b = fpInt(b, int64(e.State))
+				b = fpBool(b, e.Dirty)
+				b = fpInt(b, int64(e.Data.Get(line.Base())))
+				b = fpInt(b, int64(pcu.l2.LRURank(e)))
+			}
+			for _, ms := range pcu.mshrs.LookupAll(line) {
+				txn := ms.Payload.(*pcuTxn)
+				b = append(b, 'm')
+				b = fpInt(b, newID)
+				b = fpBool(b, ms.Reserved)
+				b = fpBool(b, txn.write)
+				b = fpBool(b, txn.upgrade)
+				b = fpBool(b, txn.lostLine)
+				b = fpBool(b, txn.blocked)
+				b = fpBool(b, txn.atomicOnly)
+				b = fpBool(b, txn.gotGrant)
+				b = fpInt(b, int64(txn.acksNeeded))
+				b = fpInt(b, int64(txn.acksGot))
+				b = fpBool(b, txn.hasData)
+				b = fpInt(b, int64(txn.data.Get(line.Base())))
+				b = fpInt(b, int64(len(txn.loads)))
+				b = fpInt(b, int64(len(txn.atomics)))
+			}
+			if wb := pcu.wbBuf[line]; wb != nil {
+				b = append(b, 'w')
+				b = fpInt(b, newID)
+				b = fpBool(b, wb.dirty)
+				b = fpBool(b, wb.staleAck)
+				b = fpBool(b, wb.servedFwd)
+				b = fpInt(b, int64(wb.data.Get(line.Base())))
+			}
+		}
+		b = m.eventMultisetMapped(b, &pcu.events, p)
+		if fb.step(b) {
+			return b
+		}
+	}
+	for nbj := 0; nbj < m.cfg.Banks; nbj++ {
+		bank := m.banks[p.invBank[nbj]]
+		b = append(b, 'b')
+		for nli := 0; nli < m.cfg.Lines; nli++ {
+			line := m.lines[p.invLine[nli]]
+			if dl := bank.lines[line]; dl != nil {
+				b = m.dirLineKeyMapped(append(b, 'l'), bank, dl, p)
+			}
+			if dl := bank.evbuf[line]; dl != nil {
+				b = m.dirLineKeyMapped(append(b, 'e'), bank, dl, p)
+			}
+			if n := bank.earlyDelayed[line]; n != 0 {
+				b = append(b, 'd')
+				b = fpInt(b, int64(nli+1))
+				b = fpInt(b, int64(n))
+			}
+		}
+		b = m.eventMultisetMapped(b, &bank.events, p)
+		if fb.step(b) {
+			return b
+		}
+	}
+	b = append(b, 'n')
+	kb, offs := m.kaBuf[:0], m.kaOffs[:0]
+	for _, nm := range m.net {
+		start := int32(len(kb))
+		kb = m.msgKeyMapped(kb, nm.Payload.(*Msg), nm.Dst, p)
+		offs = append(offs, start, int32(len(kb)))
+	}
+	b = appendSortedKeys(b, kb, offs)
+	m.kaBuf, m.kaOffs = kb, offs
+	return b
+}
+
+// msgKeyMapped is msgKey with renamed line and endpoint fields.
+func (m *Model) msgKeyMapped(b []byte, pm *Msg, dst network.Endpoint, p *symPerm) []byte {
+	b = fpInt(b, int64(pm.Type))
+	b = fpInt(b, int64(m.mapLine(p, pm.Line)))
+	b = fpInt(b, int64(m.mapEP(p, pm.Src)))
+	b = fpInt(b, int64(m.mapEP(p, dst)))
+	return m.msgKeyMappedTail(b, pm, p)
+}
+
+// msgKeyMappedSched is msgKeyMapped for not-yet-fired scheduled sends:
+// the Src placeholder is serialized unrenamed.
+func (m *Model) msgKeyMappedSched(b []byte, pm *Msg, dst network.Endpoint, p *symPerm) []byte {
+	b = fpInt(b, int64(pm.Type))
+	b = fpInt(b, int64(m.mapLine(p, pm.Line)))
+	b = fpInt(b, int64(pm.Src))
+	b = fpInt(b, int64(m.mapEP(p, dst)))
+	return m.msgKeyMappedTail(b, pm, p)
+}
+
+func (m *Model) msgKeyMappedTail(b []byte, pm *Msg, p *symPerm) []byte {
+	b = fpInt(b, int64(m.mapEP(p, pm.Requester)))
+	b = fpInt(b, int64(pm.AckCount))
+	b = fpBool(b, pm.Excl)
+	b = fpBool(b, pm.Eviction)
+	b = fpBool(b, pm.Upgrade)
+	b = fpBool(b, pm.Stale)
+	if pm.HasData {
+		b = append(b, 'v')
+		b = fpInt(b, int64(pm.Data[0]))
+	}
+	return b
+}
+
+// eventKeyMapped is eventKey with renamed fields. Scheduled sends
+// (pcuSend/bankSend) carry an unset Src placeholder — send() stamps the
+// real source only at fire time — so their Src byte is emitted as-is,
+// never renamed (the sender's identity is already encoded by the
+// component's position in the serialization). Retry/requeue events wrap
+// received messages whose Src is a real endpoint and is renamed.
+func (m *Model) eventKeyMapped(b []byte, arg any, p *symPerm) []byte {
+	switch a := arg.(type) {
+	case *pcuSend:
+		return m.msgKeyMappedSched(append(b, 'p'), &a.m, a.dst, p)
+	case *bankSend:
+		return m.msgKeyMappedSched(append(b, 'b'), &a.m, a.dst, p)
+	case *bankRetry:
+		return m.msgKeyMapped(append(b, 'r'), &a.m, a.b.id, p)
+	case *bankFetchDone:
+		return fpInt(append(b, 'f'), int64(m.mapLine(p, a.dl.line)))
+	case *bankRequeue:
+		return m.msgKeyMapped(append(b, 'q'), a.m, a.b.id, p)
+	}
+	panic("model: unfingerprintable pending event")
+}
+
+// dirLineKeyMapped is dirLineKey with renamed fields and sorted sharers.
+func (m *Model) dirLineKeyMapped(b []byte, bank *Bank, dl *dirLine, p *symPerm) []byte {
+	b = fpInt(b, int64(m.mapLine(p, dl.line)))
+	b = fpInt(b, int64(dl.kind))
+	sh := m.shScratch[:0]
+	for _, s := range dl.sharers {
+		sh = append(sh, int64(m.mapEP(p, s)))
+	}
+	sortInt64(sh)
+	m.shScratch = sh
+	for _, s := range sh {
+		b = fpInt(b, s)
+	}
+	b = append(b, 'o')
+	b = fpBool(b, dl.hasOwner)
+	if dl.hasOwner {
+		b = fpInt(b, int64(m.mapEP(p, dl.owner)))
+	}
+	b = fpBool(b, dl.dataValid)
+	b = fpBool(b, dl.dirty)
+	b = fpInt(b, int64(dl.data.Get(dl.line.Base())))
+	b = fpBool(b, dl.inEvBuf)
+	if t := dl.txn; t != nil {
+		b = append(b, 't')
+		b = fpBool(b, t.write)
+		b = fpBool(b, t.eviction)
+		b = fpInt(b, int64(m.mapEP(p, t.requester)))
+		b = fpBool(b, t.grantExcl)
+		b = fpBool(b, t.fwd)
+		b = fpBool(b, t.gotOwnerData)
+		b = fpBool(b, t.gotUnblock)
+		// oldOwner is populated only for forwarding transactions; without
+		// fwd it is the zero placeholder, not an endpoint reference.
+		if t.fwd {
+			b = fpInt(b, int64(m.mapEP(p, t.oldOwner)))
+		} else {
+			b = fpInt(b, int64(t.oldOwner))
+		}
+		b = fpInt(b, int64(t.acksPending))
+		b = fpInt(b, int64(t.delayedPending))
+		b = fpBool(b, t.hinted)
+	}
+	if len(dl.pending) > 0 {
+		b = append(b, 'q')
+		for _, pm := range dl.pending {
+			b = m.msgKeyMapped(b, pm, bank.id, p)
+			b = append(b, ';')
+		}
+	}
+	return b
+}
+
+// eventMultisetMapped appends a component's pending events as a sorted
+// multiset of renamed serialized arguments.
+func (m *Model) eventMultisetMapped(b []byte, q *sim.EventQueue, p *symPerm) []byte {
+	b = append(b, 'E')
+	n := q.Len()
+	if n == 0 {
+		return b
+	}
+	kb, offs := m.kaBuf[:0], m.kaOffs[:0]
+	for i := 0; i < n; i++ {
+		start := int32(len(kb))
+		kb = m.eventKeyMapped(kb, q.ArgAt(i), p)
+		offs = append(offs, start, int32(len(kb)))
+	}
+	b = appendSortedKeys(b, kb, offs)
+	m.kaBuf, m.kaOffs = kb, offs
+	return b
+}
+
+// sortInt64 is an allocation-free insertion sort for the tiny sharer
+// lists the mapped fingerprint path sorts; sort.Slice would box a
+// closure per call.
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

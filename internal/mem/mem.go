@@ -77,6 +77,55 @@ func NewMemory() *Memory {
 	return &Memory{lines: make(map[Line]*LineData)}
 }
 
+// Clone returns an independent copy of the memory contents (model
+// checker state cloning). The copy has its own lock and line storage.
+func (m *Memory) Clone() *Memory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := &Memory{lines: make(map[Line]*LineData, len(m.lines))}
+	block := make([]LineData, 0, len(m.lines)) // one allocation for all lines
+	//wbsim:nondet -- per-key copy; which block slot a line lands in is unobservable
+	for l, d := range m.lines {
+		block = append(block, *d)
+		out.lines[l] = &block[len(block)-1]
+	}
+	return out
+}
+
+// CloneInto overwrites dst with m's contents, reusing dst's map and line
+// storage where the keys match (model-checker state pooling: dst is a
+// retired clone nothing else references).
+func (m *Memory) CloneInto(dst *Memory) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//wbsim:nondet -- each delete decision depends only on its own key
+	for l := range dst.lines {
+		if _, ok := m.lines[l]; !ok {
+			delete(dst.lines, l)
+		}
+	}
+	//wbsim:nondet -- per-key copy into distinct slots; order-independent
+	for l, d := range m.lines {
+		if pd, ok := dst.lines[l]; ok {
+			*pd = *d
+		} else {
+			nd := *d
+			dst.lines[l] = &nd
+		}
+	}
+}
+
+// ReadLineUnsynced returns a copy of the line's data without taking the
+// lock. Only safe when the caller owns the memory exclusively — the
+// model checker's fingerprint path, where each model's memory is
+// touched by one goroutine at a time.
+func (m *Memory) ReadLineUnsynced(l Line) LineData {
+	if d, ok := m.lines[l]; ok {
+		return *d
+	}
+	return LineData{}
+}
+
 // ReadLine returns a copy of the line's data.
 func (m *Memory) ReadLine(l Line) LineData {
 	m.mu.Lock()

@@ -74,6 +74,23 @@ type Message struct {
 // reads it when routing extracted deliveries to shards).
 func (m *Message) Arrival() sim.Cycle { return m.arrival }
 
+// Clone returns a copy of the message carrying payload in place of the
+// original's, preserving the routing stamps. The model checker uses it
+// to clone in-flight messages whose payloads it deep-copies itself.
+func (m *Message) Clone(payload any) *Message {
+	out := *m
+	out.Payload = payload
+	return &out
+}
+
+// CloneInto copies m into dst with payload substituted, preserving the
+// routing stamps. The model checker's pooled clone passes an arena slot
+// as dst instead of allocating.
+func (m *Message) CloneInto(dst *Message, payload any) {
+	*dst = *m
+	dst.Payload = payload
+}
+
 // Receiver consumes messages delivered to an endpoint. Receivers must
 // always accept delivery (endpoint input queues are unbounded); any
 // protocol-level back-pressure is expressed by queuing inside the

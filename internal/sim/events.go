@@ -86,6 +86,55 @@ func (q *EventQueue) NextAt() (at Cycle, ok bool) {
 	return q.h[0].at, true
 }
 
+// Clone returns a deep copy of the queue: same (at, seq) keys, same
+// firing order. mapArg rewrites each event's scheduled argument — the
+// model checker's Clone passes a rewriter so deferred actions fire
+// against the cloned component instead of the original; nil shares the
+// argument values. Closure-style events (At/After) are cloned with their
+// closures shared, which is only sound if the closure captures nothing
+// the caller also clones; the checker forbids them outright.
+func (q *EventQueue) Clone(mapArg func(any) any) EventQueue {
+	out := EventQueue{seq: q.seq}
+	if len(q.h) > 0 {
+		out.h = make([]event, len(q.h))
+		copy(out.h, q.h)
+		if mapArg != nil {
+			for i := range out.h {
+				out.h[i].arg = mapArg(out.h[i].arg)
+			}
+		}
+	}
+	return out
+}
+
+// CloneInto overwrites dst with a deep copy of the queue, reusing dst's
+// heap storage (model-checker state pooling). Semantics match Clone.
+func (q *EventQueue) CloneInto(dst *EventQueue, mapArg func(any) any) {
+	dst.seq = q.seq
+	dst.h = append(dst.h[:0], q.h...)
+	if mapArg != nil {
+		for i := range dst.h {
+			dst.h[i].arg = mapArg(dst.h[i].arg)
+		}
+	}
+}
+
+// ForEachArg calls f on each pending event's scheduled argument, in
+// storage order. The model checker's pooled clone uses it to harvest a
+// retired queue's argument objects for reuse before overwriting it.
+func (q *EventQueue) ForEachArg(f func(any)) {
+	for i := range q.h {
+		f(q.h[i].arg)
+	}
+}
+
+// ArgAt returns the i-th pending event's argument in storage order
+// (NOT firing order; i indexes 0..Len()-1). The model checker's
+// fingerprint path uses it to fold event arguments into a sorted
+// multiset, where firing order is irrelevant and Pending's per-call
+// allocations are not.
+func (q *EventQueue) ArgAt(i int) any { return q.h[i].arg }
+
 // PendingEvent describes one scheduled event without firing it. Arg is
 // the scheduled argument value (nil for the closure-style At/After API,
 // whose argument is the closure itself). The model checker uses the

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Re-record the refreshable sections of BENCH_baseline.json.
+"""Re-record the refreshable sections of BENCH_baseline.json and
+BENCH_check.json.
 
 Runs the end-to-end throughput benchmark (sequential and sharded
 kernels) and the experiments-all wall-clock run on the current tree,
@@ -12,6 +13,18 @@ place:
                                             headline (shards=1)
   wall_clock.experiments_all_c4s1           real/user seconds
 
+by_shards entries are only recorded for shard counts the host can
+actually run in parallel (shards <= cpu count), and every entry is
+stamped with the recording host's CPU count — a shards=4 number from a
+1-vCPU box is measurement noise, not a baseline.
+
+With --check, re-records BENCH_check.json instead: every model-checker
+exploration config (states, wall, states/sec, peak RSS, reduction
+factors), taking the best wall time of --check-runs runs (the 1-vCPU CI
+host jitters ~±20%). The PR-7 pre-reduction baseline block inside
+BENCH_check.json is never touched — it is the reference the bench-check
+gate (scripts/checkbench_gate.py) measures speedups against.
+
 The DirDispatch record is deliberately NOT touched: it is the
 pre-refactor reference the dispatch regression gate
 (scripts/dirbench_gate.py) compares against, and refreshing it would
@@ -20,11 +33,13 @@ erase the gate's meaning.
 Usage:
   python3 scripts/refresh_baseline.py              # benchmarks only
   python3 scripts/refresh_baseline.py --wall-clock # + experiments all (minutes)
+  python3 scripts/refresh_baseline.py --check      # BENCH_check.json instead
 """
 
 import argparse
 import datetime
 import json
+import os
 import platform
 import re
 import resource
@@ -33,6 +48,7 @@ import sys
 import time
 
 BASELINE = "BENCH_baseline.json"
+CHECKFILE = "BENCH_check.json"
 BENCH_RE = re.compile(
     r"^BenchmarkSimulatorThroughput/shards=(\d+)\S*\s+\d+\s+(\d+) ns/op"
     r"\s+(\d+) sim-cycles/op\s+(\d+) sim-cycles/sec\s+(\d+) B/op\s+(\d+) allocs/op",
@@ -50,18 +66,161 @@ def bench_throughput():
         "go", "test", "-count=1", "-run", "^$",
         "-bench", "SimulatorThroughput", "-benchtime", "3x", "-benchmem", ".",
     ]).stdout
+    cpus = os.cpu_count()
     shards = {}
     for m in BENCH_RE.finditer(out):
-        shards["shards=" + m.group(1)] = {
+        n = int(m.group(1))
+        if n > cpus:
+            # A shards=N time from a host with fewer than N CPUs measures
+            # goroutine context-switch overhead, not sharded throughput
+            # (the anomaly that made shards=4 read slower than shards=1
+            # in the original baseline). Refuse to record it.
+            print("refresh_baseline: skipping shards=%d (host has %d CPUs)"
+                  % (n, cpus), file=sys.stderr)
+            continue
+        shards["shards=" + str(n)] = {
             "ns_per_op": int(m.group(2)),
             "sim_cycles_per_op": int(m.group(3)),
             "sim_cycles_per_sec": int(m.group(4)),
             "bytes_per_op": int(m.group(5)),
             "allocs_per_op": int(m.group(6)),
+            "cpus": cpus,
         }
     if "shards=1" not in shards:
         sys.exit("refresh_baseline: no shards=1 result in benchmark output:\n" + out)
     return shards
+
+
+# ---------------------------------------------------------------------
+# BENCH_check.json: the model-checker exploration record
+# ---------------------------------------------------------------------
+
+# Every recorded exploration. Key -> wbsimcheck arguments. The heavy
+# exhaustive 3c/2b/2l closures only run with --deep (minutes each).
+CHECK_CONFIGS = {
+    "1c_2l_2ops": ["-cores", "1", "-banks", "1", "-lines", "2", "-ops", "2"],
+    "1c_2l_3ops": ["-cores", "1", "-banks", "1", "-lines", "2", "-ops", "3"],
+    "2c_1l_squash_gate": ["-cores", "2", "-banks", "1", "-lines", "1", "-ops", "2"],
+    "2c_1l_lockdown_gate": ["-cores", "2", "-banks", "1", "-lines", "1", "-ops", "2",
+                            "-mode", "lockdown", "-lockdowns", "1"],
+    "2c_2l_deep": ["-cores", "2", "-banks", "1", "-lines", "2", "-ops", "2"],
+    "2c_2l_deep_sym": ["-cores", "2", "-banks", "1", "-lines", "2", "-ops", "2",
+                       "-reduce", "sym"],
+    "2c_2l_deep_sym_por": ["-cores", "2", "-banks", "1", "-lines", "2", "-ops", "2",
+                           "-reduce", "sym,por"],
+    "3c_2b_2l_capped_gate": ["-cores", "3", "-banks", "2", "-lines", "2", "-ops", "2",
+                             "-max-states", "50000"],
+    "1c_2l_prefix_deadlock": ["-cores", "1", "-banks", "1", "-lines", "2", "-ops", "2",
+                              "-prefix"],
+}
+DEEP_CHECK_CONFIGS = {
+    "3c_2b_2l_deep_sym_por": ["-cores", "3", "-banks", "2", "-lines", "2", "-ops", "2",
+                              "-reduce", "sym,por"],
+}
+
+
+def run_check(binary, args, runs):
+    """Run one wbsimcheck config `runs` times; keep the fastest wall."""
+    best = None
+    for _ in range(runs):
+        p = subprocess.run([binary] + args + ["-json"],
+                           capture_output=True, text=True)
+        if p.returncode not in (0, 1):  # 1 = violation/trap found (expected for -prefix)
+            sys.exit("refresh_baseline: wbsimcheck %s failed:\n%s"
+                     % (" ".join(args), p.stderr))
+        rep = json.loads(p.stdout)
+        if best is None or rep["wall_ms"] < best["wall_ms"]:
+            best = rep
+    return best
+
+
+def check_entry(key, args, rep):
+    res = rep["result"]
+    entry = {
+        "cmd": "wbsimcheck " + " ".join(args),
+        "states": res["States"],
+        "transitions": res["Transitions"],
+        "terminals": res["Terminals"],
+        "max_depth": res["MaxDepth"],
+        "exhaustive": res["Exhaustive"],
+        "passed": rep["passed"],
+        "wall_ms": round(rep["wall_ms"], 1),
+        "states_per_sec": int(rep["states_per_sec"]),
+        "workers": rep["workers"],
+        "reduce": rep["reduce"],
+    }
+    if rep.get("peak_rss_kb"):
+        entry["peak_rss_kb"] = rep["peak_rss_kb"]
+    if res.get("SymmetryGroup", 1) > 1:
+        entry["symmetry_group"] = res["SymmetryGroup"]
+    if res.get("DeferredEdges", 0) > 0:
+        entry["deferred_edges"] = res["DeferredEdges"]
+    if res.get("Trap"):
+        entry["trap"] = "%s at depth %d" % (res["Trap"]["Kind"], res["MaxDepth"])
+    return entry
+
+
+def refresh_check(deep, runs):
+    with open(CHECKFILE) as f:
+        doc = json.load(f)
+
+    subprocess.run(["go", "build", "-o", "/tmp/wbsimcheck-refresh",
+                    "./cmd/wbsimcheck"], check=True)
+    binary = "/tmp/wbsimcheck-refresh"
+
+    configs = dict(CHECK_CONFIGS)
+    if deep:
+        configs.update(DEEP_CHECK_CONFIGS)
+    explorations = doc.setdefault("explorations", {})
+    reports = {}
+    for key, args in configs.items():
+        rep = run_check(binary, args, 1 if "3c" in key or deep else runs)
+        reports[key] = rep
+        explorations[key] = check_entry(key, args, rep)
+        print("  %s: %d states in %.0fms (%d states/sec)"
+              % (key, rep["result"]["States"], rep["wall_ms"],
+                 rep["states_per_sec"]), file=sys.stderr)
+
+    # Reduction summary on the 2c/2l deep config: factors per technique
+    # and the effective speedup vs the frozen PR-7 baseline (effective
+    # rate = full-space states the run stands for, per second).
+    base = doc.get("baseline_pr7", {}).get("2c_2l_deep")
+    full = reports.get("2c_2l_deep")
+    sym = reports.get("2c_2l_deep_sym")
+    sympor = reports.get("2c_2l_deep_sym_por")
+    if base and full and sym and sympor:
+        full_states = full["result"]["States"]
+        eff_sym = full_states / (sym["wall_ms"] / 1000.0)
+        eff_sympor = full_states / (sympor["wall_ms"] / 1000.0)
+        # At this small geometry POR's diamond bookkeeping can outweigh
+        # its savings (it pays off at 3c/2b/2l, where it defers ~1.5M
+        # expansions); the headline is the best reduced mode.
+        eff = max(eff_sym, eff_sympor)
+        doc["reductions_2c_2l"] = {
+            "full_states": full_states,
+            "canonical_states": sym["result"]["States"],
+            "symmetry_factor": round(full_states / sym["result"]["States"], 2),
+            "por_deferred_edges": sympor["result"].get("DeferredEdges", 0),
+            "raw_states_per_sec_full": int(full["states_per_sec"]),
+            "effective_states_per_sec_sym": int(eff_sym),
+            "effective_states_per_sec_sym_por": int(eff_sympor),
+            "speedup_vs_pr7_full": round(
+                full["states_per_sec"] / base["states_per_sec"], 1),
+            "speedup_vs_pr7_effective": round(
+                eff / base["states_per_sec"], 1),
+            "note": "effective rate = full-space states the reduced run "
+                    "stands for / wall; speedups measured against the "
+                    "frozen PR-7 single-worker no-reduction baseline; "
+                    "the effective speedup is the best reduced mode",
+        }
+
+    doc["recorded"] = datetime.date.today().isoformat()
+    doc["machine"]["go"] = run(["go", "env", "GOVERSION"]).stdout.strip()
+    doc["machine"]["cpus"] = os.cpu_count()
+    with open(CHECKFILE, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print("updated %s" % CHECKFILE, file=sys.stderr)
 
 
 def wall_clock_experiments():
@@ -76,7 +235,17 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--wall-clock", action="store_true",
                     help="also re-record the experiments-all wall clock (minutes)")
+    ap.add_argument("--check", action="store_true",
+                    help="re-record BENCH_check.json (model checker) instead")
+    ap.add_argument("--deep", action="store_true",
+                    help="with --check: include the exhaustive 3c/2b/2l closure (minutes)")
+    ap.add_argument("--check-runs", type=int, default=3,
+                    help="with --check: runs per config; fastest wall is recorded")
     args = ap.parse_args()
+
+    if args.check:
+        refresh_check(args.deep, args.check_runs)
+        return
 
     with open(BASELINE) as f:
         doc = json.load(f)
