@@ -9,12 +9,12 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint wbsimlint race bench chaos-short chaos \
+.PHONY: verify build test vet lint wbsimlint spec-lint race bench chaos-short chaos \
 	alloc-gate golden-short golden-full profile bench-compare bench-kernel \
 	bench-dir bench-compare-dir bench-check coverage-report check-liveness \
 	check-liveness-deep print-staticcheck-version print-govulncheck-version
 
-verify: build vet lint test race alloc-gate golden-short chaos-short check-liveness
+verify: build vet lint spec-lint test race alloc-gate golden-short chaos-short check-liveness
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,14 @@ lint: wbsimlint
 # discipline. Always a hard gate; no network or external tool needed.
 wbsimlint:
 	$(GO) run ./cmd/wbsimlint ./...
+
+# Protocol-level static analysis (DESIGN.md, "Static invariants"):
+# wbsimspec runs the speclint passes — effects-annotation hygiene, VNet
+# deadlock-freedom over the message dependency graph, livelock cycles,
+# dead rows — across the four shipping table compositions. Like
+# wbsimlint it builds from this repo and is always a hard gate.
+spec-lint:
+	$(GO) run ./cmd/wbsimspec
 
 test:
 	$(GO) test ./...

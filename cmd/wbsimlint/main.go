@@ -5,17 +5,22 @@
 //
 // Usage:
 //
-//	wbsimlint [-list] [-run name,name] [packages]
+//	wbsimlint [-list] [-json] [-run name,name] [packages]
 //
 // Packages default to ./... . Each diagnostic prints as
 //
 //	file:line:col: [analyzer] message
+//
+// or, with -json, as a JSON array of {analyzer, file, line, col,
+// message} objects (an empty array when clean) for CI artifact
+// consumption.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 operational failure
 // (unloadable packages, unknown analyzer).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +29,18 @@ import (
 	"wbsim/internal/analysis"
 )
 
+// jsonDiag is the -json rendering of one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 
@@ -73,8 +88,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wbsimlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "wbsimlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "wbsimlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

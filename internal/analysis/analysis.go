@@ -79,6 +79,8 @@ var knownVerbs = map[string]string{
 	"nondet":     "determinism",
 	"unguarded":  "panicboundary",
 	"rawcounter": "statsdiscipline",
+	"uncloned":   "clonecomplete",
+	"shared":     "shardsafety",
 }
 
 const directivePrefix = "wbsim:"
@@ -149,7 +151,7 @@ func parseDirective(text string) (*Directive, error) {
 		d.Verb = fields[0]
 	}
 	if _, ok := knownVerbs[d.Verb]; !ok {
-		return nil, fmt.Errorf("unknown //wbsim: directive verb %q (known: partial, nondet, unguarded, rawcounter)", d.Verb)
+		return nil, fmt.Errorf("unknown //wbsim: directive verb %q (known: partial, nondet, unguarded, rawcounter, uncloned, shared)", d.Verb)
 	}
 	if !hasReason || reason == "" {
 		return nil, fmt.Errorf("//wbsim:%s directive needs a justification: `//wbsim:%s -- <reason>`", d.Verb, d.Verb)
@@ -242,9 +244,11 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CloneCompleteAnalyzer,
 		DeterminismAnalyzer,
 		ExhaustiveAnalyzer,
 		PanicBoundaryAnalyzer,
+		ShardSafetyAnalyzer,
 		StatsDisciplineAnalyzer,
 	}
 }

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CloneCompleteAnalyzer enforces that deep-copy code keeps up with the
+// structs it copies. A struct is clone-checked when it has a Clone or
+// CloneInto method, or when a function whose name contains "clone"
+// takes it (or a pointer to it) as a parameter — the repo's idiom for
+// externally-driven copies like cloneBankInto. Every field of a
+// clone-checked struct must be mentioned somewhere in the package's
+// clone family (read, assigned, or named in a composite literal);
+// copying the whole struct value (*dst = *src or dst := *src) counts
+// as mentioning every field.
+//
+// A field that is deliberately not copied (caches rebuilt on demand,
+// test-only hooks cleared in copies) must still be MENTIONED — an
+// explicit zeroing like `nb.conf = nil` both documents the decision
+// and satisfies the analyzer. A field that truly cannot appear is
+// excused field-by-field with //wbsim:uncloned -- reason on its
+// declaration line.
+//
+// The failure class this targets: model-checker state cloning silently
+// dropping a newly added field, which corrupts fingerprint-based state
+// deduplication far from the field's introduction.
+var CloneCompleteAnalyzer = &Analyzer{
+	Name: "clonecomplete",
+	Doc:  "every field of a cloned struct must be referenced by the package's clone code",
+	Run:  runCloneComplete,
+}
+
+func runCloneComplete(pass *Pass) error {
+	cloneFuncs := cloneFamily(pass)
+	if len(cloneFuncs) == 0 {
+		return nil
+	}
+	checked := cloneCheckedStructs(pass, cloneFuncs)
+	if len(checked) == 0 {
+		return nil
+	}
+
+	// One shared mention pass over every clone-family body: a field of
+	// any checked struct is satisfied wherever clone code touches it.
+	mentioned := make(map[*types.Var]bool)
+	wholeCopied := make(map[*types.Named]bool)
+	for _, fn := range cloneFuncs {
+		collectMentions(pass, fn.Body, checked, mentioned, wholeCopied)
+	}
+
+	names := make([]*types.Named, 0, len(checked))
+	for named := range checked {
+		names = append(names, named)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return names[i].Obj().Name() < names[j].Obj().Name()
+	})
+	for _, named := range names {
+		if wholeCopied[named] {
+			continue
+		}
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if mentioned[f] {
+				continue
+			}
+			if dir := pass.directiveAtPos(f.Pos(), "uncloned"); dir != nil {
+				continue
+			}
+			pass.Reportf(f.Pos(),
+				"field %s.%s is never referenced by the package's clone code (%s); copy it, clear it explicitly, or annotate //wbsim:uncloned -- reason",
+				named.Obj().Name(), f.Name(), cloneFuncNames(cloneFuncs))
+		}
+	}
+	return nil
+}
+
+// cloneFamily returns every function declaration in the package whose
+// name contains "clone" (any case) and has a body.
+func cloneFamily(pass *Pass) []*ast.FuncDecl {
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.Contains(strings.ToLower(fd.Name.Name), "clone") {
+				fns = append(fns, fd)
+			}
+		}
+	}
+	return fns
+}
+
+// cloneCheckedStructs decides which named struct types the clone family
+// is responsible for: receivers of Clone/CloneInto methods and
+// parameters of clone-family functions.
+func cloneCheckedStructs(pass *Pass, cloneFuncs []*ast.FuncDecl) map[*types.Named]bool {
+	checked := make(map[*types.Named]bool)
+	note := func(t types.Type) {
+		named, ok := types.Unalias(deref(t)).(*types.Named)
+		if !ok || named.Obj().Pkg() != pass.Pkg || !pass.inModule(named.Obj().Pkg()) {
+			return
+		}
+		if _, ok := named.Underlying().(*types.Struct); ok {
+			checked[named] = true
+		}
+	}
+	for _, fd := range cloneFuncs {
+		name := fd.Name.Name
+		if fd.Recv != nil && (name == "Clone" || name == "CloneInto") {
+			note(pass.Info.TypeOf(fd.Recv.List[0].Type))
+		}
+		// A parameter type makes the struct clone-checked only in the
+		// dst/src idiom — the same struct appearing at least twice —
+		// so helpers that merely take a struct along are not roped in.
+		count := make(map[types.Type]int)
+		for _, param := range fd.Type.Params.List {
+			t := deref(pass.Info.TypeOf(param.Type))
+			count[t] += max(1, len(param.Names))
+		}
+		for t, n := range count {
+			if n >= 2 {
+				note(t)
+			}
+		}
+	}
+	return checked
+}
+
+// collectMentions records every field of a checked struct that body
+// touches: selector expressions, composite-literal keys (or every field
+// for positional literals), and whole-struct value copies.
+func collectMentions(pass *Pass, body *ast.BlockStmt, checked map[*types.Named]bool, mentioned map[*types.Var]bool, wholeCopied map[*types.Named]bool) {
+	checkedNamed := func(t types.Type) (*types.Named, bool) {
+		if t == nil {
+			return nil, false
+		}
+		named, ok := types.Unalias(deref(t)).(*types.Named)
+		if ok && checked[named] {
+			return named, true
+		}
+		return nil, false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if _, isChecked := checkedNamed(sel.Recv()); isChecked {
+				mentioned[sel.Obj().(*types.Var)] = true
+			}
+		case *ast.CompositeLit:
+			named, ok := checkedNamed(pass.Info.TypeOf(n))
+			if !ok {
+				return true
+			}
+			st := named.Underlying().(*types.Struct)
+			keyed := false
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				keyed = true
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+						mentioned[v] = true
+					}
+				}
+			}
+			if !keyed && len(n.Elts) == st.NumFields() {
+				wholeCopied[named] = true
+			}
+		case *ast.AssignStmt:
+			// A whole-struct value copy (*dst = *src, tmp := *src)
+			// transfers every field at once.
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				lt, rt := pass.Info.TypeOf(n.Lhs[i]), pass.Info.TypeOf(n.Rhs[i])
+				if lt == nil || rt == nil {
+					continue
+				}
+				if _, lPtr := types.Unalias(lt).(*types.Pointer); lPtr {
+					continue
+				}
+				if _, rPtr := types.Unalias(rt).(*types.Pointer); rPtr {
+					continue
+				}
+				if named, ok := checkedNamed(lt); ok {
+					wholeCopied[named] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func cloneFuncNames(fns []*ast.FuncDecl) string {
+	var names []string
+	for _, fn := range fns {
+		names = append(names, fn.Name.Name)
+	}
+	sort.Strings(names)
+	if len(names) > 4 {
+		names = append(names[:4], "...")
+	}
+	return strings.Join(names, ", ")
+}

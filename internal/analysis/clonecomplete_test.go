@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wbsim/internal/analysis"
+	"wbsim/internal/analysis/analysistest"
+)
+
+func TestCloneComplete(t *testing.T) {
+	analysistest.Run(t, "clonecomplete", analysis.CloneCompleteAnalyzer)
+}

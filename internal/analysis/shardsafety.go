@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShardSafetyAnalyzer guards the sharded kernel's ownership discipline.
+// Shard workers run concurrently between barriers, so worker code may
+// mutate only state its shard owns: its own fields (the epoch buffers a
+// capture port appends to) and the components of its own tiles, which
+// it touches through their methods. What it must never do is write
+// shared state directly — a field reached through the shared system
+// handle, a package-level variable, or a channel that is not one of the
+// shard's own — because a second worker doing the same races, and the
+// determinism contract (sharded == sequential, byte-identical) dies
+// quietly.
+//
+// Worker code is found by name: the methods of any struct type whose
+// name contains "shard" or "captureport" (the repo's worker and capture
+// types), plus every same-package function they call, transitively.
+// Within that set the analyzer flags:
+//
+//   - assignments (and ++/--) through a selector path that crosses a
+//     field named "sys" or of a type named System — shared machine
+//     state is coordinator-only;
+//   - assignments to package-level variables;
+//   - sends on channels that are not fields of the worker's own struct.
+//
+// A deliberate exception (e.g. a coordinator helper colocated with
+// worker code) is excused line-by-line with //wbsim:shared -- reason.
+var ShardSafetyAnalyzer = &Analyzer{
+	Name: "shardsafety",
+	Doc:  "shard-worker code may not mutate state its shard does not own",
+	Run:  runShardSafety,
+}
+
+func runShardSafety(pass *Pass) error {
+	workers := workerFuncs(pass)
+	for _, fd := range workers {
+		checkWorkerBody(pass, fd)
+	}
+	return nil
+}
+
+// isWorkerType reports whether a named type is a shard-worker root by
+// the repo's naming convention.
+func isWorkerType(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "shard") || strings.Contains(lower, "captureport")
+}
+
+// workerFuncs returns every function declaration that is worker code:
+// methods on worker-named types and the same-package functions they
+// call, transitively.
+func workerFuncs(pass *Pass) []*ast.FuncDecl {
+	// Index every declared function by its types object.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if fd.Recv != nil {
+				if named, ok := types.Unalias(deref(pass.Info.TypeOf(fd.Recv.List[0].Type))).(*types.Named); ok &&
+					isWorkerType(named.Obj().Name()) {
+					roots = append(roots, fd)
+				}
+			}
+		}
+	}
+
+	seen := make(map[*ast.FuncDecl]bool)
+	var out []*ast.FuncDecl
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if seen[fd] {
+			return
+		}
+		seen[fd] = true
+		out = append(out, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var obj types.Object
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				obj = pass.Info.Uses[fun]
+			case *ast.SelectorExpr:
+				obj = pass.Info.Uses[fun.Sel]
+			}
+			if callee, ok := decls[obj]; ok {
+				// Methods on other components (Bank.Tick, Mesh.Deliver)
+				// live in other packages and are out of reach here by
+				// construction; same-package callees are worker code.
+				visit(callee)
+			}
+			return true
+		})
+	}
+	for _, fd := range roots {
+		visit(fd)
+	}
+	return out
+}
+
+// checkWorkerBody flags disallowed mutations inside one worker function.
+func checkWorkerBody(pass *Pass, fd *ast.FuncDecl) {
+	checkTarget := func(expr ast.Expr, what string) {
+		if bad, why := sharedWrite(pass, expr); bad {
+			if pass.directiveAtPos(expr.Pos(), "shared") != nil {
+				return
+			}
+			pass.Reportf(expr.Pos(),
+				"shard-worker %s %s %s; shared state is coordinator-only (move it to the barrier, or annotate //wbsim:shared -- reason)",
+				fd.Name.Name, what, why)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkTarget(lhs, "writes")
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n.X, "increments")
+		case *ast.SendStmt:
+			if bad, why := foreignChannel(pass, fd, n.Chan); bad {
+				if pass.directiveAtPos(n.Pos(), "shared") != nil {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"shard-worker %s sends on %s; workers may signal only on their own channels (annotate //wbsim:shared -- reason if intended)",
+					fd.Name.Name, why)
+			}
+		}
+		return true
+	})
+}
+
+// sharedWrite decides whether a write target is shared state: a
+// package-level variable, or a selector path crossing the shared
+// system handle.
+func sharedWrite(pass *Pass, expr ast.Expr) (bool, string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			return true, "package-level variable " + e.Name
+		}
+	case *ast.StarExpr:
+		return sharedWrite(pass, e.X)
+	case *ast.IndexExpr:
+		return sharedWrite(pass, e.X)
+	case *ast.SelectorExpr:
+		if crossesSystem(pass, e) {
+			return true, "through the shared system handle (" + selectorPath(e) + ")"
+		}
+	}
+	return false, ""
+}
+
+// crossesSystem reports whether any step of the selector path is a
+// field named "sys" or has a type named System.
+func crossesSystem(pass *Pass, sel *ast.SelectorExpr) bool {
+	for {
+		if isSystemExpr(pass, sel.X) {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		sel = inner
+	}
+}
+
+func isSystemExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if named, ok := types.Unalias(deref(t)).(*types.Named); ok &&
+		strings.EqualFold(named.Obj().Name(), "system") {
+		return true
+	}
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok && sel.Sel.Name == "sys" {
+		return true
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "sys" {
+		return true
+	}
+	return false
+}
+
+// foreignChannel reports whether a send target is a channel the worker
+// does not own: anything but a field selected from the method's
+// receiver (or a local variable bound to one).
+func foreignChannel(pass *Pass, fd *ast.FuncDecl, ch ast.Expr) (bool, string) {
+	switch e := ast.Unparen(ch).(type) {
+	case *ast.SelectorExpr:
+		if named, ok := types.Unalias(deref(pass.Info.TypeOf(e.X))).(*types.Named); ok &&
+			isWorkerType(named.Obj().Name()) {
+			return false, ""
+		}
+		return true, "channel " + selectorPath(e)
+	case *ast.Ident:
+		// A bare local/parameter channel: conservatively owned only if
+		// it is declared inside the function.
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			return false, ""
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			return true, "package-level channel " + e.Name
+		}
+	}
+	return false, ""
+}
+
+// selectorPath renders a selector chain for diagnostics (x.y.z).
+func selectorPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return selectorPath(e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return selectorPath(e.X)
+	case *ast.IndexExpr:
+		return selectorPath(e.X) + "[...]"
+	case *ast.CallExpr:
+		return selectorPath(e.Fun) + "()"
+	}
+	return "?"
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wbsim/internal/analysis"
+	"wbsim/internal/analysis/analysistest"
+)
+
+func TestShardSafety(t *testing.T) {
+	analysistest.Run(t, "shardsafety", analysis.ShardSafetyAnalyzer)
+}

@@ -1,0 +1,68 @@
+// Package clonefix is a clonecomplete fixture: structs with clone code
+// that silently drops fields must be flagged, field by field.
+package clonefix
+
+// Tracker has a Clone method that forgets two fields; the suppressed
+// third is excused with a justification.
+type Tracker struct {
+	id      int
+	labels  []string
+	hits    map[string]int // want `field Tracker.hits is never referenced by the package's clone code`
+	parent  *Tracker       // want `field Tracker.parent is never referenced by the package's clone code`
+	scratch []byte         //wbsim:uncloned -- scratch, overwritten before every read
+}
+
+// Clone copies id and labels but forgets hits and parent.
+func (t *Tracker) Clone() *Tracker {
+	n := &Tracker{id: t.id}
+	n.labels = append([]string(nil), t.labels...)
+	return n
+}
+
+// Ledger's CloneInto mentions every field, including an explicit
+// zeroing — explicit clears satisfy the analyzer by design.
+type Ledger struct {
+	entries []int
+	total   int
+	dirty   bool
+}
+
+func (l *Ledger) CloneInto(dst *Ledger) {
+	dst.entries = append(dst.entries[:0], l.entries...)
+	dst.total = l.total
+	dst.dirty = false // deliberately reset; still a mention
+}
+
+// Frame is cloned by the dst/src idiom (no method on the type); the
+// helper forgets the seq field.
+type Frame struct {
+	data []byte
+	seq  uint64 // want `field Frame.seq is never referenced by the package's clone code`
+}
+
+func cloneFrameInto(dst, src *Frame) {
+	dst.data = append(dst.data[:0], src.data...)
+}
+
+// Snapshot is copied wholesale — a full value copy mentions every
+// field at once, so nothing is flagged.
+type Snapshot struct {
+	words []uint64
+	epoch int
+}
+
+func cloneSnapshot(dst, src *Snapshot) {
+	*dst = *src
+	dst.words = append([]uint64(nil), src.words...)
+}
+
+// Aux is passed to a clone helper once (not the dst/src idiom), so it
+// is not clone-checked at all.
+type Aux struct {
+	port int
+}
+
+func cloneWithAux(dst, src *Frame, aux *Aux) {
+	_ = aux.port
+	cloneFrameInto(dst, src)
+}

@@ -1,0 +1,74 @@
+// Package shardfix is a shardsafety fixture: worker code (methods on
+// shard-named types and their same-package callees) mutating state the
+// shard does not own must be flagged.
+package shardfix
+
+// System is the shared machine handle — coordinator-only territory.
+type System struct {
+	cycles   int
+	banks    []int
+	watchdog int
+}
+
+var grandTotal int
+
+// epochShard is worker code by naming convention.
+type epochShard struct {
+	sys   *System
+	done  chan struct{}
+	peer  chan struct{}
+	sends []int
+	idx   int
+}
+
+func (sh *epochShard) runEpoch(start, end int) {
+	for now := start; now <= end; now++ {
+		sh.idx++                         // shard-owned: fine
+		sh.sends = append(sh.sends, now) // shard-owned: fine
+		sh.sys.cycles = now              // want `writes through the shared system handle`
+		sh.sys.banks[0] = now            // want `writes through the shared system handle`
+		sh.sys.watchdog++                // want `increments through the shared system handle`
+		grandTotal++                     // want `increments package-level variable grandTotal`
+		sh.helper(now)
+	}
+	sh.done <- struct{}{} // own channel: fine
+}
+
+// helper is reached from worker code, so the same rules apply.
+func (sh *epochShard) helper(now int) {
+	recordGlobal(now)
+}
+
+// recordGlobal is a plain function roped in transitively.
+func recordGlobal(now int) {
+	grandTotal = now // want `writes package-level variable grandTotal`
+}
+
+// capturePortLike is also worker code by the captureport convention.
+type myCapturePort struct {
+	sh *epochShard
+}
+
+func (cp *myCapturePort) Send(v int) {
+	cp.sh.sends = append(cp.sh.sends, v) // shard-owned: fine
+	cp.sh.sys.cycles = v                 // want `writes through the shared system handle`
+}
+
+// coordinator owns the wake channel; workers must not poke it.
+type coordinator struct {
+	wake chan struct{}
+}
+
+// signalCoordinator sends on a channel the worker does not own.
+func (sh *epochShard) signalCoordinator(co *coordinator) {
+	sh.peer <- struct{}{} // own field: fine
+	co.wake <- struct{}{} // want `sends on channel co.wake`
+	//wbsim:shared -- the coordinator asked for a direct poke on this path
+	co.wake <- struct{}{}
+}
+
+// coordinator methods on System are not worker code: writes are fine.
+func (s *System) barrier() {
+	s.cycles++
+	grandTotal = 0
+}

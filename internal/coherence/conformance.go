@@ -1,0 +1,229 @@
+package coherence
+
+// The effects-conformance recorder: the runtime shadow of the static
+// passes. Every row in dir_table.go/pcu_table.go carries a declarative
+// Effects block (Next states, Sends, ThenRedispatch) that speclint
+// analyzes without running anything; this file keeps those declarations
+// honest by watching real dispatches. A ConfChecker-instrumented Bank
+// or PCU records, for every fired row, the post-action state and every
+// sendAfter issued by the action, and reports any divergence from the
+// row's declaration:
+//
+//   - the resulting state is outside the declared Next set (an empty
+//     Next means "unchanged"; NextAny disclaims the check);
+//   - the action re-entered the table for the same line without the row
+//     declaring ThenRedispatch;
+//   - the action sent a message the row does not declare;
+//   - a declared unconditional (non-Maybe) send did not happen.
+//
+// Sends for a line other than the dispatched one (victim evictions,
+// core issue paths) are checked against the system's out-of-table
+// producers instead: the spontaneous transitions and stimuli that
+// speclint_systems.go declares. Rows without Effects (the checker-only
+// corrupt delta) are skipped.
+//
+// The exercise benches attach a ConfChecker to every Bank and PCU they
+// drive, so the directed scenario suite doubles as the conformance
+// harness: annotation drift fails TestExerciseConformance with the row
+// and the divergence named.
+
+import (
+	"fmt"
+
+	"wbsim/internal/coherence/table"
+	"wbsim/internal/mem"
+	"wbsim/internal/network"
+)
+
+// ConfChecker accumulates conformance violations from the recorders of
+// one bench or model; it is shared so a scenario's bank and core
+// findings land in one list.
+type ConfChecker struct {
+	isBank     func(network.Endpoint) bool
+	violations []string
+}
+
+// NewConfChecker builds a checker; isBank classifies send destinations
+// (directory-side endpoints receive dir events, everything else core
+// events).
+func NewConfChecker(isBank func(network.Endpoint) bool) *ConfChecker {
+	return &ConfChecker{isBank: isBank}
+}
+
+// Violations returns every recorded divergence, in occurrence order.
+func (ck *ConfChecker) Violations() []string { return ck.violations }
+
+func (ck *ConfChecker) violate(format string, args ...any) {
+	ck.violations = append(ck.violations, fmt.Sprintf(format, args...))
+}
+
+// confKey identifies a send by its receiver: which side consumes it and
+// as which event index.
+type confKey struct {
+	side  table.Side
+	event int
+}
+
+// confMachine is the per-component recorder: a frame stack mirroring
+// the dispatch nesting (ThenRedispatch actions re-enter the table
+// synchronously) plus the allowance set for out-of-table sends.
+type confMachine struct {
+	ck    *ConfChecker
+	info  table.Info
+	allow map[confKey]bool
+	stack []confFrame
+}
+
+// confFrame is one open dispatch: the fired row, the line it fired for,
+// and which declared sends have been observed so far.
+type confFrame struct {
+	state, event int
+	line         mem.Line
+	fx           *table.Effects
+	resultTaken  bool // Next already checked at the first same-line redispatch
+	matched      []bool
+}
+
+// newConfMachine builds a recorder for one machine. spont and stimuli
+// declare the out-of-table producers whose sends are legal outside any
+// dispatch frame (or for a line other than the dispatched one).
+func (ck *ConfChecker) newConfMachine(info table.Info, allowed []confKey) *confMachine {
+	allow := make(map[confKey]bool, len(allowed))
+	for _, k := range allowed {
+		allow[k] = true
+	}
+	return &confMachine{ck: ck, info: info, allow: allow}
+}
+
+// enter opens a frame for a fired row. A dispatch nested under an open
+// same-line frame is that frame's declared redispatch: the state it
+// fires in is the outer row's result.
+func (c *confMachine) enter(state, event int, line mem.Line) {
+	if n := len(c.stack); n > 0 {
+		top := &c.stack[n-1]
+		if top.line == line && !top.resultTaken && top.fx != nil {
+			top.resultTaken = true
+			if !top.fx.ThenRedispatch {
+				c.ck.violate("%s %s/%s: action re-entered the table for %v without declaring ThenRedispatch",
+					c.info.Name(), c.info.StateName(top.state), c.info.EventName(top.event), line)
+			}
+			c.checkNext(top, state, "state at redispatch")
+		}
+	}
+	f := confFrame{state: state, event: event, line: line, fx: c.info.RowEffects(state, event)}
+	if f.fx != nil {
+		f.matched = make([]bool, len(f.fx.Sends))
+	}
+	c.stack = append(c.stack, f)
+}
+
+// exit closes the innermost frame: unconditional sends must have fired,
+// and (unless a redispatch already fixed it) the final state must be in
+// the declared Next set.
+func (c *confMachine) exit(finalState func() int) {
+	n := len(c.stack) - 1
+	f := c.stack[n]
+	c.stack = c.stack[:n]
+	if f.fx == nil {
+		return
+	}
+	for i, snd := range f.fx.Sends {
+		if !snd.Maybe && !f.matched[i] {
+			c.ck.violate("%s %s/%s: declared unconditional send #%d (side %d event %d) did not happen",
+				c.info.Name(), c.info.StateName(f.state), c.info.EventName(f.event), i, snd.Side, snd.Event)
+		}
+	}
+	if !f.resultTaken {
+		c.checkNext(&f, finalState(), "post-action state")
+	}
+}
+
+// checkNext verifies one observed resulting state against the frame's
+// declaration. An empty Next means the state is unchanged; NextAny
+// disclaims the check.
+func (c *confMachine) checkNext(f *confFrame, got int, when string) {
+	fx := f.fx
+	if fx.NextAny {
+		return
+	}
+	allowed := fx.Next
+	if len(allowed) == 0 {
+		allowed = []int{f.state}
+	}
+	for _, s := range allowed {
+		if s == got {
+			return
+		}
+	}
+	var names []string
+	for _, s := range allowed {
+		names = append(names, c.info.StateName(s))
+	}
+	c.ck.violate("%s %s/%s: %s is %s, outside the declared Next set %v",
+		c.info.Name(), c.info.StateName(f.state), c.info.EventName(f.event),
+		when, c.info.StateName(got), names)
+}
+
+// send records one sendAfter. Same-line sends under an open frame must
+// match a declared Send of that row; everything else must be covered by
+// a spontaneous or stimulus declaration.
+func (c *confMachine) send(dst network.Endpoint, m *Msg) {
+	var key confKey
+	if c.ck.isBank(dst) {
+		key = confKey{table.SideDir, int(dirEventOf(m.Type))}
+	} else {
+		key = confKey{table.SideCore, int(pcuEventOf(m.Type))}
+	}
+	if n := len(c.stack); n > 0 && c.stack[n-1].line == m.Line {
+		f := &c.stack[n-1]
+		if f.fx == nil {
+			return
+		}
+		for i, snd := range f.fx.Sends {
+			if snd.Side == key.side && snd.Event == key.event {
+				f.matched[i] = true
+				return
+			}
+		}
+		c.ck.violate("%s %s/%s: undeclared send of %v for %v (side %d event %d)",
+			c.info.Name(), c.info.StateName(f.state), c.info.EventName(f.event),
+			m.Type, m.Line, key.side, key.event)
+		return
+	}
+	if !c.allow[key] {
+		c.ck.violate("%s: out-of-row send of %v for %v matches no spontaneous or stimulus declaration",
+			c.info.Name(), m.Type, m.Line)
+	}
+}
+
+// bankConfAllowance is the directory side's legal out-of-row traffic:
+// the eviction engine's invalidations, declared as the spontaneous
+// S/E -> BusyEvict transitions in speclint_systems.go.
+func bankConfAllowance() []confKey {
+	return []confKey{{table.SideCore, int(pcuEvInv)}}
+}
+
+// pcuConfAllowance is the core side's legal out-of-row traffic: the
+// issue paths and eviction Puts that speclint_systems.go declares as
+// system stimuli (plus the lockdown lift).
+func pcuConfAllowance() []confKey {
+	return []confKey{
+		{table.SideDir, int(dirEvRead)},
+		{table.SideDir, int(dirEvWrite)},
+		{table.SideDir, int(dirEvPutOwned)},
+		{table.SideDir, int(dirEvPutShared)},
+		{table.SideDir, int(dirEvDelayedAck)},
+	}
+}
+
+// EnableConformance attaches a conformance recorder to the bank
+// (tests/exercise benches; cleared by cloning).
+func (b *Bank) EnableConformance(ck *ConfChecker) {
+	b.conf = ck.newConfMachine(b.machine, bankConfAllowance())
+}
+
+// EnableConformance attaches a conformance recorder to the PCU
+// (tests/exercise benches; cleared by cloning).
+func (p *PCU) EnableConformance(ck *ConfChecker) {
+	p.conf = ck.newConfMachine(p.machine, pcuConfAllowance())
+}

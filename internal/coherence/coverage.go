@@ -15,6 +15,12 @@ import (
 type CoverageAgg struct {
 	dir [numDirFlavors][]uint64
 	pcu [2][]uint64 // indexed by Mode
+
+	// conf collects effects-conformance violations from instrumented
+	// controllers (the exercise benches attach recorders; see
+	// conformance.go). Violations ride along with coverage so the
+	// directed suite reports annotation drift alongside fire counts.
+	conf []string
 }
 
 // NewCoverageAgg returns an empty aggregate.
@@ -30,10 +36,24 @@ func mergeCov(dst *[]uint64, src []uint64) {
 }
 
 // AddBank folds one directory bank's fire counts into the aggregate.
-func (a *CoverageAgg) AddBank(b *Bank) { mergeCov(&a.dir[b.flavor], b.cov) }
+func (a *CoverageAgg) AddBank(b *Bank) {
+	mergeCov(&a.dir[b.flavor], b.cov)
+	if b.conf != nil {
+		a.conf = append(a.conf, b.conf.ck.violations...)
+	}
+}
 
 // AddPCU folds one core controller's fire counts into the aggregate.
-func (a *CoverageAgg) AddPCU(p *PCU) { mergeCov(&a.pcu[p.mode], p.cov) }
+func (a *CoverageAgg) AddPCU(p *PCU) {
+	mergeCov(&a.pcu[p.mode], p.cov)
+	if p.conf != nil {
+		a.conf = append(a.conf, p.conf.ck.violations...)
+	}
+}
+
+// ConformanceViolations returns the effects-conformance divergences
+// recorded by instrumented controllers folded into this aggregate.
+func (a *CoverageAgg) ConformanceViolations() []string { return a.conf }
 
 // Merge folds another aggregate into this one. A nil argument is a
 // no-op, so callers can merge seed outcomes unconditionally.
@@ -51,6 +71,7 @@ func (a *CoverageAgg) Merge(o *CoverageAgg) {
 			mergeCov(&a.pcu[m], cov)
 		}
 	}
+	a.conf = append(a.conf, o.conf...)
 }
 
 // Empty reports whether no controller has been observed.

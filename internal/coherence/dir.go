@@ -157,6 +157,7 @@ type Bank struct {
 	machine *table.Machine[dirAction]
 	cov     []uint64
 	trace   func(dirState, dirEvent)
+	conf    *confMachine // effects-conformance recorder (tests); see conformance.go
 
 	Stats BankStats
 
@@ -244,6 +245,10 @@ func (b *Bank) dispatch(ev dirEvent, m *Msg) {
 	st := dirStateOf(dl)
 	if b.trace != nil {
 		b.trace(st, ev)
+	}
+	if b.conf != nil {
+		b.conf.enter(int(st), int(ev), m.Line)
+		defer b.conf.exit(func() int { return int(dirStateOf(b.find(m.Line))) })
 	}
 	b.machine.Fire(b.cov, int(st), int(ev))(b, dl, m)
 }

@@ -188,31 +188,74 @@ func dirBaseSpec() table.Spec[dirAction] {
 		whyOwnData  = "owners send OwnerData only while the directory waits on a forwarded read"
 		whyUnblock  = "Unblock always lands in the read or write transaction that granted the line"
 	)
+	// Effect shorthands shared by several rows of this spec.
+	fxQueueFetch := table.Effects{} // parked on a memory timer, not a network
+	fxQueueBusy := fxParked("queued until the transaction's responses land")
+	fxAlloc := func(read bool) table.Effects {
+		fx := table.Effects{
+			Next:     dStates(dirStNoEntry, dirStFetching),
+			Acquires: []int{dirResEvBuf},
+			Sends: []table.Send{
+				maybe(toCore(pcuEvInv, table.DestSharers, pcuAllStates...), "victim eviction invalidates its sharers"),
+				maybe(toCore(pcuEvInv, table.DestOwner, pcuAllStates...), "victim eviction invalidates its owner"),
+			},
+		}
+		if read {
+			fx.Sends = append(fx.Sends,
+				maybe(toCore(pcuEvTearoff, table.DestRequester, pcuRdStates...), "eviction buffer full: read served uncacheably from memory"))
+		} else {
+			fx.Sends = append(fx.Sends,
+				maybe(toCore(pcuEvHint, table.DestRequester, pcuAllStates...), "eviction buffer full: write hinted, then retried after backoff"))
+		}
+		return fx
+	}
+
 	rows := []table.Row[dirAction]{
 		// Reads: never blocked; transients queue, WritersBlock (delta)
 		// serves tear-offs.
-		dh(dirStNoEntry, dirEvRead, dirActAlloc),
-		dh(dirStInvalid, dirEvRead, dirActReadGrantExcl),
-		dh(dirStShared, dirEvRead, dirActReadGrantShared),
-		dh(dirStExclusive, dirEvRead, dirActReadFwd),
-		dh(dirStFetching, dirEvRead, dirActQueue),
-		dh(dirStBusyShared, dirEvRead, dirActQueue),
-		dh(dirStBusyExcl, dirEvRead, dirActQueue),
-		dh(dirStBusyWrite, dirEvRead, dirActQueue),
-		dh(dirStBusyEvict, dirEvRead, dirActQueue),
+		dh(dirStNoEntry, dirEvRead, dirActAlloc).With(fxAlloc(true)),
+		dh(dirStInvalid, dirEvRead, dirActReadGrantExcl).With(table.Effects{
+			Next:  dStates(dirStBusyExcl),
+			Sends: []table.Send{toCore(pcuEvData, table.DestRequester, pcuRdStates...)},
+		}),
+		dh(dirStShared, dirEvRead, dirActReadGrantShared).With(table.Effects{
+			Next:  dStates(dirStBusyShared),
+			Sends: []table.Send{toCore(pcuEvData, table.DestRequester, pcuRdStates...)},
+		}),
+		dh(dirStExclusive, dirEvRead, dirActReadFwd).With(table.Effects{
+			Next:  dStates(dirStBusyShared),
+			Sends: []table.Send{toCore(pcuEvFwdGetS, table.DestOwner, pcuAllStates...)},
+		}),
+		dh(dirStFetching, dirEvRead, dirActQueue).With(fxQueueFetch),
+		dh(dirStBusyShared, dirEvRead, dirActQueue).With(fxQueueBusy),
+		dh(dirStBusyExcl, dirEvRead, dirActQueue).With(fxQueueBusy),
+		dh(dirStBusyWrite, dirEvRead, dirActQueue).With(fxQueueBusy),
+		dh(dirStBusyEvict, dirEvRead, dirActQueue).With(fxQueueBusy),
 		dx(dirStWBWrite, dirEvRead, whyWBDead),
 		dx(dirStWBEvict, dirEvRead, whyWBDead),
 
 		// Writes.
-		dh(dirStNoEntry, dirEvWrite, dirActAlloc),
-		dh(dirStInvalid, dirEvWrite, dirActWriteGrant),
-		dh(dirStShared, dirEvWrite, dirActWriteInvalidate),
-		dh(dirStExclusive, dirEvWrite, dirActWriteFwd),
-		dh(dirStFetching, dirEvWrite, dirActQueue),
-		dh(dirStBusyShared, dirEvWrite, dirActQueue),
-		dh(dirStBusyExcl, dirEvWrite, dirActQueue),
-		dh(dirStBusyWrite, dirEvWrite, dirActQueue),
-		dh(dirStBusyEvict, dirEvWrite, dirActQueue),
+		dh(dirStNoEntry, dirEvWrite, dirActAlloc).With(fxAlloc(false)),
+		dh(dirStInvalid, dirEvWrite, dirActWriteGrant).With(table.Effects{
+			Next:  dStates(dirStBusyWrite),
+			Sends: []table.Send{toCore(pcuEvDataExcl, table.DestRequester, pcuWrStates...)},
+		}),
+		dh(dirStShared, dirEvWrite, dirActWriteInvalidate).With(table.Effects{
+			Next: dStates(dirStBusyWrite),
+			Sends: []table.Send{
+				maybe(toCore(pcuEvInv, table.DestSharers, pcuAllStates...), "every sharer except the writer"),
+				toCore(pcuEvDataExcl, table.DestRequester, pcuWrStates...),
+			},
+		}),
+		dh(dirStExclusive, dirEvWrite, dirActWriteFwd).With(table.Effects{
+			Next:  dStates(dirStBusyWrite),
+			Sends: []table.Send{toCore(pcuEvFwdGetX, table.DestOwner, pcuAllStates...)},
+		}),
+		dh(dirStFetching, dirEvWrite, dirActQueue).With(fxQueueFetch),
+		dh(dirStBusyShared, dirEvWrite, dirActQueue).With(fxQueueBusy),
+		dh(dirStBusyExcl, dirEvWrite, dirActQueue).With(fxQueueBusy),
+		dh(dirStBusyWrite, dirEvWrite, dirActQueue).With(fxQueueBusy),
+		dh(dirStBusyEvict, dirEvWrite, dirActQueue).With(fxQueueBusy),
 		dx(dirStWBWrite, dirEvWrite, whyWBDead),
 		dx(dirStWBEvict, dirEvWrite, whyWBDead),
 
@@ -223,15 +266,28 @@ func dirBaseSpec() table.Spec[dirAction] {
 		// overtook its own Unblock on the request network and must wait
 		// for it (a stale ack there would promise a forward that is not
 		// coming, stranding the core's writeback buffer).
-		dn(dirStNoEntry, dirEvPutOwned, "put raced the directory eviction that dropped the entry", dirActPutStale),
-		dn(dirStInvalid, dirEvPutOwned, "ownership already returned; duplicate or reordered put", dirActPutStale),
-		dn(dirStShared, dirEvPutOwned, "put lost a race with a read downgrade; the forward was served from the writeback buffer", dirActPutStale),
-		dh(dirStExclusive, dirEvPutOwned, dirActPutOwned),
-		dn(dirStFetching, dirEvPutOwned, "entry was evicted and refetched while the put was in flight", dirActPutStale),
-		dn(dirStBusyShared, dirEvPutOwned, "put lost a race with an in-flight read forward", dirActPutStale),
-		dh(dirStBusyExcl, dirEvPutOwned, dirActPutRace),
-		dh(dirStBusyWrite, dirEvPutOwned, dirActPutRace),
-		dn(dirStBusyEvict, dirEvPutOwned, "put crossed the eviction invalidation on the unordered network", dirActPutStale),
+		dn(dirStNoEntry, dirEvPutOwned, "put raced the directory eviction that dropped the entry", dirActPutStale).With(fxPutStale()),
+		dn(dirStInvalid, dirEvPutOwned, "ownership already returned; duplicate or reordered put", dirActPutStale).With(fxPutStale()),
+		dn(dirStShared, dirEvPutOwned, "put lost a race with a read downgrade; the forward was served from the writeback buffer", dirActPutStale).With(fxPutStale()),
+		dh(dirStExclusive, dirEvPutOwned, dirActPutOwned).With(table.Effects{
+			// PutM/PutE return the line (Invalid); a lockdown's PutS
+			// downgrades in place (Shared); a put from a non-owner is
+			// acked stale with the entry untouched (Exclusive).
+			Next:           dStates(dirStInvalid, dirStShared, dirStExclusive),
+			ThenRedispatch: true,
+			Sends:          []table.Send{toCore(pcuEvPutAck, table.DestRequester, pcuAllStates...)},
+		}),
+		dn(dirStFetching, dirEvPutOwned, "entry was evicted and refetched while the put was in flight", dirActPutStale).With(fxPutStale()),
+		dn(dirStBusyShared, dirEvPutOwned, "put lost a race with an in-flight read forward", dirActPutStale).With(fxPutStale()),
+		dh(dirStBusyExcl, dirEvPutOwned, dirActPutRace).With(table.Effects{
+			Sends:  []table.Send{maybe(toCore(pcuEvPutAck, table.DestRequester, pcuAllStates...), "a put from any core but the requester is acked stale")},
+			Blocks: &table.Block{Net: int(network.VNetResponse), Note: "the requester's own put waits for its overtaken Unblock"},
+		}),
+		dh(dirStBusyWrite, dirEvPutOwned, dirActPutRace).With(table.Effects{
+			Sends:  []table.Send{maybe(toCore(pcuEvPutAck, table.DestRequester, pcuAllStates...), "a put from any core but the requester is acked stale")},
+			Blocks: &table.Block{Net: int(network.VNetResponse), Note: "the requester's own put waits for its overtaken Unblock"},
+		}),
+		dn(dirStBusyEvict, dirEvPutOwned, "put crossed the eviction invalidation on the unordered network", dirActPutStale).With(fxPutStale()),
 		dx(dirStWBWrite, dirEvPutOwned, whyWBDead),
 		dx(dirStWBEvict, dirEvPutOwned, whyWBDead),
 
@@ -257,7 +313,10 @@ func dirBaseSpec() table.Spec[dirAction] {
 		dx(dirStBusyShared, dirEvInvAck, whyInvAck),
 		dx(dirStBusyExcl, dirEvInvAck, whyInvAck),
 		dx(dirStBusyWrite, dirEvInvAck, whyInvAck),
-		dh(dirStBusyEvict, dirEvInvAck, dirActEvictionAck),
+		dh(dirStBusyEvict, dirEvInvAck, dirActEvictionAck).With(table.Effects{
+			Next:     dStates(dirStBusyEvict, dirStNoEntry),
+			Releases: []int{dirResEvBuf},
+		}),
 		dx(dirStWBWrite, dirEvInvAck, whyWBDead),
 		dx(dirStWBEvict, dirEvInvAck, whyWBDead),
 
@@ -293,7 +352,10 @@ func dirBaseSpec() table.Spec[dirAction] {
 		dx(dirStShared, dirEvOwnerData, whyOwnData),
 		dx(dirStExclusive, dirEvOwnerData, whyOwnData),
 		dx(dirStFetching, dirEvOwnerData, whyOwnData),
-		dh(dirStBusyShared, dirEvOwnerData, dirActOwnerData),
+		dh(dirStBusyShared, dirEvOwnerData, dirActOwnerData).With(table.Effects{
+			Next:           dStates(dirStBusyShared, dirStShared),
+			ThenRedispatch: true,
+		}),
 		dx(dirStBusyExcl, dirEvOwnerData, whyOwnData),
 		dx(dirStBusyWrite, dirEvOwnerData, "owners answer FwdGetX with DataExcl to the writer, never OwnerData"),
 		dx(dirStBusyEvict, dirEvOwnerData, whyOwnData),
@@ -306,9 +368,18 @@ func dirBaseSpec() table.Spec[dirAction] {
 		dx(dirStShared, dirEvUnblock, whyUnblock),
 		dx(dirStExclusive, dirEvUnblock, whyUnblock),
 		dx(dirStFetching, dirEvUnblock, whyUnblock),
-		dh(dirStBusyShared, dirEvUnblock, dirActUnblockShared),
-		dh(dirStBusyExcl, dirEvUnblock, dirActUnblockExcl),
-		dh(dirStBusyWrite, dirEvUnblock, dirActUnblockExcl),
+		dh(dirStBusyShared, dirEvUnblock, dirActUnblockShared).With(table.Effects{
+			Next:           dStates(dirStBusyShared, dirStShared),
+			ThenRedispatch: true,
+		}),
+		dh(dirStBusyExcl, dirEvUnblock, dirActUnblockExcl).With(table.Effects{
+			Next:           dStates(dirStExclusive),
+			ThenRedispatch: true,
+		}),
+		dh(dirStBusyWrite, dirEvUnblock, dirActUnblockExcl).With(table.Effects{
+			Next:           dStates(dirStExclusive),
+			ThenRedispatch: true,
+		}),
 		dx(dirStBusyEvict, dirEvUnblock, "evictions complete on acks, not Unblock"),
 		dx(dirStWBWrite, dirEvUnblock, whyWBDead),
 		dx(dirStWBEvict, dirEvUnblock, whyWBDead),
@@ -320,6 +391,7 @@ func dirBaseSpec() table.Spec[dirAction] {
 		Rows:       rows,
 		DeadStates: []int{int(dirStWBWrite), int(dirStWBEvict)},
 		DeadEvents: []int{int(dirEvPutShared), int(dirEvNack), int(dirEvDelayedAck)},
+		Resources:  []string{"evbuf"},
 	}
 }
 
@@ -330,27 +402,68 @@ func dirBaseSpec() table.Spec[dirAction] {
 func dirWBDelta() table.Delta[dirAction] {
 	const whyNack = "a Nack always lands in the write or eviction transaction whose invalidation provoked it"
 	const whyDly = "a DelayedAck can overtake its Nack but never outlive its transaction"
+	// Entering a WritersBlock drains queued reads as tear-offs and (for
+	// writes) hints the writer exactly once; a DelayedAck that overtook
+	// its Nack on the unordered network is consumed immediately.
+	fxNackWrite := func(next ...dirState) table.Effects {
+		return table.Effects{
+			Next: dStates(next...),
+			Sends: []table.Send{
+				maybe(toCore(pcuEvHint, table.DestRequester, pcuAllStates...), "first nack hints the writer so its SoS loads bypass"),
+				maybe(toCore(pcuEvTearoff, table.DestRequester, pcuRdStates...), "queued reads drain as tear-offs"),
+				maybe(toCore(pcuEvAck, table.DestRequester, pcuWrStates...), "a delayed ack that overtook this nack redirects to the writer at once"),
+			},
+		}
+	}
+	fxNackEvict := table.Effects{
+		Next: dStates(dirStWBEvict, dirStNoEntry),
+		Sends: []table.Send{
+			maybe(toCore(pcuEvTearoff, table.DestRequester, pcuRdStates...), "queued reads drain as tear-offs"),
+		},
+		Releases: []int{dirResEvBuf},
+	}
 	return table.Delta[dirAction]{
 		Name: "wb",
 		Rows: []table.Row[dirAction]{
 			// Reads are admitted under WritersBlock (tear-off, §3.4);
 			// writes queue behind the blocked store (§3, goal 2).
-			dh(dirStWBWrite, dirEvRead, dirActReadTearoff),
-			dh(dirStWBEvict, dirEvRead, dirActReadTearoff),
-			dh(dirStWBWrite, dirEvWrite, dirActWriteQueueWB),
-			dh(dirStWBEvict, dirEvWrite, dirActWriteQueueWB),
-			dn(dirStWBWrite, dirEvPutOwned, "put lost a race with the write forward that provoked the WritersBlock", dirActPutStale),
-			dn(dirStWBEvict, dirEvPutOwned, "put crossed the eviction invalidation that provoked the WritersBlock", dirActPutStale),
-			dh(dirStWBEvict, dirEvInvAck, dirActEvictionAck),
-			dh(dirStBusyWrite, dirEvNack, dirActNackWrite),
-			dh(dirStWBWrite, dirEvNack, dirActNackWrite),
-			dh(dirStBusyEvict, dirEvNack, dirActNackEvict),
-			dh(dirStWBEvict, dirEvNack, dirActNackEvict),
-			dh(dirStBusyWrite, dirEvDelayedAck, dirActDelayedEarly),
-			dh(dirStBusyEvict, dirEvDelayedAck, dirActDelayedEarly),
-			dh(dirStWBWrite, dirEvDelayedAck, dirActDelayedAck),
-			dh(dirStWBEvict, dirEvDelayedAck, dirActDelayedAck),
-			dh(dirStWBWrite, dirEvUnblock, dirActUnblockExcl),
+			dh(dirStWBWrite, dirEvRead, dirActReadTearoff).With(table.Effects{
+				Sends: []table.Send{toCore(pcuEvTearoff, table.DestRequester, pcuRdStates...)},
+			}),
+			dh(dirStWBEvict, dirEvRead, dirActReadTearoff).With(table.Effects{
+				Sends: []table.Send{toCore(pcuEvTearoff, table.DestRequester, pcuRdStates...)},
+			}),
+			dh(dirStWBWrite, dirEvWrite, dirActWriteQueueWB).With(table.Effects{
+				Sends:  []table.Send{toCore(pcuEvHint, table.DestRequester, pcuAllStates...)},
+				Blocks: &table.Block{Net: int(network.VNetResponse), Note: "queued write released when DelayedAcks drain the WritersBlock"},
+			}),
+			dh(dirStWBEvict, dirEvWrite, dirActWriteQueueWB).With(table.Effects{
+				Sends:  []table.Send{toCore(pcuEvHint, table.DestRequester, pcuAllStates...)},
+				Blocks: &table.Block{Net: int(network.VNetResponse), Note: "queued write released when DelayedAcks drain the WritersBlock"},
+			}),
+			dn(dirStWBWrite, dirEvPutOwned, "put lost a race with the write forward that provoked the WritersBlock", dirActPutStale).With(fxPutStale()),
+			dn(dirStWBEvict, dirEvPutOwned, "put crossed the eviction invalidation that provoked the WritersBlock", dirActPutStale).With(fxPutStale()),
+			dh(dirStWBEvict, dirEvInvAck, dirActEvictionAck).With(table.Effects{
+				Next:     dStates(dirStWBEvict, dirStNoEntry),
+				Releases: []int{dirResEvBuf},
+			}),
+			dh(dirStBusyWrite, dirEvNack, dirActNackWrite).With(fxNackWrite(dirStWBWrite)),
+			dh(dirStWBWrite, dirEvNack, dirActNackWrite).With(fxNackWrite()),
+			dh(dirStBusyEvict, dirEvNack, dirActNackEvict).With(fxNackEvict),
+			dh(dirStWBEvict, dirEvNack, dirActNackEvict).With(fxNackEvict),
+			dh(dirStBusyWrite, dirEvDelayedAck, dirActDelayedEarly).With(table.Effects{}),
+			dh(dirStBusyEvict, dirEvDelayedAck, dirActDelayedEarly).With(table.Effects{}),
+			dh(dirStWBWrite, dirEvDelayedAck, dirActDelayedAck).With(table.Effects{
+				Sends: []table.Send{maybe(toCore(pcuEvAck, table.DestRequester, pcuWrStates...), "each accounted delayed ack redirects to the writer")},
+			}),
+			dh(dirStWBEvict, dirEvDelayedAck, dirActDelayedAck).With(table.Effects{
+				Next:     dStates(dirStWBEvict, dirStNoEntry),
+				Releases: []int{dirResEvBuf},
+			}),
+			dh(dirStWBWrite, dirEvUnblock, dirActUnblockExcl).With(table.Effects{
+				Next:           dStates(dirStExclusive),
+				ThenRedispatch: true,
+			}),
 			dx(dirStWBEvict, dirEvUnblock, "evictions complete on acks, not Unblock"),
 			dx(dirStWBWrite, dirEvInvAck, "a WritersBlock write sent no eviction invalidations; its acks flow to the writer"),
 			dx(dirStWBWrite, dirEvOwnerData, "owners answer FwdGetX with DataExcl to the writer, never OwnerData"),
@@ -383,15 +496,18 @@ func dirNSDelta() table.Delta[dirAction] {
 	return table.Delta[dirAction]{
 		Name: "ns",
 		Rows: []table.Row[dirAction]{
-			dn(dirStNoEntry, dirEvPutShared, "shared eviction raced the directory eviction that dropped the entry", dirActPutStale),
-			dn(dirStInvalid, dirEvPutShared, "sharer list already empty; duplicate or reordered PutSh", dirActPutStale),
-			dh(dirStShared, dirEvPutShared, dirActPutShared),
-			dn(dirStExclusive, dirEvPutShared, "line owned exclusively; the PutSh lost a race with a write grant", dirActPutStale),
-			dn(dirStFetching, dirEvPutShared, "entry was evicted and refetched while the PutSh was in flight", dirActPutStale),
-			dn(dirStBusyShared, dirEvPutShared, "in-flight read grant; the sharer list is being rebuilt", dirActPutStale),
-			dn(dirStBusyExcl, dirEvPutShared, "in-flight exclusive grant already invalidates the copy", dirActPutStale),
-			dn(dirStBusyWrite, dirEvPutShared, "in-flight write invalidation already covers the copy", dirActPutStale),
-			dn(dirStBusyEvict, dirEvPutShared, "PutSh crossed the eviction invalidation on the unordered network", dirActPutStale),
+			dn(dirStNoEntry, dirEvPutShared, "shared eviction raced the directory eviction that dropped the entry", dirActPutStale).With(fxPutStale()),
+			dn(dirStInvalid, dirEvPutShared, "sharer list already empty; duplicate or reordered PutSh", dirActPutStale).With(fxPutStale()),
+			dh(dirStShared, dirEvPutShared, dirActPutShared).With(table.Effects{
+				Next:  dStates(dirStShared, dirStInvalid),
+				Sends: []table.Send{toCore(pcuEvPutAck, table.DestRequester, pcuAllStates...)},
+			}),
+			dn(dirStExclusive, dirEvPutShared, "line owned exclusively; the PutSh lost a race with a write grant", dirActPutStale).With(fxPutStale()),
+			dn(dirStFetching, dirEvPutShared, "entry was evicted and refetched while the PutSh was in flight", dirActPutStale).With(fxPutStale()),
+			dn(dirStBusyShared, dirEvPutShared, "in-flight read grant; the sharer list is being rebuilt", dirActPutStale).With(fxPutStale()),
+			dn(dirStBusyExcl, dirEvPutShared, "in-flight exclusive grant already invalidates the copy", dirActPutStale).With(fxPutStale()),
+			dn(dirStBusyWrite, dirEvPutShared, "in-flight write invalidation already covers the copy", dirActPutStale).With(fxPutStale()),
+			dn(dirStBusyEvict, dirEvPutShared, "PutSh crossed the eviction invalidation on the unordered network", dirActPutStale).With(fxPutStale()),
 		},
 		ReviveEvents: []int{int(dirEvPutShared)},
 	}
@@ -405,8 +521,8 @@ func dirWBNSDelta() table.Delta[dirAction] {
 	return table.Delta[dirAction]{
 		Name: "wbns",
 		Rows: []table.Row[dirAction]{
-			dn(dirStWBWrite, dirEvPutShared, "PutSh crossed the write invalidation that provoked the WritersBlock", dirActPutStale),
-			dn(dirStWBEvict, dirEvPutShared, "PutSh crossed the eviction invalidation that provoked the WritersBlock", dirActPutStale),
+			dn(dirStWBWrite, dirEvPutShared, "PutSh crossed the write invalidation that provoked the WritersBlock", dirActPutStale).With(fxPutStale()),
+			dn(dirStWBEvict, dirEvPutShared, "PutSh crossed the eviction invalidation that provoked the WritersBlock", dirActPutStale).With(fxPutStale()),
 		},
 	}
 }
@@ -422,8 +538,8 @@ func dirPreFixDelta() table.Delta[dirAction] {
 	return table.Delta[dirAction]{
 		Name: "prefix",
 		Rows: []table.Row[dirAction]{
-			dn(dirStBusyExcl, dirEvPutOwned, "pre-fix: put treated as stale while the grant's own Unblock is in flight", dirActPutStale),
-			dn(dirStBusyWrite, dirEvPutOwned, "pre-fix: put treated as stale while the write's own Unblock is in flight", dirActPutStale),
+			dn(dirStBusyExcl, dirEvPutOwned, "pre-fix: put treated as stale while the grant's own Unblock is in flight", dirActPutStale).With(fxPutStale()),
+			dn(dirStBusyWrite, dirEvPutOwned, "pre-fix: put treated as stale while the write's own Unblock is in flight", dirActPutStale).With(fxPutStale()),
 		},
 	}
 }
@@ -770,6 +886,9 @@ func dirActUnblockExcl(b *Bank, dl *dirLine, m *Msg) {
 // The message is copied into the deferred-send record, so callers may
 // pass short-lived stack values.
 func (b *Bank) sendAfter(delay int, dst network.Endpoint, m *Msg) {
+	if b.conf != nil {
+		b.conf.send(dst, m)
+	}
 	b.events.AfterCall(b.now, sim.Cycle(delay), fireBankSend, &bankSend{b: b, dst: dst, m: *m})
 }
 

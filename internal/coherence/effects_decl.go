@@ -1,0 +1,112 @@
+package coherence
+
+// Effect-annotation vocabulary for the transition tables. The helpers
+// keep the declarations in dir_table.go and pcu_table.go in the
+// machines' own types: state lists as dirState/pcuState, sends named by
+// the *receiving* machine's event, with the virtual network derived
+// from that event — a message class determines both, and speclint
+// cross-checks the pairing against the receiver's EventNet.
+
+import (
+	"wbsim/internal/coherence/table"
+	"wbsim/internal/network"
+)
+
+// dirEventNet maps each directory event to the virtual network it is
+// consumed from; pcuEventNet likewise for the core. Both must agree
+// with vnetOf on the underlying message types (asserted by test).
+var dirEventNet = [numDirEvents]int{
+	dirEvRead:       int(network.VNetRequest),
+	dirEvWrite:      int(network.VNetRequest),
+	dirEvPutOwned:   int(network.VNetRequest),
+	dirEvPutShared:  int(network.VNetRequest),
+	dirEvInvAck:     int(network.VNetResponse),
+	dirEvNack:       int(network.VNetResponse),
+	dirEvDelayedAck: int(network.VNetResponse),
+	dirEvOwnerData:  int(network.VNetResponse),
+	dirEvUnblock:    int(network.VNetResponse),
+}
+
+var pcuEventNet = [numPCUEvents]int{
+	pcuEvData:     int(network.VNetResponse),
+	pcuEvTearoff:  int(network.VNetResponse),
+	pcuEvDataExcl: int(network.VNetResponse),
+	pcuEvAck:      int(network.VNetResponse),
+	pcuEvInv:      int(network.VNetForward),
+	pcuEvFwdGetS:  int(network.VNetForward),
+	pcuEvFwdGetX:  int(network.VNetForward),
+	pcuEvPutAck:   int(network.VNetResponse),
+	pcuEvHint:     int(network.VNetResponse),
+}
+
+// Bounded-resource indices (Spec.Resources of each table).
+const (
+	dirResEvBuf = 0 // directory eviction-buffer entries
+	pcuResMSHR  = 0 // core miss-status holding registers
+)
+
+// dStates and pStates convert typed state lists for Effects fields.
+func dStates(ss ...dirState) []int {
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = int(s)
+	}
+	return out
+}
+
+func pStates(ss ...pcuState) []int {
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = int(s)
+	}
+	return out
+}
+
+// toCore declares a send the PCU consumes as event e; toDir a send the
+// directory consumes. arrives lists the receiver dispatch states the
+// message can find (speclint's double-entry bookkeeping requires the
+// union over all producers to be exact per event).
+func toCore(e pcuEvent, dest table.Dest, arrives ...pcuState) table.Send {
+	return table.Send{Side: table.SideCore, Event: int(e), Net: pcuEventNet[e],
+		Dest: dest, ArrivesIn: pStates(arrives...)}
+}
+
+func toDir(e dirEvent, dest table.Dest, arrives ...dirState) table.Send {
+	return table.Send{Side: table.SideDir, Event: int(e), Net: dirEventNet[e],
+		Dest: dest, ArrivesIn: dStates(arrives...)}
+}
+
+// maybe marks a send conditional (zero-or-one per firing), with the
+// condition documented.
+func maybe(s table.Send, note string) table.Send {
+	s.Maybe = true
+	s.Note = note
+	return s
+}
+
+// Receiver arrival sets. Forwards, invalidations, put-acks and hints
+// can find a core in any dispatch state (silent evictions and response
+// reordering decouple the directory's view from the core's MSHRs);
+// grants find the soliciting MSHR by construction.
+var (
+	pcuAllStates = []pcuState{pcuStIdle, pcuStRead, pcuStWrite, pcuStReadWrite}
+	pcuRdStates  = []pcuState{pcuStRead, pcuStReadWrite}
+	pcuWrStates  = []pcuState{pcuStWrite, pcuStReadWrite}
+)
+
+// fxPutStale annotates the stale-put refusals: answer with a stale
+// PutAck, change nothing. The refused sender does not retry — the ack
+// resolves its writeback-buffer entry — so no Retry is declared.
+func fxPutStale() table.Effects {
+	return table.Effects{Sends: []table.Send{
+		toCore(pcuEvPutAck, table.DestRequester, pcuAllStates...),
+	}}
+}
+
+// fxParked annotates rows that queue their request on a transient
+// entry: the parked work is released only when the transaction consumes
+// its response traffic, so the wait points at the response network —
+// strictly toward the sink, as the vnet pass demands.
+func fxParked(note string) table.Effects {
+	return table.Effects{Blocks: &table.Block{Net: int(network.VNetResponse), Note: note}}
+}

@@ -119,6 +119,8 @@ func newDirBench(mode Mode) *exBench {
 	}
 	x.bank = NewBank(network.Endpoint(4), x.mesh, &x.params, mem.NewMemory(), mode)
 	x.mesh.Attach(x.bank.id, 4%routers, x.bank)
+	bankEP := x.bank.id
+	x.bank.EnableConformance(NewConfChecker(func(ep network.Endpoint) bool { return ep == bankEP }))
 	return x
 }
 
@@ -349,6 +351,7 @@ func newPCUBench(mode Mode) *exBench {
 	home := func(mem.Line) network.Endpoint { return network.Endpoint(1) }
 	x.pcu = NewPCU(exPCUEP, x.mesh, &x.params, home, exCore{}, mode)
 	x.mesh.Attach(exPCUEP, 0, x.pcu)
+	x.pcu.EnableConformance(NewConfChecker(func(ep network.Endpoint) bool { return ep == network.Endpoint(1) }))
 	return x
 }
 

@@ -119,12 +119,12 @@ type Model struct {
 	sym *symGroup
 
 	// Reused scratch buffers (enumeration, fingerprint assembly).
-	chScratch  []choice
-	fpScratch  []byte
-	kaBuf      []byte  // key arena for multiset sorting
-	kaOffs     []int32 // start/end span pairs into kaBuf
-	symScratch []byte
-	shScratch  []int64
+	chScratch  []choice //wbsim:uncloned -- scratch, overwritten before every read
+	fpScratch  []byte   //wbsim:uncloned -- scratch, overwritten before every read
+	kaBuf      []byte   //wbsim:uncloned -- key arena, rebuilt per fingerprint
+	kaOffs     []int32  //wbsim:uncloned -- key arena spans, rebuilt per fingerprint
+	symScratch []byte   //wbsim:uncloned -- scratch, overwritten before every read
+	shScratch  []int64  //wbsim:uncloned -- scratch, overwritten before every read
 
 	// Arenas backing this model's per-state heap objects (in-flight
 	// messages, directory lines, transactions, network envelopes).

@@ -342,6 +342,7 @@ func (cc *cloneCtx) cloneBankInto(nb *Bank, b *Bank, port modelPort) {
 	nb.machine = b.machine // immutable composed table
 	nb.cov = nil           // Fire skips counting on nil; clone coverage is never read
 	nb.trace = b.trace
+	nb.conf = nil // conformance recorders watch one component; never cloned
 	nb.Stats = b.Stats
 	nb.now = b.now
 	// Walk the model's line universe instead of iterating the maps:
@@ -436,6 +437,7 @@ func (cc *cloneCtx) clonePCUInto(np *PCU, p *PCU, port modelPort, hooks CoreHook
 	np.machine = p.machine // immutable composed table
 	np.cov = nil           // Fire skips counting on nil; clone coverage is never read
 	np.trace = p.trace
+	np.conf = nil // conformance recorders watch one component; never cloned
 	if np.wbBuf == nil {
 		np.wbBuf = make(map[mem.Line]*wbEntry, len(p.wbBuf))
 	}

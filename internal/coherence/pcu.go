@@ -165,6 +165,7 @@ type PCU struct {
 	machine *table.Machine[pcuAction]
 	cov     []uint64
 	trace   func(pcuState, pcuEvent) // test hook: observe dispatches
+	conf    *confMachine             // effects-conformance recorder (tests); see conformance.go
 
 	l1    *cache.Array
 	l2    *cache.Array
@@ -228,6 +229,9 @@ func (p *PCU) Quiescent() bool {
 // The message is copied into the deferred-send record, so callers may
 // pass short-lived stack values.
 func (p *PCU) sendAfter(delay int, dst network.Endpoint, m *Msg) {
+	if p.conf != nil {
+		p.conf.send(dst, m)
+	}
 	p.events.AfterCall(p.now, sim.Cycle(delay), firePCUSend, &pcuSend{p: p, dst: dst, m: *m})
 }
 
@@ -474,7 +478,27 @@ func (p *PCU) Receive(now sim.Cycle, nm *network.Message) {
 	if p.trace != nil {
 		p.trace(st, ev)
 	}
+	if p.conf != nil {
+		p.conf.enter(int(st), int(ev), m.Line)
+		defer p.conf.exit(func() int { return int(p.lineState(m.Line)) })
+	}
 	p.machine.Fire(p.cov, int(st), int(ev))(p, m, rd, wr)
+}
+
+// lineState rederives the line's table dispatch state from its
+// outstanding MSHRs (conformance recorder).
+func (p *PCU) lineState(line mem.Line) pcuState {
+	var rd, wr *cache.MSHR
+	for _, ms := range p.mshrs.LookupAll(line) {
+		if ms.Payload.(*pcuTxn).write {
+			if wr == nil {
+				wr = ms
+			}
+		} else if rd == nil {
+			rd = ms
+		}
+	}
+	return pcuStateOf(rd, wr)
 }
 
 // maybeCompleteWrite finishes a write transaction once the grant and all

@@ -129,65 +129,101 @@ const (
 // run the shared choreography with nacking forbidden: squash-mode hooks
 // always acknowledge, and a true return panics.
 func pcuBaseSpec() table.Spec[pcuAction] {
+	// Effect shorthands. A read grant frees the read MSHR and (when
+	// cacheable) owes an Unblock; write completion is conditional on
+	// grant + all acks, so its Unblock and MSHR release are Maybe. The
+	// declared Unblock arrival states include the WritersBlock write
+	// state — live only under the wb delta; the base composition
+	// discounts arrivals at dead states.
+	fxReadGrant := func(next pcuState) table.Effects {
+		return table.Effects{
+			Next:     pStates(next),
+			Sends:    []table.Send{toDir(dirEvUnblock, table.DestHome, dirStBusyShared, dirStBusyExcl)},
+			Releases: []int{pcuResMSHR},
+		}
+	}
+	fxTearoff := func(next pcuState) table.Effects {
+		return table.Effects{Next: pStates(next), Releases: []int{pcuResMSHR}}
+	}
+	fxWriteStep := func(stay, done pcuState) table.Effects {
+		return table.Effects{
+			Next:     pStates(stay, done),
+			Sends:    []table.Send{maybe(toDir(dirEvUnblock, table.DestHome, dirStBusyWrite, dirStWBWrite), "write completes once the grant and every ack are in")},
+			Releases: []int{pcuResMSHR},
+		}
+	}
+	fxInv := table.Effects{Sends: []table.Send{
+		maybe(toDir(dirEvInvAck, table.DestHome, dirStBusyEvict), "eviction invalidations ack to the directory"),
+		maybe(toCore(pcuEvAck, table.DestRequester, pcuWrStates...), "writer invalidations ack straight to the writer"),
+	}}
+	fxFwdGetS := table.Effects{Sends: []table.Send{
+		toCore(pcuEvData, table.DestRequester, pcuRdStates...),
+		toDir(dirEvOwnerData, table.DestHome, dirStBusyShared),
+	}}
+	fxFwdGetX := table.Effects{Sends: []table.Send{
+		toCore(pcuEvDataExcl, table.DestRequester, pcuWrStates...),
+	}}
 	rows := []table.Row[pcuAction]{
 		// Read grants (cacheable and tear-off) need a read MSHR.
 		px(pcuStIdle, pcuEvData, whyPCUData),
-		ph(pcuStRead, pcuEvData, pcuActReadGrant),
+		ph(pcuStRead, pcuEvData, pcuActReadGrant).With(fxReadGrant(pcuStIdle)),
 		px(pcuStWrite, pcuEvData, whyPCUData),
-		ph(pcuStReadWrite, pcuEvData, pcuActReadGrant),
+		ph(pcuStReadWrite, pcuEvData, pcuActReadGrant).With(fxReadGrant(pcuStWrite)),
 
 		px(pcuStIdle, pcuEvTearoff, whyPCUData),
-		ph(pcuStRead, pcuEvTearoff, pcuActTearoff),
+		ph(pcuStRead, pcuEvTearoff, pcuActTearoff).With(fxTearoff(pcuStIdle)),
 		px(pcuStWrite, pcuEvTearoff, whyPCUData),
-		ph(pcuStReadWrite, pcuEvTearoff, pcuActTearoff),
+		ph(pcuStReadWrite, pcuEvTearoff, pcuActTearoff).With(fxTearoff(pcuStWrite)),
 
 		// Write grants and invalidation acks need the write MSHR.
 		px(pcuStIdle, pcuEvDataExcl, whyPCUExcl),
 		px(pcuStRead, pcuEvDataExcl, whyPCUExcl),
-		ph(pcuStWrite, pcuEvDataExcl, pcuActWriteGrant),
-		ph(pcuStReadWrite, pcuEvDataExcl, pcuActWriteGrant),
+		ph(pcuStWrite, pcuEvDataExcl, pcuActWriteGrant).With(fxWriteStep(pcuStWrite, pcuStIdle)),
+		ph(pcuStReadWrite, pcuEvDataExcl, pcuActWriteGrant).With(fxWriteStep(pcuStReadWrite, pcuStRead)),
 
 		px(pcuStIdle, pcuEvAck, whyPCUAck),
 		px(pcuStRead, pcuEvAck, whyPCUAck),
-		ph(pcuStWrite, pcuEvAck, pcuActAck),
-		ph(pcuStReadWrite, pcuEvAck, pcuActAck),
+		ph(pcuStWrite, pcuEvAck, pcuActAck).With(fxWriteStep(pcuStWrite, pcuStIdle)),
+		ph(pcuStReadWrite, pcuEvAck, pcuActAck).With(fxWriteStep(pcuStReadWrite, pcuStRead)),
 
 		// Invalidations and forwards arrive regardless of outstanding
 		// transactions: silent evictions mean the directory may think we
 		// share a line we dropped, and a forward can race our own GetX.
-		ph(pcuStIdle, pcuEvInv, pcuActInv),
-		ph(pcuStRead, pcuEvInv, pcuActInv),
-		ph(pcuStWrite, pcuEvInv, pcuActInv),
-		ph(pcuStReadWrite, pcuEvInv, pcuActInv),
+		ph(pcuStIdle, pcuEvInv, pcuActInv).With(fxInv),
+		ph(pcuStRead, pcuEvInv, pcuActInv).With(fxInv),
+		ph(pcuStWrite, pcuEvInv, pcuActInv).With(fxInv),
+		ph(pcuStReadWrite, pcuEvInv, pcuActInv).With(fxInv),
 
-		ph(pcuStIdle, pcuEvFwdGetS, pcuActFwdGetS),
-		ph(pcuStRead, pcuEvFwdGetS, pcuActFwdGetS),
-		ph(pcuStWrite, pcuEvFwdGetS, pcuActFwdGetS),
-		ph(pcuStReadWrite, pcuEvFwdGetS, pcuActFwdGetS),
+		ph(pcuStIdle, pcuEvFwdGetS, pcuActFwdGetS).With(fxFwdGetS),
+		ph(pcuStRead, pcuEvFwdGetS, pcuActFwdGetS).With(fxFwdGetS),
+		ph(pcuStWrite, pcuEvFwdGetS, pcuActFwdGetS).With(fxFwdGetS),
+		ph(pcuStReadWrite, pcuEvFwdGetS, pcuActFwdGetS).With(fxFwdGetS),
 
-		ph(pcuStIdle, pcuEvFwdGetX, pcuActFwdGetX),
-		ph(pcuStRead, pcuEvFwdGetX, pcuActFwdGetX),
-		ph(pcuStWrite, pcuEvFwdGetX, pcuActFwdGetX),
-		ph(pcuStReadWrite, pcuEvFwdGetX, pcuActFwdGetX),
+		ph(pcuStIdle, pcuEvFwdGetX, pcuActFwdGetX).With(fxFwdGetX),
+		ph(pcuStRead, pcuEvFwdGetX, pcuActFwdGetX).With(fxFwdGetX),
+		ph(pcuStWrite, pcuEvFwdGetX, pcuActFwdGetX).With(fxFwdGetX),
+		ph(pcuStReadWrite, pcuEvFwdGetX, pcuActFwdGetX).With(fxFwdGetX),
 
 		// PutAcks consult only the writeback buffer.
-		ph(pcuStIdle, pcuEvPutAck, pcuActPutAck),
-		ph(pcuStRead, pcuEvPutAck, pcuActPutAck),
-		ph(pcuStWrite, pcuEvPutAck, pcuActPutAck),
-		ph(pcuStReadWrite, pcuEvPutAck, pcuActPutAck),
+		ph(pcuStIdle, pcuEvPutAck, pcuActPutAck).With(table.Effects{}),
+		ph(pcuStRead, pcuEvPutAck, pcuActPutAck).With(table.Effects{}),
+		ph(pcuStWrite, pcuEvPutAck, pcuActPutAck).With(table.Effects{}),
+		ph(pcuStReadWrite, pcuEvPutAck, pcuActPutAck).With(table.Effects{}),
 
 		// BlockedHints mark the write transaction; a hint that lost the
-		// race against write completion is dropped explicitly.
-		pn(pcuStIdle, pcuEvHint, whyPCUHint, pcuActHintStale),
-		pn(pcuStRead, pcuEvHint, whyPCUHint, pcuActHintStale),
-		ph(pcuStWrite, pcuEvHint, pcuActHint),
-		ph(pcuStReadWrite, pcuEvHint, pcuActHint),
+		// race against write completion is dropped explicitly. The
+		// refused sender never retries a stale hint, so no livelock.
+		pn(pcuStIdle, pcuEvHint, whyPCUHint, pcuActHintStale).With(table.Effects{}),
+		pn(pcuStRead, pcuEvHint, whyPCUHint, pcuActHintStale).With(table.Effects{}),
+		ph(pcuStWrite, pcuEvHint, pcuActHint).With(table.Effects{}),
+		ph(pcuStReadWrite, pcuEvHint, pcuActHint).With(table.Effects{}),
 	}
 	return table.Spec[pcuAction]{
-		Name:   "pcu",
-		States: pcuStateNames[:],
-		Events: pcuEventNames[:],
-		Rows:   rows,
+		Name:      "pcu",
+		States:    pcuStateNames[:],
+		Events:    pcuEventNames[:],
+		Rows:      rows,
+		Resources: []string{"mshr"},
 	}
 }
 
@@ -196,18 +232,27 @@ func pcuBaseSpec() table.Spec[pcuAction] {
 // enters WritersBlock), and a forwarded write carries AckCount 1 so the
 // writer waits for the redirected ack (Figure 3.B).
 func pcuWBDelta() table.Delta[pcuAction] {
+	fxInvWB := table.Effects{Sends: []table.Send{
+		maybe(toDir(dirEvInvAck, table.DestHome, dirStBusyEvict, dirStWBEvict), "eviction invalidations ack to the directory"),
+		maybe(toCore(pcuEvAck, table.DestRequester, pcuWrStates...), "writer invalidations ack straight to the writer"),
+		maybe(toDir(dirEvNack, table.DestHome, dirStBusyWrite, dirStBusyEvict, dirStWBWrite, dirStWBEvict), "lockdown hit: the ack is withheld and the directory enters WritersBlock"),
+	}}
+	fxFwdGetXWB := table.Effects{Sends: []table.Send{
+		toCore(pcuEvDataExcl, table.DestRequester, pcuWrStates...),
+		maybe(toDir(dirEvNack, table.DestHome, dirStBusyWrite), "lockdown hit: data goes to the writer, the withheld ack becomes a Nack"),
+	}}
 	return table.Delta[pcuAction]{
 		Name: "wb",
 		Rows: []table.Row[pcuAction]{
-			ph(pcuStIdle, pcuEvInv, pcuActInvWB),
-			ph(pcuStRead, pcuEvInv, pcuActInvWB),
-			ph(pcuStWrite, pcuEvInv, pcuActInvWB),
-			ph(pcuStReadWrite, pcuEvInv, pcuActInvWB),
+			ph(pcuStIdle, pcuEvInv, pcuActInvWB).With(fxInvWB),
+			ph(pcuStRead, pcuEvInv, pcuActInvWB).With(fxInvWB),
+			ph(pcuStWrite, pcuEvInv, pcuActInvWB).With(fxInvWB),
+			ph(pcuStReadWrite, pcuEvInv, pcuActInvWB).With(fxInvWB),
 
-			ph(pcuStIdle, pcuEvFwdGetX, pcuActFwdGetXWB),
-			ph(pcuStRead, pcuEvFwdGetX, pcuActFwdGetXWB),
-			ph(pcuStWrite, pcuEvFwdGetX, pcuActFwdGetXWB),
-			ph(pcuStReadWrite, pcuEvFwdGetX, pcuActFwdGetXWB),
+			ph(pcuStIdle, pcuEvFwdGetX, pcuActFwdGetXWB).With(fxFwdGetXWB),
+			ph(pcuStRead, pcuEvFwdGetX, pcuActFwdGetXWB).With(fxFwdGetXWB),
+			ph(pcuStWrite, pcuEvFwdGetX, pcuActFwdGetXWB).With(fxFwdGetXWB),
+			ph(pcuStReadWrite, pcuEvFwdGetX, pcuActFwdGetXWB).With(fxFwdGetXWB),
 		},
 	}
 }

@@ -1,0 +1,133 @@
+package speclint
+
+import (
+	"fmt"
+	"reflect"
+
+	"wbsim/internal/coherence/table"
+)
+
+// DeltaHygiene is the layering pass: it analyzes a base spec plus its
+// deltas BEFORE composition flattens them, for the rot that creeps into
+// a layered protocol:
+//
+//   - no-op overrides: a delta row identical (kind, reason, action,
+//     effects) to the cell it replaces — dead weight that suggests a
+//     merge accident or an override that lost its purpose;
+//
+//   - unused Revives: a delta reviving a state or event that is not
+//     dead at that point in the layering (already live in the base, or
+//     already revived by an earlier delta);
+//
+//   - later-delta conflicts: two deltas of the same composition writing
+//     the same cell. Deltas layer over the BASE by design; a delta
+//     silently rewriting another delta's row is almost always an
+//     ordering hazard, and legitimate cases should restructure so each
+//     cell has one non-base owner.
+//
+// The pass is generic over the action type so it can run on the real
+// specs without building them.
+func DeltaHygiene[A any](spec table.Spec[A], deltas ...table.Delta[A]) []Finding {
+	var fs []Finding
+	ns, ne := len(spec.States), len(spec.Events)
+	name := func(s, e int) string {
+		return fmt.Sprintf("(%s, %s)", spec.States[s], spec.Events[e])
+	}
+	composed := spec.Name
+	for _, d := range deltas {
+		composed += "+" + d.Name
+	}
+
+	type cell struct {
+		layer string
+		row   table.Row[A]
+		set   bool
+	}
+	cells := make([]cell, ns*ne)
+	for _, r := range spec.Rows {
+		if r.State < 0 || r.State >= ns || r.Event < 0 || r.Event >= ne {
+			continue // Build reports range errors; hygiene is not a validator
+		}
+		cells[r.State*ne+r.Event] = cell{layer: spec.Name, row: r, set: true}
+	}
+	deadStates := make(map[int]bool)
+	for _, s := range spec.DeadStates {
+		deadStates[s] = true
+	}
+	deadEvents := make(map[int]bool)
+	for _, e := range spec.DeadEvents {
+		deadEvents[e] = true
+	}
+
+	for _, d := range deltas {
+		for _, r := range d.Rows {
+			if r.State < 0 || r.State >= ns || r.Event < 0 || r.Event >= ne {
+				continue
+			}
+			i := r.State*ne + r.Event
+			prev := cells[i]
+			if prev.set {
+				if prev.layer != spec.Name {
+					fs = append(fs, Finding{Pass: "delta", Machine: composed, Row: name(r.State, r.Event),
+						Msg: fmt.Sprintf("later-delta conflict: delta %s overrides the %s row installed by delta %s",
+							d.Name, name(r.State, r.Event), prev.layer)})
+				}
+				if sameRow(prev.row, r) {
+					fs = append(fs, Finding{Pass: "delta", Machine: composed, Row: name(r.State, r.Event),
+						Msg: fmt.Sprintf("no-op override: delta %s row %s is identical to the %s layer's row",
+							d.Name, name(r.State, r.Event), prev.layer)})
+				}
+			}
+			cells[i] = cell{layer: d.Name, row: r, set: true}
+		}
+		for _, s := range d.ReviveStates {
+			if s < 0 || s >= ns {
+				continue
+			}
+			if !deadStates[s] {
+				fs = append(fs, Finding{Pass: "delta", Machine: composed,
+					Msg: fmt.Sprintf("unused revive: delta %s revives state %s, which is not dead at that layer", d.Name, spec.States[s])})
+			}
+			deadStates[s] = false
+		}
+		for _, e := range d.ReviveEvents {
+			if e < 0 || e >= ne {
+				continue
+			}
+			if !deadEvents[e] {
+				fs = append(fs, Finding{Pass: "delta", Machine: composed,
+					Msg: fmt.Sprintf("unused revive: delta %s revives event %s, which is not dead at that layer", d.Name, spec.Events[e])})
+			}
+			deadEvents[e] = false
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// sameRow reports whether a delta row is an exact functional duplicate
+// of the cell it overrides: same kind, same audit reason, same declared
+// effects, and the same action. Actions are opaque; funcs compare by
+// code pointer, anything else by deep equality, and when neither
+// applies the rows are conservatively treated as different.
+func sameRow[A any](a, b table.Row[A]) bool {
+	if a.Kind != b.Kind || a.Why != b.Why {
+		return false
+	}
+	if !reflect.DeepEqual(a.Effects, b.Effects) {
+		return false
+	}
+	return sameAction(a.Do, b.Do)
+}
+
+func sameAction[A any](a, b A) bool {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	if !va.IsValid() || !vb.IsValid() {
+		return va.IsValid() == vb.IsValid()
+	}
+	if va.Kind() == reflect.Func {
+		return va.Pointer() == vb.Pointer()
+	}
+	defer func() { recover() }() // uncomparable non-func actions: treat as different
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,80 @@
+package speclint
+
+import (
+	"fmt"
+	"strings"
+
+	"wbsim/internal/coherence/table"
+)
+
+// checkLivelock is the Nack-livelock pass.
+//
+// A Nacked row refuses its sender; if its declared Retry regenerates an
+// event at this machine while the machine state is declared unchanged
+// (empty Next, no NextAny), the refusal can repeat. A cycle of such
+// rows — including the one-row cycle of a Nack that retries its own
+// event — is a protocol that can spin forever without external help:
+// nothing in the declared effects breaks the loop. Progress must be
+// declared, either as a state change on some row of the cycle or by
+// not retrying at all (the WritersBlock way: the directory re-forwards
+// after the lockdown lifts instead of making the sender poll).
+func (sys *System) checkLivelock() []Finding {
+	var fs []Finding
+	for side := 0; side < 2; side++ {
+		m := sys.Machines[side]
+		info := m.Info
+		ne := info.NumEvents()
+
+		// spin[s*ne+e]: the row is Nacked, retries, and declares no
+		// state change — a candidate node of a livelock cycle.
+		spin := make([]bool, info.NumStates()*ne)
+		retryEvent := make([]int, info.NumStates()*ne)
+		forEachFx(info, func(s, e int, fx *table.Effects) {
+			if info.RowKind(s, e) != table.Nacked || fx.Retry == nil {
+				return
+			}
+			if len(fx.Next) > 0 || fx.NextAny {
+				return // declared state change: the retry can make progress
+			}
+			spin[s*ne+e] = true
+			retryEvent[s*ne+e] = fx.Retry.Event
+		})
+
+		// Follow retry chains; the state is pinned (no node changes
+		// it), so edges stay within one state and cycles are chains of
+		// events that return to a visited node.
+		for s := 0; s < info.NumStates(); s++ {
+			for e := 0; e < ne; e++ {
+				if !spin[s*ne+e] {
+					continue
+				}
+				var chain []int
+				index := map[int]int{}
+				cur := e
+				for spin[s*ne+cur] {
+					if at, seen := index[cur]; seen {
+						cyc := chain[at:]
+						var rows []string
+						min := cyc[0]
+						for _, ev := range cyc {
+							rows = append(rows, rowName(info, s, ev))
+							if ev < min {
+								min = ev
+							}
+						}
+						if cyc[0] == e && min == e { // report each cycle once, at its least member
+							fs = append(fs, sys.finding("livelock", info, rowName(info, s, e),
+								fmt.Sprintf("Nack-livelock: %s retry regenerates %s in unchanged state %s (cycle %s); no declared effect makes progress",
+									rowName(info, s, e), info.EventName(retryEvent[s*ne+e]), info.StateName(s), strings.Join(rows, " → "))))
+						}
+						break
+					}
+					index[cur] = len(chain)
+					chain = append(chain, cur)
+					cur = retryEvent[s*ne+cur]
+				}
+			}
+		}
+	}
+	return fs
+}

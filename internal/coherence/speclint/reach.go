@@ -1,0 +1,180 @@
+package speclint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wbsim/internal/coherence/table"
+)
+
+// checkReachability is the static reachability pass: exact double-entry
+// bookkeeping between message producers and consumers, backed by a
+// state-reachability fixpoint.
+//
+// Every declared send and stimulus lists the dispatch states it can
+// arrive in (ArrivesIn). For each receiving event e, the union of all
+// declared arrival states must EQUAL the set of states whose (s, e) row
+// is non-Impossible:
+//
+//   - a non-Impossible row outside the union is dead — no declared
+//     effect of either machine, and no stimulus, can produce it; it is
+//     untestable armor plating (or a row whose producer was removed by
+//     a delta without cleaning up the consumer);
+//
+//   - a declared arrival at an Impossible row refutes the table's
+//     "impossible" claim: some producer says it can deliver e in s, and
+//     firing that row panics the simulator.
+//
+// The fixpoint then checks the state axis: starting from the declared
+// initial states and following the Next sets of rows whose arrival is
+// declared, every state with a non-Impossible row must be entered.
+//
+// Arrivals declared at DEAD states (every row Impossible) are
+// discounted: row annotations are shared across compositions, and a
+// dead state is the composed machine's claim that the producing
+// condition cannot arise under this delta stack — the base machine
+// writes off the WritersBlock states that only the wb delta revives,
+// while the sends that can reach them are declared on rows both
+// machines share. A declared arrival at an Impossible row of a LIVE
+// state is still a refuted-impossibility finding.
+func (sys *System) checkReachability() []Finding {
+	var fs []Finding
+
+	// arrive[side][e] = union of declared arrival states; producers[side][e]
+	// = who declared them, for the diagnostic.
+	var arrive [2][][]bool
+	var producers [2][]map[string]bool
+	for side := 0; side < 2; side++ {
+		info := sys.Machines[side].Info
+		arrive[side] = make([][]bool, info.NumEvents())
+		producers[side] = make([]map[string]bool, info.NumEvents())
+		for e := range arrive[side] {
+			arrive[side][e] = make([]bool, info.NumStates())
+			producers[side][e] = map[string]bool{}
+		}
+	}
+	record := func(side table.Side, event, state int, who string) {
+		if !stateLive(sys.Machines[side].Info, state) {
+			return // dead-state arrival: see the doc comment above
+		}
+		arrive[side][event][state] = true
+		producers[side][event][who] = true
+	}
+	for side := 0; side < 2; side++ {
+		m := sys.Machines[side]
+		forEachFx(m.Info, func(s, e int, fx *table.Effects) {
+			for _, snd := range fx.Sends {
+				for _, as := range snd.ArrivesIn {
+					record(snd.Side, snd.Event, as, m.Info.Name()+" "+rowName(m.Info, s, e))
+				}
+			}
+		})
+	}
+	for side := 0; side < 2; side++ {
+		m := sys.Machines[side]
+		for _, sp := range m.Spontaneous {
+			for _, snd := range sp.Effects.Sends {
+				for _, as := range snd.ArrivesIn {
+					record(snd.Side, snd.Event, as, fmt.Sprintf("%s spontaneous %q", m.Info.Name(), sp.Note))
+				}
+			}
+		}
+	}
+	for _, st := range sys.Stimuli {
+		for _, as := range st.ArrivesIn {
+			record(st.Side, st.Event, as, "stimulus "+st.Note)
+		}
+	}
+
+	// Double-entry check per receiving row.
+	for side := 0; side < 2; side++ {
+		info := sys.Machines[side].Info
+		for e := 0; e < info.NumEvents(); e++ {
+			for s := 0; s < info.NumStates(); s++ {
+				declared := arrive[side][e][s]
+				impossible := info.RowKind(s, e) == table.Impossible
+				switch {
+				case declared && impossible:
+					fs = append(fs, sys.finding("reach", info, rowName(info, s, e),
+						fmt.Sprintf("impossible row is statically reachable: %s declare delivering %s in state %s (%s)",
+							describeProducers(producers[side][e]), info.EventName(e), info.StateName(s), info.RowWhy(s, e))))
+				case !declared && !impossible:
+					fs = append(fs, sys.finding("reach", info, rowName(info, s, e),
+						fmt.Sprintf("dead row: no declared effect or stimulus produces %s in state %s; the %s row can never fire",
+							info.EventName(e), info.StateName(s), info.RowKind(s, e))))
+				}
+			}
+		}
+	}
+
+	// State-reachability fixpoint over declared transitions.
+	for side := 0; side < 2; side++ {
+		m := sys.Machines[side]
+		info := m.Info
+		reachable := make([]bool, info.NumStates())
+		for _, s := range m.Initial {
+			reachable[s] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, sp := range m.Spontaneous {
+				if !reachable[sp.From] {
+					continue
+				}
+				for _, t := range sp.Effects.Next {
+					if !reachable[t] {
+						reachable[t] = true
+						changed = true
+					}
+				}
+			}
+			forEachFx(info, func(s, e int, fx *table.Effects) {
+				if !reachable[s] || !arrive[side][e][s] {
+					return
+				}
+				if fx.NextAny {
+					for t := range reachable {
+						if !reachable[t] && stateLive(info, t) {
+							reachable[t] = true
+							changed = true
+						}
+					}
+					return
+				}
+				for _, t := range fx.Next {
+					if !reachable[t] {
+						reachable[t] = true
+						changed = true
+					}
+				}
+			})
+		}
+		for s := 0; s < info.NumStates(); s++ {
+			if !reachable[s] && stateLive(info, s) {
+				fs = append(fs, sys.finding("reach", info, "",
+					fmt.Sprintf("state %s is unreachable from the initial states via declared Next transitions", info.StateName(s))))
+			}
+		}
+	}
+	return fs
+}
+
+// stateLive reports whether a state has any non-Impossible row.
+func stateLive(info table.Info, s int) bool {
+	for e := 0; e < info.NumEvents(); e++ {
+		if info.RowKind(s, e) != table.Impossible {
+			return true
+		}
+	}
+	return false
+}
+
+func describeProducers(set map[string]bool) string {
+	var names []string
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

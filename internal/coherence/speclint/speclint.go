@@ -1,0 +1,283 @@
+// Package speclint statically analyzes a composed coherence protocol —
+// the effect-annotated transition tables of a directory bank and a
+// core-side PCU, plus the stimuli non-row code injects — for the bug
+// classes the model checker can only find dynamically and only in tiny
+// geometries:
+//
+//   - VNet deadlock-freedom (vnet.go): every declared wait (an explicit
+//     Block or a bounded-resource acquire) must point strictly toward
+//     the virtual-network sink (request < forward < response), and no
+//     dependency cycle may contain a wait edge. This is the SLICC-style
+//     message-dependency argument: if consumption of each network waits
+//     only on networks closer to the sink, and sink consumption never
+//     waits, every network drains by induction — for ANY geometry, not
+//     just the ones the checker closes.
+//
+//   - Nack-livelock (livelock.go): a cycle of Nacked rows whose
+//     declared retries regenerate one another's events with the machine
+//     state declared unchanged is a protocol that can spin forever.
+//
+//   - Static reachability (reach.go): exact double-entry bookkeeping
+//     between producers and consumers. Every message class declares the
+//     dispatch states it can arrive in; per receiving event, the union
+//     of declared arrival states must equal the event's non-Impossible
+//     row set. A Handled row outside the union is dead (no declared
+//     effect produces it); a declared arrival at an Impossible row
+//     means the "impossible" claim is false. A state-reachability
+//     fixpoint from the initial states backs the row-level bookkeeping.
+//
+//   - Delta hygiene (hygiene.go): no-op overrides, unused Revives, and
+//     later-delta conflicts in the base+delta layering.
+//
+// The passes consume only table.Effects metadata; the conformance
+// harness in the coherence package keeps that metadata honest against
+// the opaque row actions at test time.
+package speclint
+
+import (
+	"fmt"
+	"sort"
+
+	"wbsim/internal/coherence/table"
+)
+
+// Finding is one static-analysis diagnostic, naming the pass, the
+// composed system, the machine, and the row (or rows) responsible.
+type Finding struct {
+	Pass    string // "annotate", "vnet", "livelock", "reach", "delta"
+	System  string // composed-system name ("" for delta hygiene)
+	Machine string
+	Row     string // "(State, Event)" of the offending row ("" if system-wide)
+	Msg     string
+}
+
+// String renders the finding as one grep-able line.
+func (f Finding) String() string {
+	loc := f.Machine
+	if f.Row != "" {
+		loc += " " + f.Row
+	}
+	if f.System != "" {
+		loc = f.System + ": " + loc
+	}
+	return fmt.Sprintf("[%s] %s: %s", f.Pass, loc, f.Msg)
+}
+
+// MachineSpec describes one side of the composed system.
+type MachineSpec struct {
+	// Info is the type-erased view of the built machine.
+	Info table.Info
+	// EventNet maps each event index to the virtual network it is
+	// consumed from. Declared sends must agree (a message class
+	// determines both its receiving event and its network).
+	EventNet []int
+	// Initial lists the dispatch states the machine starts in.
+	Initial []int
+	// Spontaneous lists the machine's non-row transitions: state
+	// changes (and sends) made by code outside the table — the core's
+	// issue path moving Idle to a pending state, the bank's memory
+	// fetch completing. They consume no network, so they add no
+	// dependency edges, but the reachability pass needs them as state
+	// and message producers.
+	Spontaneous []Spontaneous
+}
+
+// Spontaneous is one declared non-row transition (see MachineSpec).
+type Spontaneous struct {
+	From    int
+	Effects table.Effects
+	Note    string
+}
+
+// Stimulus declares an event injected by non-row code — core issue
+// logic, the eviction engine, lockdown release — so the reachability
+// bookkeeping can account for producers outside the tables.
+type Stimulus struct {
+	Side      table.Side
+	Event     int
+	ArrivesIn []int
+	Note      string
+}
+
+// System is one composed protocol instance: both machines (indexed by
+// table.Side), the virtual-network name space in sink order (index 0
+// farthest from the sink, last index the sink itself — request,
+// forward, response), and the out-of-table stimuli.
+type System struct {
+	Name     string
+	NetNames []string // in sink order: rank == index
+	Machines [2]MachineSpec
+	Stimuli  []Stimulus
+}
+
+// Analyze runs the composed-system passes (annotation completeness,
+// VNet deadlock-freedom, Nack-livelock, static reachability) and
+// returns the findings sorted for deterministic output. Delta hygiene
+// operates on specs before composition; see DeltaHygiene.
+func (sys *System) Analyze() []Finding {
+	var fs []Finding
+	fs = append(fs, sys.checkAnnotations()...)
+	// The later passes read effect metadata; if annotations are
+	// missing or internally inconsistent, their output would be noise.
+	if len(fs) == 0 {
+		fs = append(fs, sys.checkVNets()...)
+		fs = append(fs, sys.checkLivelock()...)
+		fs = append(fs, sys.checkReachability()...)
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// rowName renders a (state, event) pair against a machine's name spaces.
+func rowName(info table.Info, s, e int) string {
+	return fmt.Sprintf("(%s, %s)", info.StateName(s), info.EventName(e))
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// finding is the package-internal constructor.
+func (sys *System) finding(pass string, info table.Info, row, msg string) Finding {
+	machine := ""
+	if info != nil {
+		machine = info.Name()
+	}
+	return Finding{Pass: pass, System: sys.Name, Machine: machine, Row: row, Msg: msg}
+}
+
+// checkAnnotations enforces the prerequisites of every later pass:
+//
+//   - every Handled/Nacked row carries Effects
+//   - every Send names a valid peer event, arrival states in range, and
+//     a network agreeing with the receiving event's EventNet entry
+//   - every Block and EventNet entry names a declared network
+//   - stimuli name valid events and arrival states
+func (sys *System) checkAnnotations() []Finding {
+	var fs []Finding
+	nets := len(sys.NetNames)
+	for side := 0; side < 2; side++ {
+		m := sys.Machines[side]
+		info := m.Info
+		if len(m.EventNet) != info.NumEvents() {
+			fs = append(fs, sys.finding("annotate", info, "",
+				fmt.Sprintf("EventNet has %d entries for %d events", len(m.EventNet), info.NumEvents())))
+			continue
+		}
+		for _, n := range m.EventNet {
+			if n < 0 || n >= nets {
+				fs = append(fs, sys.finding("annotate", info, "",
+					fmt.Sprintf("EventNet names undeclared network %d", n)))
+			}
+		}
+		for _, s := range m.Initial {
+			if s < 0 || s >= info.NumStates() {
+				fs = append(fs, sys.finding("annotate", info, "",
+					fmt.Sprintf("initial state %d out of range", s)))
+			}
+		}
+		for s := 0; s < info.NumStates(); s++ {
+			for e := 0; e < info.NumEvents(); e++ {
+				kind := info.RowKind(s, e)
+				fx := info.RowEffects(s, e)
+				row := rowName(info, s, e)
+				if kind == table.Impossible {
+					continue // Build rejects effects on impossible rows
+				}
+				if fx == nil {
+					fs = append(fs, sys.finding("annotate", info, row,
+						fmt.Sprintf("%s row has no declared effects", kind)))
+					continue
+				}
+				for _, snd := range fx.Sends {
+					fs = append(fs, sys.checkSend(info, row, snd)...)
+				}
+				if fx.Blocks != nil && (fx.Blocks.Net < 0 || fx.Blocks.Net >= nets) {
+					fs = append(fs, sys.finding("annotate", info, row,
+						fmt.Sprintf("Blocks names undeclared network %d", fx.Blocks.Net)))
+				}
+			}
+		}
+		for _, sp := range m.Spontaneous {
+			where := fmt.Sprintf("spontaneous %q", sp.Note)
+			if sp.From < 0 || sp.From >= info.NumStates() {
+				fs = append(fs, sys.finding("annotate", info, "",
+					fmt.Sprintf("%s: from-state %d out of range", where, sp.From)))
+				continue
+			}
+			for _, t := range sp.Effects.Next {
+				if t < 0 || t >= info.NumStates() {
+					fs = append(fs, sys.finding("annotate", info, "",
+						fmt.Sprintf("%s: Next state %d out of range", where, t)))
+				}
+			}
+			for _, snd := range sp.Effects.Sends {
+				fs = append(fs, sys.checkSend(info, where, snd)...)
+			}
+		}
+	}
+	for _, st := range sys.Stimuli {
+		peer := sys.Machines[st.Side]
+		if st.Event < 0 || st.Event >= peer.Info.NumEvents() {
+			fs = append(fs, sys.finding("annotate", peer.Info, "",
+				fmt.Sprintf("stimulus event %d out of range", st.Event)))
+			continue
+		}
+		for _, s := range st.ArrivesIn {
+			if s < 0 || s >= peer.Info.NumStates() {
+				fs = append(fs, sys.finding("annotate", peer.Info, "",
+					fmt.Sprintf("stimulus %s arrival state %d out of range", peer.Info.EventName(st.Event), s)))
+			}
+		}
+	}
+	return fs
+}
+
+// checkSend validates one declared send against the receiving machine.
+func (sys *System) checkSend(from table.Info, row string, snd table.Send) []Finding {
+	var fs []Finding
+	if snd.Side != table.SideDir && snd.Side != table.SideCore {
+		return append(fs, sys.finding("annotate", from, row,
+			fmt.Sprintf("send names invalid side %d", int(snd.Side))))
+	}
+	peer := sys.Machines[snd.Side]
+	if snd.Event < 0 || snd.Event >= peer.Info.NumEvents() {
+		return append(fs, sys.finding("annotate", from, row,
+			fmt.Sprintf("send to %s names event %d out of range", snd.Side, snd.Event)))
+	}
+	if want := peer.EventNet[snd.Event]; snd.Net != want {
+		fs = append(fs, sys.finding("annotate", from, row,
+			fmt.Sprintf("send of %s/%s declares network %s, but that event is consumed from %s",
+				snd.Side, peer.Info.EventName(snd.Event), sys.netName(snd.Net), sys.netName(want))))
+	}
+	if len(snd.ArrivesIn) == 0 {
+		fs = append(fs, sys.finding("annotate", from, row,
+			fmt.Sprintf("send of %s/%s declares no arrival states", snd.Side, peer.Info.EventName(snd.Event))))
+	}
+	for _, s := range snd.ArrivesIn {
+		if s < 0 || s >= peer.Info.NumStates() {
+			fs = append(fs, sys.finding("annotate", from, row,
+				fmt.Sprintf("send of %s/%s arrival state %d out of range", snd.Side, peer.Info.EventName(snd.Event), s)))
+		}
+	}
+	return fs
+}
+
+func (sys *System) netName(n int) string {
+	if n >= 0 && n < len(sys.NetNames) {
+		return sys.NetNames[n]
+	}
+	return fmt.Sprintf("net(%d)", n)
+}

@@ -1,0 +1,343 @@
+package speclint
+
+import (
+	"strings"
+	"testing"
+
+	"wbsim/internal/coherence/table"
+)
+
+// The test protocol is a minimal two-party request/response machine:
+// a "dir" with states I/B and events Get (request net) / Done
+// (response net), and a "core" with states Id/W and one event Data
+// (response net). The core spontaneously issues (Id→W, modeling the
+// issue path), the dir grants and waits for the Done unblock, queued
+// Gets block for the response network. The clean version must produce
+// zero findings; each planted test mutates one aspect.
+const (
+	dI, dB  = 0, 1 // dir states
+	gGet    = 0    // dir events
+	gDone   = 1
+	cId, cW = 0, 1 // core states
+	cData   = 0    // core events
+
+	netReq  = 0
+	netFwd  = 1
+	netResp = 2
+)
+
+type fixture struct {
+	dirRows      []table.Row[int]
+	coreRows     []table.Row[int]
+	dirResources []string
+	stimuli      []Stimulus
+	spont        []Spontaneous
+}
+
+func cleanFixture() *fixture {
+	return &fixture{
+		dirRows: []table.Row[int]{
+			table.Row[int]{State: dI, Event: gGet, Kind: table.Handled}.With(table.Effects{
+				Next:  []int{dB},
+				Sends: []table.Send{{Side: table.SideCore, Event: cData, Net: netResp, Dest: table.DestRequester, ArrivesIn: []int{cId, cW}}},
+			}),
+			table.Row[int]{State: dB, Event: gGet, Kind: table.Handled}.With(table.Effects{
+				Blocks: &table.Block{Net: netResp, Note: "queued behind the pending grant"},
+			}),
+			table.Row[int]{State: dI, Event: gDone, Kind: table.Impossible, Why: "no grant outstanding"},
+			table.Row[int]{State: dB, Event: gDone, Kind: table.Handled}.With(table.Effects{
+				Next: []int{dI}, ThenRedispatch: true,
+			}),
+		},
+		coreRows: []table.Row[int]{
+			table.Row[int]{State: cId, Event: cData, Kind: table.Nacked, Why: "stale grant dropped"}.With(table.Effects{}),
+			table.Row[int]{State: cW, Event: cData, Kind: table.Handled}.With(table.Effects{
+				Next:  []int{cId},
+				Sends: []table.Send{{Side: table.SideDir, Event: gDone, Net: netResp, Dest: table.DestHome, ArrivesIn: []int{dB}}},
+			}),
+		},
+		stimuli: []Stimulus{{Side: table.SideDir, Event: gGet, ArrivesIn: []int{dI, dB}, Note: "core issue"}},
+		spont:   []Spontaneous{{From: cId, Effects: table.Effects{Next: []int{cW}}, Note: "issue path"}},
+	}
+}
+
+func (f *fixture) system(t *testing.T) *System {
+	t.Helper()
+	dir, err := table.Build(table.Spec[int]{
+		Name: "dir", States: []string{"I", "B"}, Events: []string{"Get", "Done"},
+		Rows: f.dirRows, Resources: f.dirResources,
+	})
+	if err != nil {
+		t.Fatalf("building dir: %v", err)
+	}
+	core, err := table.Build(table.Spec[int]{
+		Name: "core", States: []string{"Id", "W"}, Events: []string{"Data"},
+		Rows: f.coreRows,
+	})
+	if err != nil {
+		t.Fatalf("building core: %v", err)
+	}
+	return &System{
+		Name:     "test",
+		NetNames: []string{"req", "fwd", "resp"},
+		Machines: [2]MachineSpec{
+			table.SideDir:  {Info: dir, EventNet: []int{netReq, netResp}, Initial: []int{dI}},
+			table.SideCore: {Info: core, EventNet: []int{netResp}, Initial: []int{cId}, Spontaneous: f.spont},
+		},
+		Stimuli: f.stimuli,
+	}
+}
+
+func findingStrings(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+// expect asserts that exactly one finding of the given pass exists and
+// that its rendering mentions every want substring.
+func expect(t *testing.T, fs []Finding, pass string, wants ...string) {
+	t.Helper()
+	var hits []Finding
+	for _, f := range fs {
+		if f.Pass == pass {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatalf("no %s finding; all findings: %v", pass, findingStrings(fs))
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range hits {
+			if strings.Contains(f.String(), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s finding mentions %q; findings: %v", pass, want, findingStrings(hits))
+		}
+	}
+}
+
+func TestCleanSystemHasNoFindings(t *testing.T) {
+	fs := cleanFixture().system(t).Analyze()
+	if len(fs) != 0 {
+		t.Fatalf("clean system produced findings: %v", findingStrings(fs))
+	}
+}
+
+func TestVNetPassRejectsSinkBlock(t *testing.T) {
+	f := cleanFixture()
+	// Plant: the Done row (consumes the response sink) blocks for the
+	// request network — the classic protocol-deadlock shape.
+	f.dirRows[3] = table.Row[int]{State: dB, Event: gDone, Kind: table.Handled}.With(table.Effects{
+		Next:   []int{dI},
+		Blocks: &table.Block{Net: netReq, Note: "planted"},
+	})
+	fs := f.system(t).Analyze()
+	expect(t, fs, "vnet", "(B, Done)", "sink", "resp")
+}
+
+func TestVNetPassRejectsBackwardBlock(t *testing.T) {
+	f := cleanFixture()
+	// Plant: a request-consuming row blocking for the request network
+	// itself (rank not strictly increasing).
+	f.dirRows[1] = table.Row[int]{State: dB, Event: gGet, Kind: table.Handled}.With(table.Effects{
+		Blocks: &table.Block{Net: netReq, Note: "planted self-wait"},
+	})
+	fs := f.system(t).Analyze()
+	expect(t, fs, "vnet", "(B, Get)", "strictly toward the sink")
+}
+
+func TestVNetPassReportsWaitCycle(t *testing.T) {
+	f := cleanFixture()
+	f.dirRows[3] = table.Row[int]{State: dB, Event: gDone, Kind: table.Handled}.With(table.Effects{
+		Next:   []int{dI},
+		Blocks: &table.Block{Net: netReq, Note: "planted"},
+	})
+	fs := f.system(t).Analyze()
+	// (I,Get) sends on resp and (B,Done) waits for req: req→resp send,
+	// resp→req wait — a cycle through a wait edge, named end to end.
+	expect(t, fs, "vnet", "message-dependency cycle", "WAIT")
+}
+
+func TestVNetPassRejectsUnreleasedResource(t *testing.T) {
+	f := cleanFixture()
+	f.dirRows[0] = table.Row[int]{State: dI, Event: gGet, Kind: table.Handled}.With(table.Effects{
+		Next:     []int{dB},
+		Sends:    []table.Send{{Side: table.SideCore, Event: cData, Net: netResp, Dest: table.DestRequester, ArrivesIn: []int{cW}}},
+		Acquires: []int{0},
+	})
+	f.dirResources = []string{"evbuf"}
+	fs := f.system(t).Analyze()
+	expect(t, fs, "vnet", "(I, Get)", "acquires evbuf", "no row")
+}
+
+func TestVNetPassRejectsSameRankResourceWait(t *testing.T) {
+	f := cleanFixture()
+	// Acquire on a request row whose only releaser is another request
+	// row: a full resource makes request consumption wait for request
+	// consumption.
+	f.dirRows[0] = table.Row[int]{State: dI, Event: gGet, Kind: table.Handled}.With(table.Effects{
+		Next:     []int{dB},
+		Sends:    []table.Send{{Side: table.SideCore, Event: cData, Net: netResp, Dest: table.DestRequester, ArrivesIn: []int{cW}}},
+		Acquires: []int{0},
+	})
+	f.dirRows[1] = table.Row[int]{State: dB, Event: gGet, Kind: table.Handled}.With(table.Effects{
+		Blocks:   &table.Block{Net: netResp, Note: "queued"},
+		Releases: []int{0},
+	})
+	f.dirResources = []string{"evbuf"}
+	fs := f.system(t).Analyze()
+	expect(t, fs, "vnet", "(I, Get)", "acquires evbuf", "against the sink order")
+}
+
+func TestLivelockPassRejectsSelfRetry(t *testing.T) {
+	f := cleanFixture()
+	// Plant: the busy dir Nacks further Gets and the refused core
+	// re-sends the same Get against an unchanged state.
+	f.dirRows[1] = table.Row[int]{State: dB, Event: gGet, Kind: table.Nacked, Why: "busy; sender polls"}.With(table.Effects{
+		Retry: &table.Retry{Event: gGet, Note: "planted poll loop"},
+	})
+	fs := f.system(t).Analyze()
+	expect(t, fs, "livelock", "(B, Get)", "unchanged state B", "no declared effect makes progress")
+}
+
+func TestLivelockPassRejectsRetryPair(t *testing.T) {
+	f := cleanFixture()
+	// Plant: a two-row cycle — Get nacked with a retry that shows up as
+	// Done, Done nacked with a retry that regenerates Get.
+	f.dirRows[1] = table.Row[int]{State: dB, Event: gGet, Kind: table.Nacked, Why: "busy"}.With(table.Effects{
+		Retry: &table.Retry{Event: gDone, Note: "planted"},
+	})
+	f.dirRows[3] = table.Row[int]{State: dB, Event: gDone, Kind: table.Nacked, Why: "stale"}.With(table.Effects{
+		Retry: &table.Retry{Event: gGet, Note: "planted"},
+	})
+	fs := f.system(t).Analyze()
+	expect(t, fs, "livelock", "(B, Get)", "(B, Done)")
+}
+
+func TestLivelockPassAcceptsProgressingRetry(t *testing.T) {
+	f := cleanFixture()
+	// A Nacked row that retries but declares a state change is progress,
+	// not a livelock.
+	f.dirRows[1] = table.Row[int]{State: dB, Event: gGet, Kind: table.Nacked, Why: "busy"}.With(table.Effects{
+		Next:  []int{dI},
+		Retry: &table.Retry{Event: gGet, Note: "state changes before the retry lands"},
+	})
+	fs := f.system(t).Analyze()
+	for _, fd := range fs {
+		if fd.Pass == "livelock" {
+			t.Fatalf("progressing retry flagged as livelock: %v", fd)
+		}
+	}
+}
+
+func TestReachPassRejectsDeadRow(t *testing.T) {
+	f := cleanFixture()
+	// Plant: the stimulus no longer declares Gets arriving at a busy
+	// dir, so the (B, Get) queue row has no producer.
+	f.stimuli = []Stimulus{{Side: table.SideDir, Event: gGet, ArrivesIn: []int{dI}, Note: "core issue"}}
+	fs := f.system(t).Analyze()
+	expect(t, fs, "reach", "(B, Get)", "dead row")
+}
+
+func TestReachPassRejectsReachableImpossibleRow(t *testing.T) {
+	f := cleanFixture()
+	// Plant: the core declares it can send Done at an idle dir, whose
+	// (I, Done) row is Impossible.
+	f.coreRows[1] = table.Row[int]{State: cW, Event: cData, Kind: table.Handled}.With(table.Effects{
+		Next:  []int{cId},
+		Sends: []table.Send{{Side: table.SideDir, Event: gDone, Net: netResp, Dest: table.DestHome, ArrivesIn: []int{dI, dB}}},
+	})
+	fs := f.system(t).Analyze()
+	expect(t, fs, "reach", "(I, Done)", "impossible row is statically reachable")
+}
+
+func TestReachPassRejectsUnreachableState(t *testing.T) {
+	f := cleanFixture()
+	// Plant: the grant row no longer moves the dir to B, so B is never
+	// entered via declared transitions.
+	f.dirRows[0] = table.Row[int]{State: dI, Event: gGet, Kind: table.Handled}.With(table.Effects{
+		Sends: []table.Send{{Side: table.SideCore, Event: cData, Net: netResp, Dest: table.DestRequester, ArrivesIn: []int{cW}}},
+	})
+	fs := f.system(t).Analyze()
+	expect(t, fs, "reach", "state B is unreachable")
+}
+
+func TestAnnotatePassRejectsMissingEffects(t *testing.T) {
+	f := cleanFixture()
+	f.dirRows[3] = table.Row[int]{State: dB, Event: gDone, Kind: table.Handled}
+	fs := f.system(t).Analyze()
+	expect(t, fs, "annotate", "(B, Done)", "no declared effects")
+}
+
+func TestAnnotatePassRejectsWrongNetwork(t *testing.T) {
+	f := cleanFixture()
+	// Data is consumed from the response network; declaring the send on
+	// the forward network is metadata drift.
+	f.dirRows[0] = table.Row[int]{State: dI, Event: gGet, Kind: table.Handled}.With(table.Effects{
+		Next:  []int{dB},
+		Sends: []table.Send{{Side: table.SideCore, Event: cData, Net: netFwd, Dest: table.DestRequester, ArrivesIn: []int{cW}}},
+	})
+	fs := f.system(t).Analyze()
+	expect(t, fs, "annotate", "(I, Get)", "declares network fwd", "consumed from resp")
+}
+
+func dirSpecForHygiene() (table.Spec[func()], func(), func()) {
+	actA := func() {}
+	actB := func() {}
+	return table.Spec[func()]{
+		Name: "dir", States: []string{"I", "B"}, Events: []string{"Get", "Done"},
+		Rows: []table.Row[func()]{
+			{State: dI, Event: gGet, Kind: table.Handled, Do: actA},
+			{State: dB, Event: gGet, Kind: table.Handled, Do: actB},
+			{State: dI, Event: gDone, Kind: table.Impossible, Why: "no grant outstanding"},
+			{State: dB, Event: gDone, Kind: table.Handled, Do: actA},
+		},
+		DeadStates: []int{dB},
+	}, actA, actB
+}
+
+func TestDeltaHygieneNoopOverride(t *testing.T) {
+	spec, actA, _ := dirSpecForHygiene()
+	fs := DeltaHygiene(spec, table.Delta[func()]{
+		Name: "wb",
+		Rows: []table.Row[func()]{{State: dI, Event: gGet, Kind: table.Handled, Do: actA}},
+	})
+	expect(t, fs, "delta", "no-op override", "(I, Get)", "delta wb")
+}
+
+func TestDeltaHygieneRealOverrideClean(t *testing.T) {
+	spec, _, actB := dirSpecForHygiene()
+	fs := DeltaHygiene(spec, table.Delta[func()]{
+		Name: "wb",
+		Rows: []table.Row[func()]{{State: dI, Event: gGet, Kind: table.Handled, Do: actB}},
+	})
+	if len(fs) != 0 {
+		t.Fatalf("real override flagged: %v", findingStrings(fs))
+	}
+}
+
+func TestDeltaHygieneLaterDeltaConflict(t *testing.T) {
+	spec, actA, actB := dirSpecForHygiene()
+	fs := DeltaHygiene(spec,
+		table.Delta[func()]{Name: "wb", Rows: []table.Row[func()]{{State: dI, Event: gGet, Kind: table.Handled, Do: actB}}},
+		table.Delta[func()]{Name: "ns", Rows: []table.Row[func()]{{State: dI, Event: gGet, Kind: table.Handled, Do: actA}}},
+	)
+	expect(t, fs, "delta", "later-delta conflict", "delta ns", "delta wb")
+}
+
+func TestDeltaHygieneUnusedRevive(t *testing.T) {
+	spec, _, actB := dirSpecForHygiene()
+	fs := DeltaHygiene(spec,
+		table.Delta[func()]{Name: "wb", Rows: []table.Row[func()]{{State: dI, Event: gGet, Do: actB}}, ReviveStates: []int{dB}},
+		table.Delta[func()]{Name: "ns", ReviveStates: []int{dB}, ReviveEvents: []int{gGet}},
+	)
+	expect(t, fs, "delta", "unused revive", "delta ns", "state B")
+	expect(t, fs, "delta", "unused revive", "event Get")
+}

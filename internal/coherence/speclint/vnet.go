@@ -1,0 +1,195 @@
+package speclint
+
+import (
+	"fmt"
+	"strings"
+
+	"wbsim/internal/coherence/table"
+)
+
+// checkVNets is the VNet deadlock-freedom pass.
+//
+// Model: consuming a message on network v completes unconditionally
+// unless the row declares a wait — an explicit Block (the request is
+// parked until traffic on another network is consumed) or a
+// bounded-resource Acquire (the action may have to wait for a slot that
+// only other rows Release). Sends are non-blocking: the conservative
+// engine's queues are unbounded, so injection never back-pressures.
+//
+// Soundness argument (the SLICC sink-order induction): order the
+// networks request < forward < response, rank increasing toward the
+// sink. If (a) every wait declared by a row consuming network v is on a
+// network of strictly greater rank, and (b) rows consuming the sink
+// network never wait, then by downward induction every network drains:
+// the sink always drains, and a network of rank r drains once all
+// ranks > r do. Any reachable configuration therefore makes progress —
+// for every geometry, which is exactly what the bounded model checker
+// cannot promise.
+//
+// The pass enforces (a) and (b) directly — each violation names the
+// row — and additionally builds the full dependency graph (wait edges
+// plus send edges) and reports any cycle containing a wait edge, with
+// the participating rows, as the classic message-dependency-cycle
+// diagnostic.
+func (sys *System) checkVNets() []Finding {
+	var fs []Finding
+	nets := len(sys.NetNames)
+	sink := nets - 1
+
+	// edges[v][w]: the rows inducing a v→w dependency, tagged by kind.
+	type edge struct {
+		wait bool
+		rows []string
+	}
+	edges := make([][]edge, nets)
+	for v := range edges {
+		edges[v] = make([]edge, nets)
+	}
+	addEdge := func(v, w int, wait bool, row string) {
+		e := &edges[v][w]
+		e.wait = e.wait || wait
+		for _, r := range e.rows {
+			if r == row {
+				return
+			}
+		}
+		e.rows = append(e.rows, row)
+	}
+
+	for side := 0; side < 2; side++ {
+		m := sys.Machines[side]
+		info := m.Info
+
+		// Resource release map: which networks' rows release each
+		// resource of this machine. An Acquire waits on those networks.
+		releasedBy := make([][]bool, len(info.ResourceNames()))
+		for r := range releasedBy {
+			releasedBy[r] = make([]bool, nets)
+		}
+		releaserRows := make([][]string, len(info.ResourceNames()))
+		forEachFx(info, func(s, e int, fx *table.Effects) {
+			for _, res := range fx.Releases {
+				releasedBy[res][m.EventNet[e]] = true
+				releaserRows[res] = append(releaserRows[res], rowName(info, s, e))
+			}
+		})
+
+		forEachFx(info, func(s, e int, fx *table.Effects) {
+			v := m.EventNet[e]
+			row := rowName(info, s, e)
+			prefix := info.Name() + " " + row
+
+			for _, snd := range fx.Sends {
+				addEdge(v, snd.Net, false, prefix)
+			}
+			if fx.Blocks != nil {
+				w := fx.Blocks.Net
+				addEdge(v, w, true, prefix)
+				if v == sink {
+					fs = append(fs, sys.finding("vnet", info, row,
+						fmt.Sprintf("consumes the sink network %s but blocks for %s (%s); sink consumption must be unconditional",
+							sys.netName(v), sys.netName(w), fx.Blocks.Note)))
+				} else if w <= v {
+					fs = append(fs, sys.finding("vnet", info, row,
+						fmt.Sprintf("consumes %s but blocks for %s (%s); waits must point strictly toward the sink (%s)",
+							sys.netName(v), sys.netName(w), fx.Blocks.Note, strings.Join(sys.NetNames, "<"))))
+				}
+			}
+			for _, res := range fx.Acquires {
+				resName := info.ResourceNames()[res]
+				any := false
+				for w := 0; w < nets; w++ {
+					if !releasedBy[res][w] {
+						continue
+					}
+					any = true
+					addEdge(v, w, true, prefix)
+					if v == sink {
+						fs = append(fs, sys.finding("vnet", info, row,
+							fmt.Sprintf("consumes the sink network %s but acquires %s, released by %s rows (%s); sink consumption must be unconditional",
+								sys.netName(v), resName, sys.netName(w), strings.Join(releaserRows[res], ", "))))
+					} else if w <= v {
+						fs = append(fs, sys.finding("vnet", info, row,
+							fmt.Sprintf("consumes %s but acquires %s, released only by %s rows (%s); a full %s would wait against the sink order",
+								sys.netName(v), resName, sys.netName(w), strings.Join(releaserRows[res], ", "), resName)))
+					}
+				}
+				if !any {
+					fs = append(fs, sys.finding("vnet", info, row,
+						fmt.Sprintf("acquires %s but no row of %s releases it", resName, info.Name())))
+				}
+			}
+		})
+	}
+
+	// Cycle detection over the mixed graph: report every elementary
+	// cycle that contains at least one wait edge. With only a handful
+	// of networks, a DFS enumeration is plenty.
+	var path []int
+	onPath := make([]bool, nets)
+	seenCycle := map[string]bool{}
+	var dfs func(v int)
+	dfs = func(v int) {
+		onPath[v] = true
+		path = append(path, v)
+		for w := 0; w < nets; w++ {
+			e := edges[v][w]
+			if e.rows == nil {
+				continue
+			}
+			if onPath[w] {
+				// Found a cycle: the path suffix from w, closed by v→w.
+				start := 0
+				for i, n := range path {
+					if n == w {
+						start = i
+						break
+					}
+				}
+				cyc := append(append([]int{}, path[start:]...), w)
+				hasWait := false
+				var desc []string
+				for i := 0; i+1 < len(cyc); i++ {
+					ce := edges[cyc[i]][cyc[i+1]]
+					if ce.wait {
+						hasWait = true
+					}
+					kind := "send"
+					if ce.wait {
+						kind = "WAIT"
+					}
+					desc = append(desc, fmt.Sprintf("%s→%s [%s: %s]",
+						sys.netName(cyc[i]), sys.netName(cyc[i+1]), kind, strings.Join(ce.rows, "; ")))
+				}
+				key := strings.Join(desc, " ")
+				if hasWait && !seenCycle[key] {
+					seenCycle[key] = true
+					fs = append(fs, Finding{Pass: "vnet", System: sys.Name,
+						Msg: "message-dependency cycle with a wait edge: " + strings.Join(desc, ", ")})
+				}
+				continue
+			}
+			dfs(w)
+		}
+		path = path[:len(path)-1]
+		onPath[v] = false
+	}
+	for v := 0; v < nets; v++ {
+		dfs(v)
+	}
+	return fs
+}
+
+// forEachFx visits every annotated non-Impossible row of a machine.
+func forEachFx(info table.Info, visit func(s, e int, fx *table.Effects)) {
+	for s := 0; s < info.NumStates(); s++ {
+		for e := 0; e < info.NumEvents(); e++ {
+			if info.RowKind(s, e) == table.Impossible {
+				continue
+			}
+			if fx := info.RowEffects(s, e); fx != nil {
+				visit(s, e, fx)
+			}
+		}
+	}
+}

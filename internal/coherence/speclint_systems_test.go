@@ -1,0 +1,54 @@
+package coherence
+
+import (
+	"testing"
+
+	"wbsim/internal/network"
+)
+
+// TestShippingCompositionsSpecClean runs the full static analysis over
+// every shipping composition; any finding is a protocol bug (or an
+// annotation lie the conformance harness would also catch).
+func TestShippingCompositionsSpecClean(t *testing.T) {
+	for _, sys := range SpecSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			for _, f := range sys.Analyze() {
+				t.Errorf("%s", f)
+			}
+		})
+	}
+}
+
+// TestShippingDeltaHygieneClean checks the base+delta layering for
+// no-op overrides, unused revives, and later-delta conflicts.
+func TestShippingDeltaHygieneClean(t *testing.T) {
+	for _, f := range SpecHygieneFindings() {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestEventNetsMatchMessages pins the declared per-event virtual
+// networks to the real message classification: for every message type a
+// machine consumes, the event's declared net must equal vnetOf.
+func TestEventNetsMatchMessages(t *testing.T) {
+	dirMsgs := []MsgType{MsgGetS, MsgGetX, MsgPutM, MsgPutE, MsgPutS, MsgPutSh,
+		MsgRetryRd, MsgInvAck, MsgNack, MsgDelayedAck, MsgOwnerData, MsgUnblock}
+	for _, mt := range dirMsgs {
+		ev := dirEventOf(mt)
+		if got, want := dirEventNet[ev], int(vnetOf(mt)); got != want {
+			t.Errorf("dir event %v (from %v): declared net %d, vnetOf says %d", ev, mt, got, want)
+		}
+	}
+	pcuMsgs := []MsgType{MsgData, MsgTearoff, MsgDataExcl, MsgInvAck, MsgRedirAck,
+		MsgInv, MsgFwdGetS, MsgFwdGetX, MsgPutAck, MsgBlockedHint}
+	for _, mt := range pcuMsgs {
+		ev := pcuEventOf(mt)
+		if got, want := pcuEventNet[ev], int(vnetOf(mt)); got != want {
+			t.Errorf("pcu event %v (from %v): declared net %d, vnetOf says %d", ev, mt, got, want)
+		}
+	}
+	if int(network.VNetRequest) != 0 || int(network.VNetForward) != 1 || int(network.VNetResponse) != 2 {
+		t.Fatalf("network.VNet ranks moved; the speclint sink order must follow")
+	}
+}

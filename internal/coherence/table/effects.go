@@ -1,0 +1,241 @@
+// Effect metadata: the declarative layer cmd/wbsimspec analyzes.
+//
+// A Row's action is an opaque func; Effects is its statically analyzable
+// shadow — which states the row can leave the machine in, which message
+// classes it injects (per virtual network and destination class), what
+// it blocks on, what the refused sender of a Nacked row does next, and
+// which bounded resources it acquires or releases. The speclint passes
+// (VNet deadlock-freedom, Nack-livelock, static reachability, delta
+// hygiene) consume only this metadata, and the conformance harness in
+// the coherence package asserts at test time that every firing matches
+// its declaration — drift between action and metadata is a test
+// failure, not rot.
+//
+// The table package stays protocol-agnostic: a Send names the event
+// index of the *receiving* machine and the states it may arrive in;
+// resolving those indices against the peer machine is the composed
+// system's job (internal/coherence/speclint.System).
+package table
+
+import "fmt"
+
+// Dest classifies the destination of a declared send. The coarse
+// grouping is what the static passes need (which machine consumes the
+// message); the fine grouping documents intent and lets the conformance
+// harness spot a message sent to the wrong party where the destination
+// is recomputable (DestRequester).
+type Dest int
+
+const (
+	// DestHome: the directory bank owning the line.
+	DestHome Dest = iota
+	// DestRequester: the core whose message fired this row.
+	DestRequester
+	// DestOwner: the current exclusive owner recorded by the directory.
+	DestOwner
+	// DestSharers: every sharer recorded by the directory (0..N copies).
+	DestSharers
+	// DestWaiter: a parked requester (queued write, pending reader)
+	// distinct from the requester of the firing message.
+	DestWaiter
+)
+
+// String names the destination class.
+func (d Dest) String() string {
+	switch d {
+	case DestHome:
+		return "home"
+	case DestRequester:
+		return "requester"
+	case DestOwner:
+		return "owner"
+	case DestSharers:
+		return "sharers"
+	case DestWaiter:
+		return "waiter"
+	}
+	return fmt.Sprintf("Dest(%d)", int(d))
+}
+
+// Side names which machine of a composed two-party system receives a
+// send: the directory bank or the core-side PCU.
+type Side int
+
+const (
+	// SideDir: the message dispatches at a directory bank.
+	SideDir Side = iota
+	// SideCore: the message dispatches at a core's PCU.
+	SideCore
+)
+
+// String names the side.
+func (s Side) String() string {
+	if s == SideDir {
+		return "dir"
+	}
+	return "core"
+}
+
+// Send declares one message class a row can inject.
+type Send struct {
+	// Side and Event identify the consuming row family: Event indexes
+	// the *receiving* machine's event space.
+	Side  Side
+	Event int
+	// Net is the virtual network the message travels on (the
+	// request<forward<response sink order of the deadlock pass).
+	Net int
+	// Dest is the destination class.
+	Dest Dest
+	// ArrivesIn lists the receiving machine's dispatch states this
+	// message can find — including states reached via queue redispatch.
+	// The reachability pass double-checks these by exact bookkeeping:
+	// per receiving event, the union of all declared arrival states
+	// must equal that event's non-Impossible row set.
+	ArrivesIn []int
+	// Maybe marks a conditional send: a firing may emit zero or one.
+	// DestSharers sends are inherently 0..N and imply Maybe. A send
+	// that is neither Maybe nor DestSharers must be observed exactly
+	// once per firing by the conformance harness.
+	Maybe bool
+	// Note documents the condition or purpose (audit text only).
+	Note string
+}
+
+// Block declares that the row parks or queues work (the triggering
+// request, a write in backoff) that only consumption of another virtual
+// network can un-park. Blocking edges are the teeth of the VNet
+// deadlock pass: every Block.Net must be strictly closer to the sink
+// than the network the row itself consumes.
+type Block struct {
+	// Net is the virtual network whose consumption releases the parked
+	// work.
+	Net int
+	// Note documents what is parked and who releases it.
+	Note string
+}
+
+// Retry declares what the refused sender of a Nacked row does next:
+// it regenerates Event at this machine. If the machine state cannot
+// have changed in between, a retry chain that returns to a Nacked row
+// already on the chain is a declared livelock (the Nack-livelock pass).
+type Retry struct {
+	// Event the sender regenerates at this machine.
+	Event int
+	// Note documents the retry mechanism (backoff, lockdown release).
+	Note string
+}
+
+// Effects is the declarative shadow of one row's action.
+//
+// The zero value declares "state unchanged, no sends, no blocking, no
+// retry, no resource traffic" — correct for pure bookkeeping rows.
+type Effects struct {
+	// Next lists the states the row can leave the machine in directly
+	// (before any nested queue redispatch). Empty means the state is
+	// unchanged.
+	Next []int
+	// NextAny disables the post-state check entirely; reserve it for
+	// rows whose direct post-state is genuinely data-dependent beyond
+	// enumeration. The reachability pass treats NextAny as "all live
+	// states reachable", so prefer an explicit Next list.
+	NextAny bool
+	// ThenRedispatch documents that the action drains a pending queue
+	// after its own state change, nesting further dispatches; the
+	// conformance harness then attributes subsequent state changes to
+	// the inner rows.
+	ThenRedispatch bool
+	// Sends lists the message classes the action can inject.
+	Sends []Send
+	// Blocks, when non-nil, declares parked work (see Block).
+	Blocks *Block
+	// Retry, on Nacked rows, declares the refused sender's next move.
+	Retry *Retry
+	// Acquires and Releases name bounded resources (Spec.Resources
+	// indices) the action takes or frees: eviction-buffer entries,
+	// MSHRs, pending-queue slots. Acquiring a resource is a potential
+	// wait for the networks whose rows release it.
+	Acquires []int
+	Releases []int
+}
+
+// With returns a copy of the row carrying fx as its declared effects;
+// it is the annotation idiom for table literals:
+//
+//	dh(stI, evRead, actGrant).With(table.Effects{Next: ...})
+func (r Row[A]) With(fx Effects) Row[A] {
+	f := fx
+	r.Effects = &f
+	return r
+}
+
+// Info is the type-erased view of a built Machine: everything the
+// static passes and reports need, without the action type parameter.
+// *Machine[A] implements Info for every A.
+type Info interface {
+	Name() string
+	NumStates() int
+	NumEvents() int
+	StateName(s int) string
+	EventName(e int) string
+	RowKind(s, e int) Kind
+	RowWhy(s, e int) string
+	RowEffects(s, e int) *Effects
+	ResourceNames() []string
+}
+
+// RowEffects returns the declared effects of one row, or nil when the
+// row is unannotated (Impossible rows normally are).
+func (m *Machine[A]) RowEffects(s, e int) *Effects {
+	return m.fx[s*len(m.events)+e]
+}
+
+// ResourceNames returns the bounded-resource name space declared by the
+// spec (Effects.Acquires/Releases index into it).
+func (m *Machine[A]) ResourceNames() []string { return m.resources }
+
+// validateEffects checks the parts of an Effects declaration that are
+// resolvable against this machine alone: state, event, and resource
+// indices in range, retry only on Nacked rows, and sane flag
+// combinations. Cross-machine fields (Send.Event, Send.ArrivesIn) are
+// validated by the composed-system analysis.
+func validateEffects[A any](spec Spec[A], layerName string, r Row[A]) error {
+	fx := r.Effects
+	if fx == nil {
+		return nil
+	}
+	where := func() string {
+		return fmt.Sprintf("table %s: layer %s: row (%s, %s)",
+			spec.Name, layerName, spec.States[r.State], spec.Events[r.Event])
+	}
+	if r.Kind == Impossible {
+		return fmt.Errorf("%s: impossible row cannot declare effects", where())
+	}
+	for _, s := range fx.Next {
+		if s < 0 || s >= len(spec.States) {
+			return fmt.Errorf("%s: Next state %d out of range", where(), s)
+		}
+	}
+	if fx.NextAny && len(fx.Next) > 0 {
+		return fmt.Errorf("%s: NextAny with an explicit Next list", where())
+	}
+	if fx.Retry != nil {
+		if r.Kind != Nacked {
+			return fmt.Errorf("%s: Retry declared on a %s row (only Nacked rows refuse a sender)", where(), r.Kind)
+		}
+		if fx.Retry.Event < 0 || fx.Retry.Event >= len(spec.Events) {
+			return fmt.Errorf("%s: Retry event %d out of range", where(), fx.Retry.Event)
+		}
+	}
+	for _, res := range fx.Acquires {
+		if res < 0 || res >= len(spec.Resources) {
+			return fmt.Errorf("%s: Acquires resource %d out of range (%d declared)", where(), res, len(spec.Resources))
+		}
+	}
+	for _, res := range fx.Releases {
+		if res < 0 || res >= len(spec.Resources) {
+			return fmt.Errorf("%s: Releases resource %d out of range (%d declared)", where(), res, len(spec.Resources))
+		}
+	}
+	return nil
+}

@@ -50,18 +50,24 @@ func (k Kind) String() string {
 
 // Row is one transition: in State, on Event, do Do. Why carries the
 // one-line audit reason; it is mandatory for Nacked and Impossible rows.
+// Effects is the action's declarative shadow for the static passes (see
+// effects.go); nil means unannotated, which the composed-system lint
+// reports for Handled/Nacked rows.
 type Row[A any] struct {
-	State int
-	Event int
-	Kind  Kind
-	Why   string
-	Do    A
+	State   int
+	Event   int
+	Kind    Kind
+	Why     string
+	Do      A
+	Effects *Effects
 }
 
 // Spec declares a base machine: its state/event name spaces, the rows,
 // and which states/events are dead — declared but expected to carry only
 // Impossible rows (e.g. the WritersBlock states of a base-protocol bank,
-// which only a delta can revive).
+// which only a delta can revive). Resources names the bounded resources
+// row effects may acquire or release (evbuf slots, MSHRs, pending-queue
+// entries); Effects.Acquires/Releases index into it.
 type Spec[A any] struct {
 	Name       string
 	States     []string
@@ -69,6 +75,7 @@ type Spec[A any] struct {
 	Rows       []Row[A]
 	DeadStates []int
 	DeadEvents []int
+	Resources  []string
 }
 
 // Delta is a named overlay: its rows replace the base rows for the same
@@ -92,11 +99,13 @@ type Delta[A any] struct {
 // (whys) are cold — only panics and reports read them — and stay in a
 // separate slice to keep rows small.
 type Machine[A any] struct {
-	name   string
-	states []string
-	events []string
-	rows   []row[A]
-	whys   []string
+	name      string
+	states    []string
+	events    []string
+	rows      []row[A]
+	whys      []string
+	fx        []*Effects
+	resources []string
 }
 
 // row is one dense transition-table cell: the row kind and its action.
@@ -123,11 +132,13 @@ func Build[A any](spec Spec[A], deltas ...Delta[A]) (*Machine[A], error) {
 		name += "+" + d.Name
 	}
 	m := &Machine[A]{
-		name:   name,
-		states: spec.States,
-		events: spec.Events,
-		rows:   make([]row[A], ns*ne),
-		whys:   make([]string, ns*ne),
+		name:      name,
+		states:    spec.States,
+		events:    spec.Events,
+		rows:      make([]row[A], ns*ne),
+		whys:      make([]string, ns*ne),
+		fx:        make([]*Effects, ns*ne),
+		resources: spec.Resources,
 	}
 	covered := make([]bool, ns*ne)
 	layer := func(layerName string, rows []Row[A]) error {
@@ -146,9 +157,13 @@ func Build[A any](spec Spec[A], deltas ...Delta[A]) (*Machine[A], error) {
 				return fmt.Errorf("table %s: layer %s: %s row (%s, %s) needs a reason",
 					name, layerName, r.Kind, spec.States[r.State], spec.Events[r.Event])
 			}
+			if err := validateEffects(spec, layerName, r); err != nil {
+				return err
+			}
 			covered[i] = true
 			m.rows[i] = row[A]{kind: r.Kind, do: r.Do}
 			m.whys[i] = r.Why
+			m.fx[i] = r.Effects
 		}
 		return nil
 	}
@@ -295,6 +310,15 @@ type Report struct {
 	Possible int      // non-Impossible rows
 	Fired    int      // distinct non-Impossible rows with count > 0
 	Unfired  []string // "(State, Event) kind" of silent rows, sorted
+
+	// Per-kind breakdown of the same counts: the Nacked family (refusal
+	// traffic — lockdown Nacks, stale-put acks) is the part chaos
+	// campaigns under-exercise, so audits want it separated from the
+	// Handled mainline.
+	HandledPossible int
+	HandledFired    int
+	NackedPossible  int
+	NackedFired     int
 }
 
 // Percent is Fired over Possible in percent (100 for an empty table).
@@ -310,6 +334,13 @@ func (r Report) String() string {
 	return fmt.Sprintf("%-28s %3d/%3d rows fired (%5.1f%%)", r.Machine, r.Fired, r.Possible, r.Percent())
 }
 
+// Breakdown renders the per-kind split (handled vs nacked fired/possible)
+// as a one-line suffix for detailed coverage views.
+func (r Report) Breakdown() string {
+	return fmt.Sprintf("handled %d/%d, nacked %d/%d",
+		r.HandledFired, r.HandledPossible, r.NackedFired, r.NackedPossible)
+}
+
 // Report builds the coverage summary for a merged fire-count slice.
 func (m *Machine[A]) Report(cov []uint64) Report {
 	r := Report{Machine: m.name}
@@ -320,11 +351,24 @@ func (m *Machine[A]) Report(cov []uint64) Report {
 			continue
 		}
 		r.Possible++
-		if i < len(cov) && cov[i] > 0 {
+		fired := i < len(cov) && cov[i] > 0
+		if fired {
 			r.Fired++
 		} else {
 			r.Unfired = append(r.Unfired,
 				fmt.Sprintf("(%s, %s) %s", m.states[i/ne], m.events[i%ne], k))
+		}
+		switch k { //wbsim:partial(Impossible) -- filtered by the continue above
+		case Handled:
+			r.HandledPossible++
+			if fired {
+				r.HandledFired++
+			}
+		case Nacked:
+			r.NackedPossible++
+			if fired {
+				r.NackedFired++
+			}
 		}
 	}
 	sort.Strings(r.Unfired)
