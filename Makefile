@@ -82,10 +82,11 @@ race:
 	$(GO) test -race -short ./internal/runner ./internal/experiments ./internal/litmus
 
 # Small chaos campaign: every catalog fault plan over the full litmus
-# suite on the two WritersBlock variants. Zero violations, zero hangs,
-# zero panics or the exit status is non-zero.
+# suite on the WritersBlock and tardis variants (base is the golden
+# suite's job). Zero violations, zero hangs, zero panics or the exit
+# status is non-zero.
 chaos-short:
-	$(GO) run ./cmd/litmus -chaos -seeds 4 -variants inorder-wb,ooo-wb
+	$(GO) run ./cmd/litmus -chaos -seeds 4 -variants inorder-wb,ooo-wb,inorder-tardis,ooo-tardis
 
 # Full campaign: all plans × all sound variants × more seeds.
 chaos:
@@ -98,14 +99,16 @@ coverage-report:
 	$(GO) run ./cmd/litmus -chaos -seeds 12 -coverage
 
 # Liveness gate: the model checker (cmd/wbsimcheck) over the shipping
-# coherence tables. Two exhaustive proofs — 2-core/1-line contention in
-# both modes (the lockdown run covers the full Nack/DelayedAck/
-# WritersBlock row family) — plus a bounded 3-core/2-bank sweep: the
+# coherence tables. Three exhaustive proofs — 2-core/1-line contention
+# in every registered core mode (the lockdown run covers the full
+# Nack/DelayedAck/WritersBlock row family, the tardis run the
+# lease/timestamp family) — plus a bounded 3-core/2-bank sweep: the
 # capped run cannot rule out livelocks, but any safety violation or
 # hard deadlock within its 50k-state radius fails the gate.
 check-liveness:
 	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 1 -ops 2
 	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 1 -ops 2 -mode lockdown -lockdowns 1
+	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 1 -ops 2 -mode tardis
 	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -max-states 50000
 
 # Nightly liveness sweep. The two-core/two-line space runs exhaustively
@@ -127,8 +130,10 @@ CHECK3C_FLAGS ?=
 check-liveness-deep: check-liveness
 	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 2 -ops 2
 	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 2 -ops 2 -reduce sym,por
+	$(GO) run ./cmd/wbsimcheck -cores 2 -banks 1 -lines 2 -ops 2 -mode tardis -reduce sym,por
 	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -reduce sym,por -progress $(CHECK3C_FLAGS)
 	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -mode lockdown -lockdowns 1 -reduce sym,por -max-states 500000
+	$(GO) run ./cmd/wbsimcheck -cores 3 -banks 2 -lines 2 -ops 2 -mode tardis -reduce sym,por -max-states 500000
 
 # Zero-allocation gates for the event-driven kernel: a warmed-up mesh
 # cycle and a drained System.Step may not allocate (see DESIGN.md,

@@ -7,6 +7,7 @@
 //	experiments fig9          # Figure 9: protocol overhead
 //	experiments fig10         # Figure 10: stalls + normalized execution time
 //	experiments squash        # squash elimination study
+//	experiments protocols     # E23: registry protocols head-to-head (base/wb/tardis)
 //	experiments ablations     # eviction policy / LDT / MSHR / class sweeps
 //	experiments chaos         # fault-plan × litmus-suite × seed campaign
 //	experiments all           # everything (chaos excluded; run it explicitly)
@@ -152,9 +153,15 @@ func mainExit() int {
 			}
 		}
 	}
+	if run("protocols") {
+		any = true
+		if t, err := eng.ProtocolCompare(opt); check(err) {
+			emit(t)
+		}
+	}
 	if what == "chaos" {
 		any = true
-		summary := litmus.Chaos(litmus.Suite(), core.Variants, faults.Catalog(), litmus.Options{
+		summary := litmus.Chaos(litmus.Suite(), core.SoundVariants(), faults.Catalog(), litmus.Options{
 			Seeds:     *chaosSeeds,
 			Jitter:    24,
 			Parallel:  fan,
@@ -180,7 +187,7 @@ func mainExit() int {
 		return 0
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (fig8|fig9|fig10|squash|ablations|chaos|all)\n", what)
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (fig8|fig9|fig10|squash|protocols|ablations|chaos|all)\n", what)
 		return 2
 	}
 

@@ -82,11 +82,18 @@ func run() int {
 		opts.Plan = &p
 	}
 
-	vs := core.Variants
+	// Default: every sound variant derived from the protocol registry.
+	vs := core.SoundVariants()
 	if *variants != "" {
 		vs = nil
 		for _, v := range strings.Split(*variants, ",") {
 			vs = append(vs, core.Variant(strings.TrimSpace(v)))
+		}
+	}
+	for _, v := range vs {
+		if _, err := v.Spec(); err != nil {
+			fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+			return 2
 		}
 	}
 

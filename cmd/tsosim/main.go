@@ -8,8 +8,10 @@
 //	tsosim -workload all                        # every registered workload
 //	tsosim -workload fft -plan hostile -seed 7 -max-cycles 2000000
 //
-// Variants: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe.
-// Classes: SLM, NHM, HSW (Table 6 of the paper). With several workloads,
+// Variants are derived from the protocol registry (commit policy ×
+// registered coherence protocol); -list-variants prints the current set
+// with descriptions. Classes: SLM, NHM, HSW (Table 6 of the paper).
+// With several workloads,
 // -parallel bounds the simulations run concurrently; reports are printed
 // in the order the workloads were named regardless of completion order.
 // -plan injects a named fault plan and -seed/-max-cycles pin the exact
@@ -42,13 +44,14 @@ func run() int {
 	var (
 		names     = flag.String("workload", "fft", "comma-separated workload names, or \"all\" (see -list)")
 		class     = flag.String("class", "SLM", "core class: SLM, NHM, HSW")
-		variant   = flag.String("variant", "ooo-wb", "system variant: inorder-base, inorder-wb, ooo-base, ooo-wb, ooo-unsafe")
+		variant   = flag.String("variant", "ooo-wb", "system variant (see -list-variants)")
 		cores     = flag.Int("cores", 16, "number of cores")
 		scale     = flag.Int("scale", 1, "workload scale factor")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (<=0: GOMAXPROCS)")
 		shards    = flag.Int("shards", 1, "worker goroutines per simulation (results identical at any setting)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
+		listVars  = flag.Bool("list-variants", false, "list the registry-derived system variants and exit")
 		maxCycles = flag.Uint64("max-cycles", 0, "cycle budget per run (0: config default)")
 		planName  = flag.String("plan", "", "inject a named fault plan (see internal/faults)")
 	)
@@ -61,6 +64,14 @@ func run() int {
 			fmt.Printf("%-14s %-8s %s\n", w.Name, w.Suite, w.Pattern)
 		}
 		return 0
+	}
+	if *listVars {
+		fmt.Print(core.VariantHelp())
+		return 0
+	}
+	if _, err := core.Variant(*variant).Spec(); err != nil {
+		fmt.Fprintf(os.Stderr, "tsosim: %v\n", err)
+		return 2
 	}
 
 	stopProf, err := prof.Start()

@@ -8,6 +8,7 @@
 //
 //	wbsimcheck                              # 2 cores, 1 line, squash mode
 //	wbsimcheck -mode lockdown -lockdowns 1  # WritersBlock row family
+//	wbsimcheck -mode tardis                 # timestamp-coherence row family
 //	wbsimcheck -cores 3 -lines 2 -banks 2 -max-states 50000
 //	wbsimcheck -prefix                      # pre-fix tables: finds the PR-5 deadlock
 //	wbsimcheck -corrupt                     # corrupted grant row: finds the SWMR break
@@ -84,7 +85,7 @@ func mainExit() int {
 		lines     = flag.Int("lines", 1, "distinct cache lines")
 		ops       = flag.Int("ops", 2, "program length per core (ops alternate load, store)")
 		lockdowns = flag.Int("lockdowns", 0, "per-core lockdown budget (lockdown mode)")
-		mode      = flag.String("mode", "squash", "core mode: squash or lockdown")
+		mode      = flag.String("mode", "squash", "core mode: "+strings.Join(coherence.ModeNames(), ", "))
 		preFix    = flag.Bool("prefix", false, "run the pre-fix directory tables (PR-5 deadlock)")
 		corrupt   = flag.Bool("corrupt", false, "run with the corrupted write-grant row (SWMR break)")
 		maxStates = flag.Int("max-states", 0, "state cap, 0 = unlimited (exhaustive)")
@@ -109,15 +110,15 @@ func mainExit() int {
 		Cores: *cores, Banks: *banks, Lines: *lines, OpsPerCore: *ops,
 		Lockdowns: *lockdowns, PreFixPutRace: *preFix, CorruptWriteRace: *corrupt,
 	}
-	switch *mode {
-	case "squash":
-		mcfg.Mode = coherence.ModeSquash
-	case "lockdown":
-		mcfg.Mode = coherence.ModeLockdown
-	default:
-		fmt.Fprintf(os.Stderr, "wbsimcheck: unknown -mode %q (want squash or lockdown)\n", *mode)
+	// Modes come from the protocol registry: registering a protocol
+	// makes its mode checkable here with no flag-parsing edits.
+	m, ok := coherence.ModeByName(*mode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wbsimcheck: unknown -mode %q (registered: %s)\n",
+			*mode, strings.Join(coherence.ModeNames(), ", "))
 		return 2
 	}
+	mcfg.Mode = m
 	if mcfg.Cores < 1 || mcfg.Banks < 1 || mcfg.Lines < 1 || mcfg.OpsPerCore < 1 {
 		fmt.Fprintln(os.Stderr, "wbsimcheck: -cores, -banks, -lines, -ops must be positive")
 		return 2

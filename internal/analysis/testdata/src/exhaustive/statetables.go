@@ -78,3 +78,96 @@ func deltaOnly(e ctrlEvent) int {
 	}
 	return 0
 }
+
+// ---------------------------------------------------------------------
+// Timestamp-coherence states: the tardis delta's enum idiom. The delta
+// extends the base state space with lease-parked states (TsShared and
+// friends) and a timer event, all below the count sentinel. Every
+// switch over the extended enum is held to the grown member set, so
+// deleting a timestamp case from a classifier — the exact edit that
+// would silently orphan a tardis delta row — fails the analyzer.
+// ---------------------------------------------------------------------
+
+type tsState int
+
+const (
+	tsInvalid   tsState = iota
+	tsShared            // leased read copies outstanding
+	tsWaitWrite         // write parked until the last lease expires
+	tsWaitEvict         // eviction parked until the last lease expires
+	numTsStates
+)
+
+type tsEvent int
+
+const (
+	tsEvGet tsEvent = iota
+	tsEvWrite
+	tsEvLeaseExpired // the lease timer, not a message
+	numTsEvents
+)
+
+// Exhaustive over the timestamp states: no diagnostic.
+func tsStateName(s tsState) string {
+	switch s {
+	case tsInvalid:
+		return "Invalid"
+	case tsShared:
+		return "TsShared"
+	case tsWaitWrite:
+		return "TsWaitWrite"
+	case tsWaitEvict:
+		return "TsWaitEvict"
+	}
+	return "?"
+}
+
+// Deleting the tsWaitEvict case from tsStateName above lands here: the
+// parked-eviction state would drain through "?" unnamed.
+func tsStateDeletedCase(s tsState) string {
+	switch s { // want `non-exhaustive switch over tsState: missing tsWaitEvict`
+	case tsInvalid:
+		return "Invalid"
+	case tsShared:
+		return "TsShared"
+	case tsWaitWrite:
+		return "TsWaitWrite"
+	}
+	return "?"
+}
+
+// A lease-event classifier that forgets the timer event even though a
+// default panics: containment, not coverage.
+func tsClassify(e tsEvent) int {
+	switch e { // want `switch over tsEvent has a default but silently omits tsEvLeaseExpired`
+	case tsEvGet:
+		return 0
+	case tsEvWrite:
+		return 1
+	default:
+		panic("impossible event")
+	}
+}
+
+// The delta idiom: base-table code may declare the timestamp members
+// dead precisely, and the list must track the enum — naming every
+// parked state keeps the switch accepted...
+func tsBaseOnly(s tsState) int {
+	//wbsim:partial(tsShared, tsWaitWrite, tsWaitEvict) -- timestamp states exist only in the tardis delta table
+	switch s {
+	case tsInvalid:
+		return 0
+	}
+	return -1
+}
+
+// ...but a partial list that misses one parked state does not excuse
+// it: the tardis delta cannot lose a state to a stale excuse list.
+func tsBaseOnlyStale(s tsState) int {
+	//wbsim:partial(tsShared, tsWaitWrite) -- timestamp states exist only in the tardis delta table
+	switch s { // want `non-exhaustive switch over tsState: missing tsWaitEvict \(not excused by the //wbsim:partial list\)`
+	case tsInvalid:
+		return 0
+	}
+	return -1
+}

@@ -14,7 +14,7 @@ import (
 // lockdown tables instead of reporting them uncovered.
 type CoverageAgg struct {
 	dir [numDirFlavors][]uint64
-	pcu [2][]uint64 // indexed by Mode
+	pcu [numModes][]uint64 // indexed by Mode
 
 	// conf collects effects-conformance violations from instrumented
 	// controllers (the exercise benches attach recorders; see

@@ -25,6 +25,11 @@ const (
 	dirFetching
 	dirBusy
 	dirWB
+	// dirTsShared is the tardis protocol's leased-shared kind: copies
+	// are tracked by the line's read timestamp (rts), not a sharer list.
+	// Stable with no transaction; a write or eviction parks a transaction
+	// on it until the lease timer fires (TsWaitWrite/TsWaitEvict).
+	dirTsShared
 )
 
 func (k dirKind) String() string {
@@ -41,6 +46,8 @@ func (k dirKind) String() string {
 		return "Busy"
 	case dirWB:
 		return "WB"
+	case dirTsShared:
+		return "TsS"
 	}
 	return "?"
 }
@@ -100,6 +107,12 @@ type dirLine struct {
 	inEvBuf   bool
 	frame     *cache.Entry
 
+	// rts is the tardis read timestamp: the latest lease-expiry cycle
+	// granted on this line. A write (or eviction) of a TsShared line may
+	// complete only after rts has passed. It is a cycle stamp, so the
+	// model checker excludes it from line fingerprints.
+	rts sim.Cycle
+
 	// since stamps the cycle the line last entered a transient state
 	// (Fetching/Busy/WB); the watchdog bounds its age.
 	since sim.Cycle
@@ -132,6 +145,8 @@ type BankStats struct {
 	UncacheableFull  uint64 // uncacheable reads forced by a full eviction buffer
 	MemReads         uint64
 	MemWrites        uint64
+	LeaseGrants      uint64 // tardis: shared grants stamped with a read lease
+	LeaseExpiries    uint64 // tardis: lease timers fired (write releases + eviction completions)
 }
 
 // Bank is one LLC bank with its directory slice.
@@ -305,7 +320,9 @@ func (b *Bank) serveTearoff(dl *dirLine, m *Msg) {
 func (b *Bank) allocateAndFetch(m *Msg) {
 	victim := b.array.Victim(m.Line, func(e *cache.Entry) bool {
 		dl := b.lines[e.Line]
-		return dl != nil && (dl.kind == dirBusy || dl.kind == dirWB || dl.kind == dirFetching)
+		// Keep transient entries and any entry with a parked transaction
+		// (a tardis TsShared line waiting out its leases for a write).
+		return dl != nil && (dl.txn != nil || dl.kind == dirBusy || dl.kind == dirWB || dl.kind == dirFetching)
 	})
 	canEvict := victim != nil && (!victim.Valid() || len(b.evbuf) < b.params.EvictionBuf)
 	if !canEvict {
@@ -443,10 +460,13 @@ func (b *Bank) maybeCompleteRead(dl *dirLine) {
 }
 
 // processPending re-dispatches queued requests once the line reaches a
-// stable state, preserving arrival order.
+// stable state, preserving arrival order. A tardis TsShared entry is
+// stable only while no transaction is parked on it: the first queued
+// write parks one, which stops the drain until the lease timer fires.
 func (b *Bank) processPending(dl *dirLine) {
 	for len(dl.pending) > 0 &&
-		(dl.kind == dirInvalid || dl.kind == dirShared || dl.kind == dirExclusive) {
+		(dl.kind == dirInvalid || dl.kind == dirShared || dl.kind == dirExclusive ||
+			(dl.kind == dirTsShared && dl.txn == nil)) {
 		m := dl.pending[0]
 		dl.pending = dl.pending[1:]
 		b.redispatch(m)
@@ -476,9 +496,18 @@ func (b *Bank) startEviction(frame *cache.Entry) {
 	delete(b.lines, dl.line)
 	dl.frame = nil
 
+	if dl.kind == dirTsShared {
+		// A leased entry cannot be invalidated — no sharer list to fan
+		// out to. Park it in the eviction buffer until the last lease
+		// has expired; the timer fires dirEvLeaseExpired through the
+		// table (tardis.go).
+		b.startTsEviction(dl)
+		return
+	}
+
 	kind := dl.kind
 	b.setKind(dl, dirBusy) // requests arriving mid-eviction queue in pending
-	//wbsim:partial(dirFetching, dirBusy, dirWB) -- the transient-state guard above already panicked for these
+	//wbsim:partial(dirFetching, dirBusy, dirWB, dirTsShared) -- the transient-state guard above panicked for the first three; TsShared took the early tardis branch
 	switch kind {
 	case dirInvalid:
 		if dl.dirty {
@@ -543,6 +572,13 @@ func (b *Bank) CheckInvariants() {
 		}
 		//wbsim:partial(dirInvalid, dirFetching, dirBusy) -- these states carry no structural invariants to check
 		switch dl.kind {
+		case dirTsShared:
+			if !dl.dataValid {
+				panicf("bank %d: TsShared %v without data", b.id, line)
+			}
+			if dl.hasOwner || len(dl.sharers) > 0 {
+				panicf("bank %d: TsShared %v tracks sharers/owner; leases replace both", b.id, line)
+			}
 		case dirShared:
 			if len(dl.sharers) == 0 {
 				panicf("bank %d: Shared %v with no sharers", b.id, line)

@@ -16,22 +16,26 @@ import (
 type dirState int
 
 const (
-	dirStNoEntry    dirState = iota // no directory entry (live or evicting)
-	dirStInvalid                    // entry with no sharers or owner
-	dirStShared                     // ≥1 sharer
-	dirStExclusive                  // single owner (MESI E/M)
-	dirStFetching                   // memory fetch in flight
-	dirStBusyShared                 // shared read grant awaiting Unblock
-	dirStBusyExcl                   // exclusive read grant awaiting Unblock
-	dirStBusyWrite                  // write transaction in flight
-	dirStBusyEvict                  // directory eviction collecting InvAcks
-	dirStWBWrite                    // WritersBlock: write blocked by lockdowns
-	dirStWBEvict                    // WritersBlock: eviction blocked by lockdowns
+	dirStNoEntry     dirState = iota // no directory entry (live or evicting)
+	dirStInvalid                     // entry with no sharers or owner
+	dirStShared                      // ≥1 sharer
+	dirStExclusive                   // single owner (MESI E/M)
+	dirStFetching                    // memory fetch in flight
+	dirStBusyShared                  // shared read grant awaiting Unblock
+	dirStBusyExcl                    // exclusive read grant awaiting Unblock
+	dirStBusyWrite                   // write transaction in flight
+	dirStBusyEvict                   // directory eviction collecting InvAcks
+	dirStWBWrite                     // WritersBlock: write blocked by lockdowns
+	dirStWBEvict                     // WritersBlock: eviction blocked by lockdowns
+	dirStTsShared                    // tardis: leased shared copies, no sharer list
+	dirStTsWaitWrite                 // tardis: write parked until every lease expires
+	dirStTsWaitEvict                 // tardis: eviction parked until every lease expires
 	numDirStates
 )
 
 var dirStateNames = [numDirStates]string{
 	"NoEntry", "I", "S", "E", "Fetch", "BusyS", "BusyE", "BusyW", "BusyEv", "WBW", "WBEv",
+	"TsS", "TsWaitW", "TsWaitEv",
 }
 
 func (s dirState) String() string { return dirStateNames[s] }
@@ -73,6 +77,18 @@ func dirStateOf(dl *dirLine) dirState {
 			return dirStWBEvict
 		}
 		return dirStWBWrite
+	case dirTsShared:
+		txn := dl.txn
+		if txn == nil {
+			return dirStTsShared
+		}
+		if txn.eviction {
+			return dirStTsWaitEvict
+		}
+		if txn.write {
+			return dirStTsWaitWrite
+		}
+		panicf("dir: TsShared line %v with a non-write, non-eviction transaction", dl.line)
 	}
 	panicf("dir: line %v in unknown kind %d", dl.line, int(dl.kind))
 	return dirStNoEntry
@@ -84,20 +100,22 @@ func dirStateOf(dl *dirLine) dirState {
 type dirEvent int
 
 const (
-	dirEvRead       dirEvent = iota // GetS, RetryRd
-	dirEvWrite                      // GetX
-	dirEvPutOwned                   // PutM, PutE, PutS
-	dirEvPutShared                  // PutSh (non-silent shared eviction)
-	dirEvInvAck                     // eviction-invalidation acknowledgement
-	dirEvNack                       // lockdown refused an invalidation
-	dirEvDelayedAck                 // lifted lockdown's deferred acknowledgement
-	dirEvOwnerData                  // owner's clean copy on a read downgrade
-	dirEvUnblock                    // requester finished a transaction
+	dirEvRead         dirEvent = iota // GetS, RetryRd
+	dirEvWrite                        // GetX
+	dirEvPutOwned                     // PutM, PutE, PutS
+	dirEvPutShared                    // PutSh (non-silent shared eviction)
+	dirEvInvAck                       // eviction-invalidation acknowledgement
+	dirEvNack                         // lockdown refused an invalidation
+	dirEvDelayedAck                   // lifted lockdown's deferred acknowledgement
+	dirEvOwnerData                    // owner's clean copy on a read downgrade
+	dirEvUnblock                      // requester finished a transaction
+	dirEvLeaseExpired                 // tardis lease timer fired (local, not a network message)
 	numDirEvents
 )
 
 var dirEventNames = [numDirEvents]string{
 	"Read", "Write", "PutOwned", "PutSh", "InvAck", "Nack", "DelayedAck", "OwnerData", "Unblock",
+	"LeaseExpired",
 }
 
 func (e dirEvent) String() string { return dirEventNames[e] }
@@ -144,12 +162,18 @@ const (
 	dirFlavorBaseNS
 	dirFlavorWB
 	dirFlavorWBNS
+	dirFlavorTardis
 	numDirFlavors
 )
 
 // dirFlavorFor picks the machine flavor from the protocol mode and the
-// eviction-notification parameter.
+// eviction-notification parameter. Tardis forbids non-silent shared
+// evictions (registry-validated): a leased copy leaves by expiring, so
+// there is no list to leave and PutSh never exists.
 func dirFlavorFor(mode Mode, nonSilent bool) dirFlavor {
+	if mode == ModeTardis {
+		return dirFlavorTardis
+	}
 	if mode == ModeLockdown {
 		if nonSilent {
 			return dirFlavorWBNS
@@ -384,13 +408,30 @@ func dirBaseSpec() table.Spec[dirAction] {
 		dx(dirStWBWrite, dirEvUnblock, whyWBDead),
 		dx(dirStWBEvict, dirEvUnblock, whyWBDead),
 	}
+	// The timestamp states and the lease-expiry event belong to the
+	// tardis delta (tardis.go); the base machine declares them dead, and
+	// the loops below fill their Impossible quadrants so every flavor
+	// shares one state/event space.
+	const (
+		whyTsDead    = "timestamp states exist only under the tardis delta"
+		whyLeaseDead = "lease timers are armed only by the tardis delta"
+	)
+	tsStates := []dirState{dirStTsShared, dirStTsWaitWrite, dirStTsWaitEvict}
+	for e := dirEvent(0); e < numDirEvents; e++ {
+		for _, s := range tsStates {
+			rows = append(rows, dx(s, e, whyTsDead))
+		}
+	}
+	for s := dirState(0); s < dirStTsShared; s++ {
+		rows = append(rows, dx(s, dirEvLeaseExpired, whyLeaseDead))
+	}
 	return table.Spec[dirAction]{
 		Name:       "dir",
 		States:     dirStateNames[:],
 		Events:     dirEventNames[:],
 		Rows:       rows,
-		DeadStates: []int{int(dirStWBWrite), int(dirStWBEvict)},
-		DeadEvents: []int{int(dirEvPutShared), int(dirEvNack), int(dirEvDelayedAck)},
+		DeadStates: []int{int(dirStWBWrite), int(dirStWBEvict), int(dirStTsShared), int(dirStTsWaitWrite), int(dirStTsWaitEvict)},
+		DeadEvents: []int{int(dirEvPutShared), int(dirEvNack), int(dirEvDelayedAck), int(dirEvLeaseExpired)},
 		Resources:  []string{"evbuf"},
 	}
 }
@@ -544,7 +585,7 @@ func dirPreFixDelta() table.Delta[dirAction] {
 	}
 }
 
-// dirMachines holds the four composed directory machines, built (and
+// dirMachines holds the composed directory machines, built (and
 // completeness-checked) at package init.
 var dirMachines = func() [numDirFlavors]*table.Machine[dirAction] {
 	var ms [numDirFlavors]*table.Machine[dirAction]
@@ -552,6 +593,7 @@ var dirMachines = func() [numDirFlavors]*table.Machine[dirAction] {
 	ms[dirFlavorBaseNS] = table.MustBuild(dirBaseSpec(), dirNSDelta())
 	ms[dirFlavorWB] = table.MustBuild(dirBaseSpec(), dirWBDelta())
 	ms[dirFlavorWBNS] = table.MustBuild(dirBaseSpec(), dirWBDelta(), dirNSDelta(), dirWBNSDelta())
+	ms[dirFlavorTardis] = table.MustBuild(dirBaseSpec(), dirTardisDelta())
 	return ms
 }()
 

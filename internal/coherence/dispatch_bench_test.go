@@ -12,7 +12,13 @@ import (
 // handling and the PCU's Inv/FwdGetS/FwdGetX/Data handling — the paths
 // `make bench-dir` gates against BENCH_baseline.json.
 func BenchmarkDirDispatch(b *testing.B) {
-	r := newRig(b, 4, testParams())
+	benchDispatchPingPong(b, newRig(b, 4, testParams()))
+}
+
+// benchDispatchPingPong is the shared write-invalidate / 3-hop-read
+// workload: warm the working set so measured iterations cross the
+// sharing paths, then ping-pong ownership between cores.
+func benchDispatchPingPong(b *testing.B, r *rig) {
 	addrs := make([]mem.Addr, 8)
 	for i := range addrs {
 		addrs[i] = mem.Addr((i + 1) * 0x1000)
@@ -39,6 +45,25 @@ func BenchmarkDirDispatch(b *testing.B) {
 		r.pcus[(i+1)%len(r.pcus)].Load(r.now(), tok, a, true)
 		tok++
 		r.settle()
+	}
+}
+
+// BenchmarkDirDispatchProtocols runs the ping-pong workload once per
+// registered protocol, so `make bench-dir` reports a dispatch cost row
+// for every registry entry (a newly registered protocol appears with no
+// benchmark edits) and scripts/refresh_baseline.py records them in
+// BENCH_baseline.json. The BenchmarkDirDispatch record above stays the
+// frozen pre-refactor reference for the regression gate; these rows are
+// the additive per-protocol record. Note tardis ns/op includes the
+// cycles spent waiting out read leases — that wait is the protocol's
+// write cost, not harness overhead.
+func BenchmarkDirDispatchProtocols(b *testing.B) {
+	for _, proto := range Protocols() {
+		b.Run(proto.Name, func(b *testing.B) {
+			params := testParams()
+			params.NonSilentSharedEvictions = proto.NonSilent
+			benchDispatchPingPong(b, newRigMode(b, 4, params, proto.Mode))
+		})
 	}
 }
 

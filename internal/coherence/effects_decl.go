@@ -25,6 +25,10 @@ var dirEventNet = [numDirEvents]int{
 	dirEvDelayedAck: int(network.VNetResponse),
 	dirEvOwnerData:  int(network.VNetResponse),
 	dirEvUnblock:    int(network.VNetResponse),
+	// The lease-expiry timer is local, not a message; it is modelled on
+	// the response (sink) network so the vnet pass enforces that its
+	// rows never wait on anything — a timer must always be consumable.
+	dirEvLeaseExpired: int(network.VNetResponse),
 }
 
 var pcuEventNet = [numPCUEvents]int{

@@ -199,12 +199,16 @@ func exerciseDirStalePuts(mode Mode, agg *CoverageAgg) {
 	agg.AddBank(x.bank)
 
 	// (S, PutOwned): the owner's Put lost a race with the read
-	// downgrade that already rebuilt the entry as Shared.
-	x = newDirBench(mode)
-	x.shareLine(0, 1, line)
-	x.peers[0].send(x.bankEP(), &Msg{Type: MsgPutM, Line: line, Requester: x.peers[0].id, HasData: true})
-	x.run(exStep)
-	agg.AddBank(x.bank)
+	// downgrade that already rebuilt the entry as Shared. Tardis kills
+	// the Shared state; the equivalent race lands in TsShared and is
+	// exercised by exerciseTardisDir.
+	if mode != ModeTardis {
+		x = newDirBench(mode)
+		x.shareLine(0, 1, line)
+		x.peers[0].send(x.bankEP(), &Msg{Type: MsgPutM, Line: line, Requester: x.peers[0].id, HasData: true})
+		x.run(exStep)
+		agg.AddBank(x.bank)
+	}
 
 	// (BusyEv, PutOwned) then (BusyEv, InvAck): the owner's Put crosses
 	// the eviction invalidation on the unordered network.
@@ -490,16 +494,134 @@ func exercisePCU(mode Mode, agg *CoverageAgg) {
 	})
 }
 
-// ExerciseProtocol runs every directed scenario against both protocol
+// ---------------------------------------------------------------------
+// Tardis scenarios. The timestamp states are unreachable from the MESI
+// benches (Shared is killed), so the lease lifecycle gets its own
+// scripts.
+// ---------------------------------------------------------------------
+
+// tsShareLine forms a TsShared entry on line: c1 acquires exclusively,
+// c2's read forwards to c1, whose scripted reply (leased Data to c2,
+// OwnerData home) completes the 3-hop — with no Unblock leg, per the
+// tardis delta.
+func (x *exBench) tsShareLine(c1, c2 int, line mem.Line) {
+	data := x.acquireE(c1, line)
+	x.peers[c2].send(x.bankEP(), &Msg{Type: MsgGetS, Line: line, Requester: x.peers[c2].id})
+	fwd := x.await(c1, MsgFwdGetS, line)
+	x.peers[c1].send(fwd.Requester, &Msg{Type: MsgData, Line: line, Requester: fwd.Requester, Data: data, HasData: true, Lease: x.now + 100})
+	x.peers[c1].send(x.bankEP(), &Msg{Type: MsgOwnerData, Line: line, Requester: fwd.Requester, Data: data, HasData: true})
+	x.run(exStep)
+}
+
+// exerciseTardisDir replays the directory's lease lifecycle: leased
+// reads stack with no transaction, stale Puts are refused, a write parks
+// until the lease timer releases it, and an eviction waits out its
+// leases in the buffer with no invalidation fan-out.
+func exerciseTardisDir(agg *CoverageAgg) {
+	line := mem.Line(0x40)
+
+	// Write parked on a leased line: (TsS, Read/PutOwned/Write), then
+	// (TsWaitW, Read/Write/PutOwned) queue and refuse behind the park,
+	// and (TsWaitW, LeaseExpired) grants the writer exclusivity.
+	x := newDirBench(ModeTardis)
+	x.tsShareLine(0, 1, line)
+	x.peers[2].send(x.bankEP(), &Msg{Type: MsgGetS, Line: line, Requester: x.peers[2].id})
+	x.await(2, MsgData, line)
+	x.peers[0].send(x.bankEP(), &Msg{Type: MsgPutM, Line: line, Requester: x.peers[0].id, HasData: true})
+	x.await(0, MsgPutAck, line)
+	x.peers[1].send(x.bankEP(), &Msg{Type: MsgGetX, Line: line, Requester: x.peers[1].id})
+	x.run(exStep)
+	x.peers[2].send(x.bankEP(), &Msg{Type: MsgGetS, Line: line, Requester: x.peers[2].id})
+	x.peers[0].send(x.bankEP(), &Msg{Type: MsgGetX, Line: line, Requester: x.peers[0].id})
+	x.peers[0].send(x.bankEP(), &Msg{Type: MsgPutM, Line: line, Requester: x.peers[0].id, HasData: true})
+	x.run(exStep)
+	x.await(1, MsgDataExcl, line)
+	x.peers[1].send(x.bankEP(), &Msg{Type: MsgUnblock, Line: line, Requester: x.peers[1].id})
+	x.await(1, MsgFwdGetS, line) // the queued read replays against the new owner
+	agg.AddBank(x.bank)
+
+	// Eviction of a leased entry: it parks in the eviction buffer
+	// (TsWaitEv) — no invalidations exist to fan out — queues new work,
+	// refuses a stale Put, and completes on the lease timer, after which
+	// the orphaned read refetches the line from memory.
+	x = newDirBench(ModeTardis)
+	x.tsShareLine(0, 1, line)
+	probe := cache.NewArray(x.params.LLCLines, x.params.LLCWays)
+	coll := line + 1
+	for probe.SetIndex(coll) != probe.SetIndex(line) {
+		coll++
+	}
+	x.peers[2].send(x.bankEP(), &Msg{Type: MsgGetS, Line: coll, Requester: x.peers[2].id})
+	x.run(exStep)
+	x.peers[1].send(x.bankEP(), &Msg{Type: MsgGetS, Line: line, Requester: x.peers[1].id})
+	x.peers[0].send(x.bankEP(), &Msg{Type: MsgGetX, Line: line, Requester: x.peers[0].id})
+	x.peers[0].send(x.bankEP(), &Msg{Type: MsgPutM, Line: line, Requester: x.peers[0].id, HasData: true})
+	x.await(0, MsgPutAck, line)
+	x.await(1, MsgData, line)
+	agg.AddBank(x.bank)
+}
+
+// exerciseTardisPCU replays the core-side lease rows: a leased grant
+// installs Shared and self-downgrades on its timer, a lease that lapsed
+// in flight binds tear-off style, and forwards are served with a fresh
+// lease from the cache or the writeback buffer — the owner dropping its
+// copy either way.
+func exerciseTardisPCU(agg *CoverageAgg) {
+	line := mem.Line(0x40)
+	addr := mem.Addr(line) * mem.LineBytes
+
+	// Leased grant, then self-downgrade: after the expiry fires the copy
+	// must be gone without any message in either direction.
+	x := newPCUBench(ModeTardis)
+	x.pcu.Load(x.now, 1, addr, false)
+	g := x.await(0, MsgGetS, line)
+	x.peers[0].send(exPCUEP, &Msg{Type: MsgData, Line: line, Requester: g.Requester, HasData: true, Lease: x.now + 100})
+	x.run(exStep)
+	if x.pcu.HasLineShared(line) {
+		panicf("exercise: tardis lease on %v did not self-downgrade", line)
+	}
+	agg.AddPCU(x.pcu)
+
+	// A grant whose lease lapsed in flight: the value binds tear-off
+	// style and nothing is installed, so no stale copy can form.
+	x = newPCUBench(ModeTardis)
+	x.pcu.Load(x.now, 1, addr, false)
+	g = x.await(0, MsgGetS, line)
+	x.peers[0].send(exPCUEP, &Msg{Type: MsgData, Line: line, Requester: g.Requester, HasData: true, Lease: x.now})
+	x.run(exStep)
+	if x.pcu.HasLineShared(line) {
+		panicf("exercise: expired-in-flight lease installed %v", line)
+	}
+	agg.AddPCU(x.pcu)
+
+	// Forward served from the owned copy: leased data to the requester,
+	// OwnerData home, and the owner drops the line entirely.
+	x = newPCUBench(ModeTardis)
+	x.ownLine(addr)
+	x.peers[0].send(exPCUEP, &Msg{Type: MsgFwdGetS, Line: line, Requester: x.peers[1].id})
+	d := x.await(1, MsgData, line)
+	if d.Lease == 0 {
+		panicf("exercise: tardis forward served %v without a lease", line)
+	}
+	x.await(0, MsgOwnerData, line)
+	if x.pcu.HasLineShared(line) {
+		panicf("exercise: tardis owner kept a copy of %v after serving a forward", line)
+	}
+	agg.AddPCU(x.pcu)
+}
+
+// ExerciseProtocol runs every directed scenario against all protocol
 // modes and returns the merged transition coverage. It is deterministic
 // and cheap (a few thousand simulated cycles on otherwise idle meshes).
 func ExerciseProtocol() *CoverageAgg {
 	agg := NewCoverageAgg()
-	for _, mode := range []Mode{ModeSquash, ModeLockdown} {
+	for _, mode := range []Mode{ModeSquash, ModeLockdown, ModeTardis} {
 		exerciseDirStalePuts(mode, agg)
 		exercisePCU(mode, agg)
 	}
 	exerciseDirEvictionWB(agg)
 	exerciseDirWBWNackPair(agg)
+	exerciseTardisDir(agg)
+	exerciseTardisPCU(agg)
 	return agg
 }

@@ -121,6 +121,12 @@ type Msg struct {
 	Atomic    bool // MsgGetX issued for an atomic RMW
 	Upgrade   bool // MsgGetX from a core that still holds a shared copy
 	Stale     bool // MsgPutAck for a Put that lost a race with a forward
+
+	// Lease is the absolute expiry cycle of a tardis read lease, stamped
+	// on shared MsgData grants by the granting side (directory or
+	// forwarded owner). Zero on every other message. It is a cycle
+	// stamp, so the model checker excludes it from message fingerprints.
+	Lease simCycle
 }
 
 // vnetOf maps each message type to its virtual network.

@@ -217,6 +217,11 @@ func alteredMachine(cfg ModelConfig) *table.Machine[dirAction] {
 	if cfg.Mode == ModeLockdown {
 		deltas = append(deltas, dirWBDelta())
 	}
+	if cfg.Mode == ModeTardis {
+		// Tardis kills the Shared state, and both checker alterations
+		// touch only owned-line rows, so they compose unchanged.
+		deltas = append(deltas, dirTardisDelta())
+	}
 	if cfg.PreFixPutRace {
 		deltas = append(deltas, dirPreFixDelta())
 	}
@@ -598,6 +603,10 @@ func (m *Model) describeEvent(arg any) string {
 		return fmt.Sprintf("fetch-done %v", a.dl.line)
 	case *bankRequeue:
 		return "requeue " + m.msgDesc(a.m, a.b.id)
+	case *bankLeaseExpire:
+		return fmt.Sprintf("lease-expire %v", a.line)
+	case *pcuLeaseExpire:
+		return fmt.Sprintf("lease-expire %v", a.line)
 	}
 	panic(fmt.Sprintf("model: unfingerprintable pending event %T", arg))
 }
@@ -822,6 +831,13 @@ func (m *Model) eventKey(b []byte, arg any) []byte {
 		return fpInt(append(b, 'f'), int64(a.dl.line))
 	case *bankRequeue:
 		return m.msgKey(append(b, 'q'), a.m, a.b.id)
+	case *bankLeaseExpire:
+		return fpInt(append(b, 'L'), int64(a.line))
+	case *pcuLeaseExpire:
+		// The expiry stamp is excluded: the model runs at now=0, so every
+		// stamp is the same constant (leaseSpan of zero) and carries no
+		// semantic information beyond the timer's presence.
+		return fpInt(append(b, 'x'), int64(a.line))
 	}
 	panic(fmt.Sprintf("model: unfingerprintable pending event %T", arg))
 }
@@ -890,6 +906,13 @@ func (m *Model) FingerprintBytes() []byte {
 				b = fpBool(b, wb.staleAck)
 				b = fpBool(b, wb.servedFwd)
 				b = fpInt(b, int64(wb.data.Get(line.Base())))
+			}
+			if _, leased := p.leases[line]; leased {
+				// Presence only: at now=0 every lease stamp is the same
+				// constant, so the stamp itself is non-semantic (the
+				// pending expiry timer is fingerprinted as an event).
+				b = append(b, 'L')
+				b = fpInt(b, int64(line))
 			}
 		}
 		b = m.eventMultiset(b, &p.events)

@@ -51,6 +51,8 @@ type cloneCtx struct {
 	freeFetchDone []*bankFetchDone
 	freeRequeue   []*bankRequeue
 	freePCUSend   []*pcuSend
+	freeBankLease []*bankLeaseExpire
+	freePCULease  []*pcuLeaseExpire
 }
 
 type msgPair struct{ old, new *Msg }
@@ -219,6 +221,10 @@ func (cc *cloneCtx) harvestArg(arg any) {
 		cc.freeRequeue = append(cc.freeRequeue, a)
 	case *pcuSend:
 		cc.freePCUSend = append(cc.freePCUSend, a)
+	case *bankLeaseExpire:
+		cc.freeBankLease = append(cc.freeBankLease, a)
+	case *pcuLeaseExpire:
+		cc.freePCULease = append(cc.freePCULease, a)
 	}
 }
 
@@ -265,6 +271,24 @@ func (cc *cloneCtx) takePCUSend() *pcuSend {
 		return s
 	}
 	return new(pcuSend)
+}
+
+func (cc *cloneCtx) takeBankLease() *bankLeaseExpire {
+	if n := len(cc.freeBankLease); n > 0 {
+		s := cc.freeBankLease[n-1]
+		cc.freeBankLease = cc.freeBankLease[:n-1]
+		return s
+	}
+	return new(bankLeaseExpire)
+}
+
+func (cc *cloneCtx) takePCULease() *pcuLeaseExpire {
+	if n := len(cc.freePCULease); n > 0 {
+		s := cc.freePCULease[n-1]
+		cc.freePCULease = cc.freePCULease[:n-1]
+		return s
+	}
+	return new(pcuLeaseExpire)
 }
 
 // cloneMsg deep-copies a protocol message once; later references to the
@@ -392,6 +416,10 @@ func (cc *cloneCtx) cloneBankInto(nb *Bank, b *Bank, port modelPort) {
 			n := cc.takeRequeue()
 			*n = bankRequeue{b: nb, m: cc.cloneMsg(a.m)}
 			return n
+		case *bankLeaseExpire:
+			n := cc.takeBankLease()
+			*n = bankLeaseExpire{b: nb, line: a.line}
+			return n
 		}
 		panic(fmt.Sprintf("model: unclonable pending bank event %T", arg))
 	})
@@ -460,18 +488,39 @@ func (cc *cloneCtx) clonePCUInto(np *PCU, p *PCU, port modelPort, hooks CoreHook
 	if wbCopied != len(p.wbBuf) {
 		panic("model: write-back buffer tracks a line outside the model universe")
 	}
+	if p.leases != nil {
+		if np.leases == nil {
+			np.leases = make(map[mem.Line]simCycle, len(p.leases))
+		}
+		lsCopied := 0
+		for _, l := range cc.dst.lines {
+			if exp, ok := p.leases[l]; ok {
+				np.leases[l] = exp
+				lsCopied++
+			} else {
+				delete(np.leases, l)
+			}
+		}
+		if lsCopied != len(p.leases) {
+			panic("model: lease table tracks a line outside the model universe")
+		}
+	}
 	np.Stats = p.Stats
 	np.now = p.now
 	if cc.reuse {
 		np.events.ForEachArg(cc.harvestArg)
 	}
 	p.events.CloneInto(&np.events, func(arg any) any {
-		s, ok := arg.(*pcuSend)
-		if !ok {
-			panic(fmt.Sprintf("model: unclonable pending PCU event %T", arg))
+		switch a := arg.(type) {
+		case *pcuSend:
+			n := cc.takePCUSend()
+			*n = pcuSend{p: np, dst: a.dst, m: a.m}
+			return n
+		case *pcuLeaseExpire:
+			n := cc.takePCULease()
+			*n = pcuLeaseExpire{p: np, line: a.line, expiry: a.expiry}
+			return n
 		}
-		n := cc.takePCUSend()
-		*n = pcuSend{p: np, dst: s.dst, m: s.m}
-		return n
+		panic(fmt.Sprintf("model: unclonable pending PCU event %T", arg))
 	})
 }

@@ -397,6 +397,12 @@ func (m *Model) fingerprintMapped(p *symPerm, b []byte, fb *fpBound) []byte {
 				b = fpBool(b, wb.servedFwd)
 				b = fpInt(b, int64(wb.data.Get(line.Base())))
 			}
+			if _, leased := pcu.leases[line]; leased {
+				// Presence only, matching FingerprintBytes: at now=0 every
+				// lease stamp is the same constant.
+				b = append(b, 'L')
+				b = fpInt(b, newID)
+			}
 		}
 		b = m.eventMultisetMapped(b, &pcu.events, p)
 		if fb.step(b) {
@@ -488,6 +494,12 @@ func (m *Model) eventKeyMapped(b []byte, arg any, p *symPerm) []byte {
 		return fpInt(append(b, 'f'), int64(m.mapLine(p, a.dl.line)))
 	case *bankRequeue:
 		return m.msgKeyMapped(append(b, 'q'), a.m, a.b.id, p)
+	case *bankLeaseExpire:
+		return fpInt(append(b, 'L'), int64(m.mapLine(p, a.line)))
+	case *pcuLeaseExpire:
+		// Expiry stamp excluded, matching eventKey: the model runs at
+		// now=0, so every stamp is the same constant.
+		return fpInt(append(b, 'x'), int64(m.mapLine(p, a.line)))
 	}
 	panic("model: unfingerprintable pending event")
 }

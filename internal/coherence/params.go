@@ -43,6 +43,15 @@ type Params struct {
 	MSHRs         int // private cache unit MSHRs
 	ReservedMSHRs int // MSHRs reserved for SoS loads (Section 3.5.2)
 	EvictionBuf   int // directory eviction buffer entries (Section 3.5.1)
+
+	// TardisLease is the read-lease span, in cycles, granted by the
+	// timestamp-coherence (tardis) protocol: a shared copy self-expires
+	// this many cycles after the directory stamps the grant, and a write
+	// to a leased line waits until every outstanding lease has expired
+	// instead of invalidating sharers. Larger leases amortize re-reads
+	// of read-mostly lines; smaller leases bound how long a write parks.
+	// Only the tardis protocol reads it.
+	TardisLease int
 }
 
 // DefaultParams returns the paper's memory-system configuration.
@@ -64,6 +73,7 @@ func DefaultParams() Params {
 		MSHRs:         16,
 		ReservedMSHRs: 2,
 		EvictionBuf:   16,
+		TardisLease:   200,
 	}
 }
 
@@ -85,12 +95,26 @@ const (
 	// when the lockdown lifts), and the directory hides the reordering
 	// in the WritersBlock state.
 	ModeLockdown
+	// ModeTardis is the timestamp-coherence protocol (Tardis 2.0-style):
+	// reads take time-bounded leases instead of joining a sharer list,
+	// writes to leased lines wait for the leases to expire instead of
+	// invalidating, and shared copies self-downgrade on lease expiry. No
+	// invalidation ever reaches an M-speculative load; lease expiry is
+	// the squash signal.
+	ModeTardis
+
+	numModes // sentinel: table/coverage arrays are sized by it
 )
 
 // String names the mode.
 func (m Mode) String() string {
-	if m == ModeLockdown {
+	switch m {
+	case ModeSquash:
+		return "squash"
+	case ModeLockdown:
 		return "lockdown"
+	case ModeTardis:
+		return "tardis"
 	}
-	return "squash"
+	return "mode?"
 }

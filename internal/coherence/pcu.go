@@ -147,6 +147,8 @@ type PCUStats struct {
 	Evictions       uint64
 	LockdownPutS    uint64 // owned evictions downgraded in place under a lockdown
 	AtomicsExecuted uint64
+	LeasesTaken     uint64 // tardis: leased shared copies installed
+	LeaseExpiries   uint64 // tardis: leases that lapsed (copy self-downgraded)
 }
 
 // PCU is a core's private cache unit: L1+L2 acting as a single coherence
@@ -172,6 +174,11 @@ type PCU struct {
 	mshrs *cache.MSHRFile
 	wbBuf map[mem.Line]*wbEntry
 
+	// leases maps each leased shared line to its expiry cycle (tardis
+	// only; nil in every other mode). Entries are stamps, not state: the
+	// model checker folds only their presence into fingerprints.
+	leases map[mem.Line]sim.Cycle
+
 	Stats PCUStats
 
 	now sim.Cycle
@@ -182,7 +189,7 @@ type PCU struct {
 // port under the sharded kernel).
 func NewPCU(id network.Endpoint, port network.Port, params *Params, home HomeFunc, hooks CoreHooks, mode Mode) *PCU {
 	machine := pcuMachines[mode]
-	return &PCU{
+	p := &PCU{
 		id:      id,
 		port:    port,
 		params:  params,
@@ -197,6 +204,10 @@ func NewPCU(id network.Endpoint, port network.Port, params *Params, home HomeFun
 		mshrs:   cache.NewMSHRFile(params.MSHRs, params.ReservedMSHRs),
 		wbBuf:   make(map[mem.Line]*wbEntry),
 	}
+	if mode == ModeTardis {
+		p.leases = make(map[mem.Line]sim.Cycle)
+	}
+	return p
 }
 
 // Tick runs deferred sends.
@@ -247,7 +258,7 @@ func (p *PCU) Load(now sim.Cycle, token uint64, addr mem.Addr, ordered bool) Loa
 	p.now = now
 	p.Stats.Loads++
 	line := mem.LineOf(addr)
-	if e := p.l2.Lookup(line); e != nil && e.State != stateInvalid {
+	if e := p.l2.Lookup(line); e != nil && e.State != stateInvalid && !p.leaseExpired(line, e) {
 		lat := p.params.L2Latency
 		if p.l1.Lookup(line) != nil {
 			lat = p.params.L1Latency

@@ -258,10 +258,11 @@ func pcuWBDelta() table.Delta[pcuAction] {
 }
 
 // pcuMachines holds the built core machines, indexed by Mode.
-var pcuMachines = func() [2]*table.Machine[pcuAction] {
-	var ms [2]*table.Machine[pcuAction]
+var pcuMachines = func() [numModes]*table.Machine[pcuAction] {
+	var ms [numModes]*table.Machine[pcuAction]
 	ms[ModeSquash] = table.MustBuild(pcuBaseSpec())
 	ms[ModeLockdown] = table.MustBuild(pcuBaseSpec(), pcuWBDelta())
+	ms[ModeTardis] = table.MustBuild(pcuBaseSpec(), pcuTardisDelta())
 	return ms
 }()
 

@@ -1,0 +1,203 @@
+package coherence
+
+// The protocol registry: the single place where a coherence protocol's
+// identity lives. A Protocol bundles everything the rest of the tree
+// used to re-derive with private switches — the composed table flavor
+// (via Mode + NonSilent, resolved by dirFlavorFor/pcuMachines), the
+// core-reaction mode, parameter requirements (Validate), and experiment-
+// matrix membership. Consumers iterate Protocols() instead of keeping
+// their own lists: core builds its commit-policy × protocol variant
+// matrix from it, cmd/wbsimspec and the speclint pairings walk it, the
+// conformance suite proves every entry against the litmus matrix, and
+// cmd/experiments compares the Evaluated entries head-to-head.
+//
+// Registering a protocol is the whole integration: a new entry (plus its
+// table deltas) appears in every tool, test, and report with no other
+// edits — tardis (tardis.go) is registered exactly this way.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Protocol describes one registered coherence protocol.
+type Protocol struct {
+	// Name is the registry key, used in variant names ("<commit>-<name>")
+	// and tool flags.
+	Name string
+	// Desc is the one-line description help text and docs are generated
+	// from.
+	Desc string
+	// Mode selects the composed transition tables and the core's
+	// reaction to consistency events (squash, lockdown, or lease expiry).
+	Mode Mode
+	// NonSilent makes shared-line evictions notify the directory
+	// (PutSh). It is a table-flavor selector, not a parameter default:
+	// systems pick it via Params.NonSilentSharedEvictions, which
+	// Validate cross-checks against the protocol's requirements.
+	NonSilent bool
+	// Evaluated marks the protocols that form commit-policy variants and
+	// appear in the head-to-head experiment matrix. Non-evaluated
+	// entries (the non-silent table flavors) still get the full static
+	// and conformance treatment.
+	Evaluated bool
+}
+
+// DirFlavorName names the composed directory machine this protocol runs,
+// for reports and docs.
+func (p *Protocol) DirFlavorName() string {
+	return dirMachines[dirFlavorFor(p.Mode, p.NonSilent)].Name()
+}
+
+// Validate checks a parameter set against the protocol's requirements.
+func (p *Protocol) Validate(params *Params) error {
+	if p.Mode == ModeTardis {
+		if params.NonSilentSharedEvictions {
+			return fmt.Errorf("protocol %s: tardis has no sharer list to leave, so non-silent shared evictions (PutSh) do not exist", p.Name)
+		}
+		if params.TardisLease < 1 {
+			return fmt.Errorf("protocol %s: TardisLease must be positive, got %d", p.Name, params.TardisLease)
+		}
+	}
+	if p.NonSilent != params.NonSilentSharedEvictions {
+		return fmt.Errorf("protocol %s: NonSilentSharedEvictions=%v does not match the protocol's table flavor (%v)",
+			p.Name, params.NonSilentSharedEvictions, p.NonSilent)
+	}
+	return nil
+}
+
+// protocols is the registry, in registration order (package init order:
+// the MESI family below, then tardis from tardis.go's init).
+var protocols []*Protocol
+
+// registerProtocol adds a protocol to the registry. It panics on a
+// duplicate name or an inconsistent entry — registration happens at
+// package init, so a bad entry fails every test immediately.
+func registerProtocol(p *Protocol) *Protocol {
+	if p.Name == "" || p.Desc == "" {
+		panic("coherence: protocol registration needs Name and Desc")
+	}
+	for _, q := range protocols {
+		if q.Name == p.Name {
+			panic(fmt.Sprintf("coherence: duplicate protocol %q", p.Name))
+		}
+	}
+	if p.Mode == ModeTardis && p.NonSilent {
+		panic(fmt.Sprintf("coherence: protocol %q: tardis cannot run non-silent shared evictions", p.Name))
+	}
+	// Force the composed machines to exist: dirFlavorFor panics on an
+	// unmapped pairing, and the dirMachines/pcuMachines builds have
+	// already completeness-checked the tables at this point.
+	_ = dirMachines[dirFlavorFor(p.Mode, p.NonSilent)]
+	_ = pcuMachines[p.Mode]
+	//wbsim:rawcounter -- init-time registry, frozen after package init; not per-run state
+	protocols = append(protocols, p)
+	return p
+}
+
+// The MESI protocol family: the paper's base directory protocol and its
+// WritersBlock extension, each in silent and non-silent shared-eviction
+// flavors.
+var (
+	// ProtoBase is the paper's baseline MESI directory protocol:
+	// consistency events squash and re-execute M-speculative loads.
+	ProtoBase = registerProtocol(&Protocol{
+		Name:      "base",
+		Desc:      "MESI directory protocol; invalidations squash M-speculative loads",
+		Mode:      ModeSquash,
+		Evaluated: true,
+	})
+	// ProtoBaseNS is the base protocol with non-silent shared evictions
+	// (PutSh), reproducing the paper's Section 3.8 traffic comparison.
+	ProtoBaseNS = registerProtocol(&Protocol{
+		Name:      "base-ns",
+		Desc:      "base protocol with non-silent shared evictions (PutSh)",
+		Mode:      ModeSquash,
+		NonSilent: true,
+	})
+	// ProtoWB is the paper's contribution: WritersBlock. Lockdowns nack
+	// invalidations and the directory parks writers instead of squashing
+	// reordered loads.
+	ProtoWB = registerProtocol(&Protocol{
+		Name:      "wb",
+		Desc:      "WritersBlock: lockdowns nack invalidations, the directory parks blocked writers",
+		Mode:      ModeLockdown,
+		Evaluated: true,
+	})
+	// ProtoWBNS is WritersBlock with non-silent shared evictions.
+	ProtoWBNS = registerProtocol(&Protocol{
+		Name:      "wb-ns",
+		Desc:      "WritersBlock with non-silent shared evictions (PutSh)",
+		Mode:      ModeLockdown,
+		NonSilent: true,
+	})
+)
+
+// Protocols returns the registered protocols in registration order. The
+// returned slice is a copy; the entries are shared.
+func Protocols() []*Protocol {
+	return append([]*Protocol(nil), protocols...)
+}
+
+// EvaluatedProtocols returns the registered protocols that form variants
+// and experiment-matrix rows, in registration order.
+func EvaluatedProtocols() []*Protocol {
+	var out []*Protocol
+	for _, p := range protocols {
+		if p.Evaluated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ProtocolFor resolves the registered protocol running a given mode and
+// shared-eviction flavor, or nil if no protocol covers the pairing
+// (e.g. tardis has no non-silent flavor). Systems use it to resolve the
+// effective protocol after Params may have flipped the eviction flavor
+// under a variant's nominal protocol.
+func ProtocolFor(mode Mode, nonSilent bool) *Protocol {
+	for _, p := range protocols {
+		if p.Mode == mode && p.NonSilent == nonSilent {
+			return p
+		}
+	}
+	return nil
+}
+
+// ProtocolByName resolves a registered protocol, or nil.
+func ProtocolByName(name string) *Protocol {
+	for _, p := range protocols {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// ModeByName resolves a core-reaction mode by its String() name,
+// derived from the registered protocols' modes (the model checker's
+// -mode flag speaks mode names, not protocol names).
+func ModeByName(name string) (Mode, bool) {
+	for _, p := range protocols {
+		if p.Mode.String() == name {
+			return p.Mode, true
+		}
+	}
+	return 0, false
+}
+
+// ModeNames lists the distinct mode names of the registered protocols,
+// sorted, for flag-error messages.
+func ModeNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range protocols {
+		if n := p.Mode.String(); !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -88,6 +88,13 @@ type rig struct {
 }
 
 func newRig(t testing.TB, n int, params Params) *rig {
+	return newRigMode(t, n, params, ModeLockdown)
+}
+
+// newRigMode builds the rig under an explicit protocol mode so
+// registry-driven tests and benchmarks can exercise every registered
+// protocol through one harness.
+func newRigMode(t testing.TB, n int, params Params, mode Mode) *rig {
 	t.Helper()
 	mesh := network.NewMesh(network.DefaultConfig(n), nil)
 	memory := mem.NewMemory()
@@ -98,10 +105,10 @@ func newRig(t testing.TB, n int, params Params) *rig {
 	routers := mesh.Routers()
 	for i := 0; i < n; i++ {
 		fc := newFakeCore()
-		p := NewPCU(network.Endpoint(i), mesh, &params, home, fc, ModeLockdown)
+		p := NewPCU(network.Endpoint(i), mesh, &params, home, fc, mode)
 		fc.pcu = p
 		mesh.Attach(network.Endpoint(i), i%routers, p)
-		b := NewBank(network.Endpoint(n+i), mesh, &params, memory, ModeLockdown)
+		b := NewBank(network.Endpoint(n+i), mesh, &params, memory, mode)
 		mesh.Attach(network.Endpoint(n+i), i%routers, b)
 		r.cores = append(r.cores, fc)
 		r.pcus = append(r.pcus, p)

@@ -17,18 +17,10 @@ import (
 // request < forward < response, matching network.VNet ranks.
 var specVNetNames = []string{"request", "forward", "response"}
 
-// specPairings lists the shipping (directory flavor, core mode)
-// compositions. dirPreFixDelta is checker-only and deliberately absent.
-var specPairings = []struct {
-	Name   string
-	Flavor dirFlavor
-	Mode   Mode
-}{
-	{"base+squash", dirFlavorBase, ModeSquash},
-	{"basens+squash", dirFlavorBaseNS, ModeSquash},
-	{"wb+lockdown", dirFlavorWB, ModeLockdown},
-	{"wbns+lockdown", dirFlavorWBNS, ModeLockdown},
-}
+// The shipping (directory flavor, core mode) compositions are exactly
+// the registered protocols: SpecSystems iterates the protocol registry,
+// so registering a protocol adds its speclint system with no edits
+// here. dirPreFixDelta is checker-only and deliberately absent.
 
 // liveStates lists every state of a machine with at least one
 // non-Impossible row — the arrival set of request traffic, which can
@@ -47,8 +39,12 @@ func liveStates(info table.Info) []int {
 	return out
 }
 
-// specSystemFor builds the composed speclint system for one pairing.
-func specSystemFor(name string, flavor dirFlavor, mode Mode) speclint.System {
+// specSystemFor builds the composed speclint system for one registered
+// protocol.
+func specSystemFor(p *Protocol) speclint.System {
+	name := p.Name + "+" + p.Mode.String()
+	mode := p.Mode
+	flavor := dirFlavorFor(mode, p.NonSilent)
 	dir := dirMachines[flavor]
 	pcu := pcuMachines[mode]
 
@@ -60,14 +56,25 @@ func specSystemFor(name string, flavor dirFlavor, mode Mode) speclint.System {
 		}, Note: "memory fetch completes"},
 		// startEviction (from allocateAndFetch): a stable victim moves
 		// to the eviction buffer and its copies are invalidated.
-		{From: int(dirStShared), Effects: table.Effects{
-			Next:  dStates(dirStBusyEvict),
-			Sends: []table.Send{maybe(toCore(pcuEvInv, table.DestSharers, pcuAllStates...), "eviction invalidation per sharer")},
-		}, Note: "victim eviction of a shared entry"},
 		{From: int(dirStExclusive), Effects: table.Effects{
 			Next:  dStates(dirStBusyEvict),
 			Sends: []table.Send{toCore(pcuEvInv, table.DestOwner, pcuAllStates...)},
 		}, Note: "victim eviction of an owned entry"},
+	}
+	if mode == ModeTardis {
+		// startTsEviction: a leased victim has no sharer list to
+		// invalidate; it parks in the eviction buffer until its leases
+		// expire (the timer fires dirEvLeaseExpired through the table).
+		dirSpont = append(dirSpont, speclint.Spontaneous{
+			From: int(dirStTsShared), Effects: table.Effects{
+				Next: dStates(dirStTsWaitEvict),
+			}, Note: "victim eviction of a leased entry parks on the lease timer"})
+	} else {
+		dirSpont = append(dirSpont, speclint.Spontaneous{
+			From: int(dirStShared), Effects: table.Effects{
+				Next:  dStates(dirStBusyEvict),
+				Sends: []table.Send{maybe(toCore(pcuEvInv, table.DestSharers, pcuAllStates...), "eviction invalidation per sharer")},
+			}, Note: "victim eviction of a shared entry"})
 	}
 	pcuSpont := []speclint.Spontaneous{
 		// The core-facing issue paths allocate MSHRs outside the table.
@@ -88,7 +95,7 @@ func specSystemFor(name string, flavor dirFlavor, mode Mode) speclint.System {
 		{Side: table.SideDir, Event: int(dirEvPutOwned), ArrivesIn: dirLive,
 			Note: "capacity eviction of an owned line (PutM/PutE/PutS)"},
 	}
-	if flavor == dirFlavorBaseNS || flavor == dirFlavorWBNS {
+	if p.NonSilent {
 		stimuli = append(stimuli, speclint.Stimulus{
 			Side: table.SideDir, Event: int(dirEvPutShared), ArrivesIn: dirLive,
 			Note: "non-silent shared eviction (PutSh)"})
@@ -98,6 +105,12 @@ func specSystemFor(name string, flavor dirFlavor, mode Mode) speclint.System {
 			Side: table.SideDir, Event: int(dirEvDelayedAck),
 			ArrivesIn: dStates(dirStBusyWrite, dirStBusyEvict, dirStWBWrite, dirStWBEvict),
 			Note:      "lockdown lifts (DelayedAck)"})
+	}
+	if mode == ModeTardis {
+		stimuli = append(stimuli, speclint.Stimulus{
+			Side: table.SideDir, Event: int(dirEvLeaseExpired),
+			ArrivesIn: dStates(dirStTsWaitWrite, dirStTsWaitEvict),
+			Note:      "lease timer fires (armed only while a write or eviction waits)"})
 	}
 
 	sys := speclint.System{
@@ -120,12 +133,12 @@ func specSystemFor(name string, flavor dirFlavor, mode Mode) speclint.System {
 	return sys
 }
 
-// SpecSystems returns the composed speclint systems for every shipping
-// pairing of directory flavor and core mode.
+// SpecSystems returns the composed speclint systems for every
+// registered protocol.
 func SpecSystems() []speclint.System {
-	out := make([]speclint.System, 0, len(specPairings))
-	for _, p := range specPairings {
-		out = append(out, specSystemFor(p.Name, p.Flavor, p.Mode))
+	out := make([]speclint.System, 0, len(protocols))
+	for _, p := range protocols {
+		out = append(out, specSystemFor(p))
 	}
 	return out
 }
@@ -139,9 +152,11 @@ func SpecHygieneFindings() []speclint.Finding {
 	fs = append(fs, speclint.DeltaHygiene(dirBaseSpec(), dirNSDelta())...)
 	fs = append(fs, speclint.DeltaHygiene(dirBaseSpec(), dirWBDelta())...)
 	fs = append(fs, speclint.DeltaHygiene(dirBaseSpec(), dirWBDelta(), dirNSDelta(), dirWBNSDelta())...)
+	fs = append(fs, speclint.DeltaHygiene(dirBaseSpec(), dirTardisDelta())...)
 	fs = append(fs, speclint.DeltaHygiene(dirBaseSpec(), dirPreFixDelta())...)
 	fs = append(fs, speclint.DeltaHygiene(pcuBaseSpec())...)
 	fs = append(fs, speclint.DeltaHygiene(pcuBaseSpec(), pcuWBDelta())...)
+	fs = append(fs, speclint.DeltaHygiene(pcuBaseSpec(), pcuTardisDelta())...)
 	return fs
 }
 

@@ -81,12 +81,17 @@ type Spec[A any] struct {
 // Delta is a named overlay: its rows replace the base rows for the same
 // (state, event) pairs, and its Revive lists remove states/events from
 // the base's dead sets (a delta that handles a previously-impossible
-// event must say so).
+// event must say so). KillStates is the inverse of ReviveStates: the
+// delta declares base-live states unreachable under its composition
+// (e.g. a timestamp protocol with no sharer list kills the Shared
+// state) and must override all their non-Impossible rows with
+// Impossible ones, which Build then enforces.
 type Delta[A any] struct {
 	Name         string
 	Rows         []Row[A]
 	ReviveStates []int
 	ReviveEvents []int
+	KillStates   []int
 }
 
 // Machine is a built, immutable transition table. Coverage counters live
@@ -181,6 +186,9 @@ func Build[A any](spec Spec[A], deltas ...Delta[A]) (*Machine[A], error) {
 		}
 		for _, e := range d.ReviveEvents {
 			deadEvents[e] = false
+		}
+		for _, s := range d.KillStates {
+			deadStates[s] = true
 		}
 	}
 	for s := 0; s < ns; s++ {

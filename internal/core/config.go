@@ -52,17 +52,20 @@ func CoreConfig(class Class) cpu.Config {
 	return c
 }
 
-// Variant selects commit policy + coherence mode pairs the paper
-// compares.
+// Variant names one commit-policy × coherence-protocol pairing. The
+// full set is derived from the protocol registry (see variants.go and
+// coherence.Protocols); the constants below name the pairings referenced
+// directly by code and docs.
 type Variant string
 
-// The evaluated system variants.
+// Named variants. Descriptions live on the derived VariantSpecs
+// (registry protocol Desc × commit policy), rendered by VariantHelp.
 const (
-	// InOrderBase: in-order commit over the base directory protocol
-	// (squash-and-re-execute on consistency events). Figure 10 baseline.
+	// InOrderBase: in-order commit over the base directory protocol.
+	// Figure 10 baseline.
 	InOrderBase Variant = "inorder-base"
-	// InOrderWB: in-order commit over WritersBlock coherence (lockdowns
-	// instead of squashes). Figures 8/9 measure its overhead.
+	// InOrderWB: in-order commit over WritersBlock coherence. Figures
+	// 8/9 measure its overhead.
 	InOrderWB Variant = "inorder-wb"
 	// OoOBase: Bell-Lipasti safe out-of-order commit over the base
 	// protocol (consistency condition enforced).
@@ -70,31 +73,19 @@ const (
 	// OoOWB: the paper's contribution — out-of-order commit with the
 	// consistency condition relaxed by lockdowns + WritersBlock.
 	OoOWB Variant = "ooo-wb"
+	// InOrderTardis: in-order commit over timestamp coherence.
+	InOrderTardis Variant = "inorder-tardis"
+	// OoOTardis: safe out-of-order commit over timestamp coherence
+	// (lease expiry drives the same revalidation seam invalidations do).
+	OoOTardis Variant = "ooo-tardis"
 	// OoOUnsafe: out-of-order commit of M-speculative loads over the
 	// base protocol; violates TSO and exists for the litmus demo.
 	OoOUnsafe Variant = "ooo-unsafe"
 )
 
-// Variants lists the sound variants in evaluation order.
+// Variants lists the paper's evaluated variants in evaluation order.
+// SoundVariants/AllVariants (variants.go) list the full derived matrix.
 var Variants = []Variant{InOrderBase, InOrderWB, OoOBase, OoOWB}
-
-// Apply configures the commit/coherence fields of a core config.
-func (v Variant) Apply(c *cpu.Config) {
-	switch v {
-	case InOrderBase:
-		c.CommitMode, c.Lockdown = cpu.CommitInOrder, false
-	case InOrderWB:
-		c.CommitMode, c.Lockdown = cpu.CommitInOrder, true
-	case OoOBase:
-		c.CommitMode, c.Lockdown = cpu.CommitOoOSafe, false
-	case OoOWB:
-		c.CommitMode, c.Lockdown = cpu.CommitOoOWB, true
-	case OoOUnsafe:
-		c.CommitMode, c.Lockdown = cpu.CommitOoOUnsafe, false
-	default:
-		panic(fmt.Sprintf("core: unknown variant %q", v))
-	}
-}
 
 // Config describes a whole machine.
 type Config struct {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"wbsim/internal/cpu"
@@ -52,7 +54,8 @@ func TestConfigTable6Memory(t *testing.T) {
 	}
 }
 
-// TestVariantApply checks the commit/coherence pairings.
+// TestVariantApply checks the commit/coherence pairings derived from
+// the protocol registry.
 func TestVariantApply(t *testing.T) {
 	cases := []struct {
 		v        Variant
@@ -63,11 +66,15 @@ func TestVariantApply(t *testing.T) {
 		{InOrderWB, cpu.CommitInOrder, true},
 		{OoOBase, cpu.CommitOoOSafe, false},
 		{OoOWB, cpu.CommitOoOWB, true},
+		{InOrderTardis, cpu.CommitInOrder, false},
+		{OoOTardis, cpu.CommitOoOSafe, false},
 		{OoOUnsafe, cpu.CommitOoOUnsafe, false},
 	}
 	for _, c := range cases {
 		cfg := CoreConfig(SLM)
-		c.v.Apply(&cfg)
+		if err := c.v.Apply(&cfg); err != nil {
+			t.Fatalf("%s: %v", c.v, err)
+		}
 		if cfg.CommitMode != c.mode || cfg.Lockdown != c.lockdown {
 			t.Errorf("%s: mode=%v lockdown=%v", c.v, cfg.CommitMode, cfg.Lockdown)
 		}
@@ -83,14 +90,60 @@ func TestUnknownClassPanics(t *testing.T) {
 	CoreConfig("XXX")
 }
 
-func TestUnknownVariantPanics(t *testing.T) {
+// TestUnknownVariant checks the typed error: unknown names resolve to
+// an *UnknownVariantError listing the registered variants.
+func TestUnknownVariant(t *testing.T) {
 	cfg := CoreConfig(SLM)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown variant did not panic")
+	err := Variant("bogus").Apply(&cfg)
+	if err == nil {
+		t.Fatal("unknown variant did not error")
+	}
+	var uv *UnknownVariantError
+	if !errors.As(err, &uv) {
+		t.Fatalf("want *UnknownVariantError, got %T: %v", err, err)
+	}
+	if uv.Variant != "bogus" || len(uv.Known) == 0 {
+		t.Fatalf("error not populated: %+v", uv)
+	}
+	for _, want := range []string{"inorder-base", "ooo-tardis", "ooo-unsafe"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error message %q does not list %s", err, want)
 		}
-	}()
-	Variant("bogus").Apply(&cfg)
+	}
+}
+
+// TestVariantMatrix pins the registry-derived matrix: the paper's four
+// evaluated variants plus the tardis pairings and the unsound demo.
+func TestVariantMatrix(t *testing.T) {
+	want := []Variant{
+		InOrderBase, InOrderWB, InOrderTardis,
+		OoOBase, OoOWB, OoOTardis, OoOUnsafe,
+	}
+	got := AllVariants()
+	if len(got) != len(want) {
+		t.Fatalf("AllVariants() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AllVariants() = %v, want %v", got, want)
+		}
+	}
+	sound := SoundVariants()
+	if len(sound) != len(want)-1 {
+		t.Fatalf("SoundVariants() = %v", sound)
+	}
+	for _, v := range Variants {
+		s, err := v.Spec()
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !s.Evaluated {
+			t.Errorf("%s: paper variant not marked Evaluated", v)
+		}
+	}
+	if s, _ := OoOTardis.Spec(); s == nil || s.Evaluated {
+		t.Error("ooo-tardis must derive but stay outside the paper's evaluated four")
+	}
 }
 
 func TestNewSystemValidation(t *testing.T) {

@@ -65,11 +65,22 @@ func NewSystem(cfg Config, programs []*isa.Program) *System {
 		coreCfg = *cfg.CoreOverride
 	}
 	cfg.Faults.ApplyCore(&coreCfg)
-	cfg.Variant.Apply(&coreCfg)
-	protoMode := coherence.ModeSquash
-	if coreCfg.Lockdown {
-		protoMode = coherence.ModeLockdown
+	spec, err := cfg.Variant.Spec()
+	if err != nil {
+		panic(err)
 	}
+	spec.Apply(&coreCfg)
+	// Resolve the effective protocol: Params may flip the shared-eviction
+	// flavor under the variant's nominal protocol (base → base-ns).
+	proto := coherence.ProtocolFor(spec.Protocol.Mode, memParams.NonSilentSharedEvictions)
+	if proto == nil {
+		panic(fmt.Sprintf("core: no registered protocol runs mode %v with NonSilentSharedEvictions=%v",
+			spec.Protocol.Mode, memParams.NonSilentSharedEvictions))
+	}
+	if verr := proto.Validate(&memParams); verr != nil {
+		panic(verr)
+	}
+	protoMode := proto.Mode
 
 	routers := mesh.Routers()
 	for i := 0; i < n; i++ {

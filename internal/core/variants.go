@@ -1,0 +1,235 @@
+package core
+
+// Variant derivation from the protocol registry. A system variant is a
+// commit policy crossed with a registered, evaluated coherence protocol
+// — "inorder-wb" is the inorder policy over the wb protocol — plus the
+// one deliberately unsound demo pairing. Nothing here switches on
+// variant names: the spec table below is built by iterating
+// coherence.EvaluatedProtocols(), so registering a protocol mints its
+// variants, flag help, and docs with no edits in this package.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wbsim/internal/coherence"
+	"wbsim/internal/cpu"
+)
+
+// commitPolicy is one axis of the variant matrix: how the core commits
+// loads, expressed per coherence mode because the safe out-of-order
+// mechanism differs by protocol (squash-revalidation vs lockdowns).
+type commitPolicy struct {
+	slug string
+	desc string
+	// modes maps each coherence mode to the commit engine this policy
+	// uses over it. A missing mode means the pairing does not exist.
+	modes map[coherence.Mode]cpu.CommitMode
+}
+
+var commitPolicies = []commitPolicy{
+	{
+		slug: "inorder",
+		desc: "in-order commit",
+		modes: map[coherence.Mode]cpu.CommitMode{
+			coherence.ModeSquash:   cpu.CommitInOrder,
+			coherence.ModeLockdown: cpu.CommitInOrder,
+			coherence.ModeTardis:   cpu.CommitInOrder,
+		},
+	},
+	{
+		slug: "ooo",
+		desc: "out-of-order commit of M-speculative loads",
+		modes: map[coherence.Mode]cpu.CommitMode{
+			// Over squash-mode protocols the consistency condition is
+			// enforced Bell-Lipasti style (revalidate at commit).
+			coherence.ModeSquash: cpu.CommitOoOSafe,
+			// Over WritersBlock the condition is relaxed by lockdowns.
+			coherence.ModeLockdown: cpu.CommitOoOWB,
+			// Tardis cores are squash-based: lease expiry feeds the same
+			// OnInvalidation seam invalidations use, so safe out-of-order
+			// commit revalidates exactly as over the base protocol.
+			coherence.ModeTardis: cpu.CommitOoOSafe,
+		},
+	},
+}
+
+// VariantSpec is the resolved identity of one system variant.
+type VariantSpec struct {
+	Name   Variant
+	Desc   string
+	Commit cpu.CommitMode
+	// Policy is the commit-policy slug ("inorder", "ooo") — the first
+	// half of the variant name; experiments select one policy across
+	// protocols with it.
+	Policy string
+	// Protocol is the registered coherence protocol the variant runs.
+	Protocol *coherence.Protocol
+	// Sound marks TSO-preserving variants; the one unsound pairing
+	// exists for the litmus demo and is excluded from sweeps.
+	Sound bool
+	// Evaluated marks the paper's four-variant evaluation matrix
+	// (the legacy Variants list).
+	Evaluated bool
+}
+
+// variantSpecs is the derived matrix, in matrix order (commit policies
+// outer, registration order inner) with the unsound demo last.
+var variantSpecs = buildVariants()
+
+func buildVariants() []*VariantSpec {
+	evaluated := map[Variant]bool{}
+	for _, v := range Variants {
+		evaluated[v] = true
+	}
+	var specs []*VariantSpec
+	for _, c := range commitPolicies {
+		for _, p := range coherence.EvaluatedProtocols() {
+			commit, ok := c.modes[p.Mode]
+			if !ok {
+				continue
+			}
+			name := Variant(c.slug + "-" + p.Name)
+			specs = append(specs, &VariantSpec{
+				Name:      name,
+				Desc:      fmt.Sprintf("%s over %s", c.desc, p.Desc),
+				Commit:    commit,
+				Policy:    c.slug,
+				Protocol:  p,
+				Sound:     true,
+				Evaluated: evaluated[name],
+			})
+		}
+	}
+	specs = append(specs, &VariantSpec{
+		Name:     OoOUnsafe,
+		Desc:     "out-of-order commit with the consistency condition dropped; violates TSO, exists for the litmus demo",
+		Commit:   cpu.CommitOoOUnsafe,
+		Policy:   "ooo",
+		Protocol: coherence.ProtoBase,
+		Sound:    false,
+	})
+	names := map[Variant]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			panic(fmt.Sprintf("core: duplicate variant %q derived from the protocol registry", s.Name))
+		}
+		names[s.Name] = true
+	}
+	for _, v := range Variants {
+		if !names[v] {
+			panic(fmt.Sprintf("core: evaluated variant %q not derivable from the protocol registry", v))
+		}
+	}
+	return specs
+}
+
+// VariantSpecs returns every derived variant in matrix order (the
+// unsound demo pairing last). The slice is a copy; specs are shared.
+func VariantSpecs() []*VariantSpec {
+	return append([]*VariantSpec(nil), variantSpecs...)
+}
+
+// AllVariants returns the names of every derived variant, sound and not,
+// in matrix order.
+func AllVariants() []Variant {
+	out := make([]Variant, len(variantSpecs))
+	for i, s := range variantSpecs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SoundVariants returns the names of the TSO-preserving variants in
+// matrix order (a superset of the paper's Variants).
+func SoundVariants() []Variant {
+	var out []Variant
+	for _, s := range variantSpecs {
+		if s.Sound {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// UnknownVariantError reports a variant name that is not derived from
+// the protocol registry, listing the names that are.
+type UnknownVariantError struct {
+	Variant Variant
+	Known   []Variant
+}
+
+func (e *UnknownVariantError) Error() string {
+	known := make([]string, len(e.Known))
+	for i, v := range e.Known {
+		known[i] = string(v)
+	}
+	sort.Strings(known)
+	return fmt.Sprintf("core: unknown variant %q (registered: %s)", e.Variant, strings.Join(known, ", "))
+}
+
+// Spec resolves a variant name against the derived matrix.
+func (v Variant) Spec() (*VariantSpec, error) {
+	for _, s := range variantSpecs {
+		if s.Name == v {
+			return s, nil
+		}
+	}
+	return nil, &UnknownVariantError{Variant: v, Known: AllVariants()}
+}
+
+// Apply configures the commit/coherence fields of a core config from
+// the variant's spec.
+func (s *VariantSpec) Apply(c *cpu.Config) {
+	c.CommitMode = s.Commit
+	c.Lockdown = s.Protocol.Mode == coherence.ModeLockdown
+}
+
+// Apply configures the commit/coherence fields of a core config,
+// reporting an UnknownVariantError for unregistered names.
+func (v Variant) Apply(c *cpu.Config) error {
+	s, err := v.Spec()
+	if err != nil {
+		return err
+	}
+	s.Apply(c)
+	return nil
+}
+
+// VariantHelp renders one line per derived variant for -variants flag
+// help, generated from the registry so tools never hand-maintain it.
+func VariantHelp() string {
+	var b strings.Builder
+	for _, s := range variantSpecs {
+		sound := ""
+		if !s.Sound {
+			sound = " [UNSOUND]"
+		}
+		fmt.Fprintf(&b, "  %-16s %s%s\n", s.Name, s.Desc, sound)
+	}
+	return b.String()
+}
+
+// ProtocolTable renders the registered protocols as a Markdown table
+// (README's protocol section is generated from it; the conformance test
+// keeps them in sync).
+func ProtocolTable() string {
+	var b strings.Builder
+	b.WriteString("| Protocol | Mode | Description | Variants |\n")
+	b.WriteString("|----------|------|-------------|----------|\n")
+	for _, p := range coherence.Protocols() {
+		var vs []string
+		for _, s := range variantSpecs {
+			if s.Protocol == p && s.Sound {
+				vs = append(vs, "`"+string(s.Name)+"`")
+			}
+		}
+		variants := strings.Join(vs, ", ")
+		if variants == "" {
+			variants = "—"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", p.Name, p.Mode, p.Desc, variants)
+	}
+	return b.String()
+}

@@ -238,6 +238,65 @@ func (e *Engine) Fig10Time(opt Options) (*Fig10Results, error) {
 	}, nil
 }
 
+// ProtocolCompare runs Engine.ProtocolCompare on a fresh default engine.
+func ProtocolCompare(opt Options) (*stats.Table, error) {
+	return NewEngine(0).ProtocolCompare(opt)
+}
+
+// ProtocolCompare compares every evaluated protocol in the registry
+// head-to-head (E23): execution time and network traffic of safe
+// out-of-order commit over each protocol, normalized per benchmark to
+// the first registered protocol (base), plus each protocol's absolute
+// blocked-writes rate — WritersBlock parks writers at the directory,
+// tardis parks them on lease timers, base never blocks. Registering an
+// evaluated protocol adds its column block with no edits here.
+func (e *Engine) ProtocolCompare(opt Options) (*stats.Table, error) {
+	var specs []*core.VariantSpec
+	for _, s := range core.VariantSpecs() {
+		if s.Sound && s.Policy == "ooo" && s.Protocol.Evaluated {
+			specs = append(specs, s)
+		}
+	}
+	ws := workload.Evaluation()
+	var jobs []simJob
+	for _, w := range ws {
+		for _, s := range specs {
+			jobs = append(jobs, simJob{
+				label: fmt.Sprintf("protocols %s/%s", w.Name, s.Protocol.Name),
+				w:     w,
+				cfg:   figConfig(core.SLM, s.Name, opt),
+				scale: opt.Scale,
+			})
+		}
+	}
+	results, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Protocol comparison: safe OoO commit over each registered protocol (normalized to "+specs[0].Protocol.Name+")",
+		"benchmark", "protocol", "exec-time", "traffic(flit-hops)", "blocked-writes/kstore")
+	norm := make([][]float64, len(specs)) // per protocol: exec-time normals for geomean
+	traf := make([][]float64, len(specs))
+	i := 0
+	for _, w := range ws {
+		base := results[i]
+		for si, s := range specs {
+			res := results[i]
+			i++
+			tn := stats.Ratio(float64(res.Cycles), float64(base.Cycles))
+			fn := stats.Ratio(float64(res.NetFlitHops), float64(base.NetFlitHops))
+			norm[si] = append(norm[si], tn)
+			traf[si] = append(traf[si], fn)
+			t.AddRow(w.Name, s.Protocol.Name, tn, fn,
+				stats.PerMille(res.BlockedWrites, res.CommittedStores))
+		}
+	}
+	for si, s := range specs {
+		t.AddRow("geomean", s.Protocol.Name, stats.GeoMean(norm[si]), stats.GeoMean(traf[si]), 0.0)
+	}
+	return t, nil
+}
+
 // Squashes runs Engine.Squashes on a fresh default engine.
 func Squashes(opt Options) (*stats.Table, error) { return NewEngine(0).Squashes(opt) }
 

@@ -1,0 +1,39 @@
+package wbsim_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"wbsim/internal/core"
+)
+
+// TestREADMEProtocolTable pins the README's protocol table to the
+// registry: the block between the protocol-table markers must be
+// core.ProtocolTable() verbatim. Registering, renaming, or redescribing
+// a protocol therefore forces the README row to follow — the
+// documentation is generated from the same descriptors every other
+// consumer iterates, it cannot drift.
+func TestREADMEProtocolTable(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+	const begin = "<!-- protocol-table:begin"
+	const end = "<!-- protocol-table:end -->"
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md protocol-table markers missing or out of order (begin=%d end=%d)", i, j)
+	}
+	block := readme[i:j]
+	nl := strings.Index(block, "\n")
+	if nl < 0 {
+		t.Fatal("no newline after the begin marker")
+	}
+	got := block[nl+1:]
+	if want := core.ProtocolTable(); got != want {
+		t.Errorf("README protocol table is out of sync with the registry.\n-- README --\n%s\n-- core.ProtocolTable() --\n%s\npaste the second block between the markers", got, want)
+	}
+}

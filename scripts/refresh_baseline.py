@@ -11,6 +11,13 @@ place:
                                             allocs/op, sim-cycles/op and
                                             the sim_cycles_per_sec
                                             headline (shards=1)
+  benchmarks.BenchmarkDirDispatchProtocols  per-protocol dispatch rows —
+                                            one per coherence-registry
+                                            entry (base, base-ns, wb,
+                                            wb-ns, tardis, ...); a newly
+                                            registered protocol gains a
+                                            row on the next refresh with
+                                            no script edits
   wall_clock.experiments_all_c4s1           real/user seconds
 
 by_shards entries are only recorded for shard counts the host can
@@ -28,7 +35,11 @@ gate (scripts/checkbench_gate.py) measures speedups against.
 The DirDispatch record is deliberately NOT touched: it is the
 pre-refactor reference the dispatch regression gate
 (scripts/dirbench_gate.py) compares against, and refreshing it would
-erase the gate's meaning.
+erase the gate's meaning. The per-protocol DirDispatchProtocols rows
+are the refreshable complement: the same ping-pong workload run under
+every protocol in the coherence registry, recorded additively so the
+longitudinal record tracks each protocol's dispatch cost without
+disturbing the frozen gate reference.
 
 Usage:
   python3 scripts/refresh_baseline.py              # benchmarks only
@@ -52,6 +63,11 @@ CHECKFILE = "BENCH_check.json"
 BENCH_RE = re.compile(
     r"^BenchmarkSimulatorThroughput/shards=(\d+)\S*\s+\d+\s+(\d+) ns/op"
     r"\s+(\d+) sim-cycles/op\s+(\d+) sim-cycles/sec\s+(\d+) B/op\s+(\d+) allocs/op",
+    re.M,
+)
+PROTO_BENCH_RE = re.compile(
+    r"^BenchmarkDirDispatchProtocols/(\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
+    r"\s+(\d+) B/op\s+(\d+) allocs/op",
     re.M,
 )
 
@@ -89,6 +105,38 @@ def bench_throughput():
     if "shards=1" not in shards:
         sys.exit("refresh_baseline: no shards=1 result in benchmark output:\n" + out)
     return shards
+
+
+def bench_dispatch_protocols(runs=3):
+    """Per-protocol dispatch rows: the registry-driven benchmark emits one
+    sub-benchmark per registered coherence protocol; medians over `runs`
+    repetitions. Additive — the frozen BenchmarkDirDispatch gate record
+    is never touched."""
+    rows = {}
+    for _ in range(runs):
+        out = run([
+            "go", "test", "-count=1", "-run", "^$",
+            "-bench", "DirDispatchProtocols", "-benchtime", "200x",
+            "-benchmem", "./internal/coherence",
+        ]).stdout
+        for m in PROTO_BENCH_RE.finditer(out):
+            rows.setdefault(m.group(1), []).append(
+                (float(m.group(2)), int(m.group(3)), int(m.group(4))))
+    if not rows:
+        sys.exit("refresh_baseline: no DirDispatchProtocols results")
+
+    def median(vals):
+        vals = sorted(vals)
+        return vals[len(vals) // 2]
+
+    return {
+        name: {
+            "ns_per_op": int(median([s[0] for s in samples])),
+            "bytes_per_op": median([s[1] for s in samples]),
+            "allocs_per_op": median([s[2] for s in samples]),
+        }
+        for name, samples in rows.items()
+    }
 
 
 # ---------------------------------------------------------------------
@@ -254,6 +302,19 @@ def main():
     gover = run(["go", "env", "GOVERSION"]).stdout.strip()
     shards = bench_throughput()
     head = shards["shards=1"]
+    # Per-protocol dispatch rows, keyed by registry name. Recorded next
+    # to — never instead of — the frozen BenchmarkDirDispatch reference
+    # that scripts/dirbench_gate.py measures regressions against.
+    doc["benchmarks"]["BenchmarkDirDispatchProtocols"] = {
+        "cmd": "go test -count=1 -run '^$' -bench DirDispatchProtocols "
+               "-benchtime 200x -benchmem ./internal/coherence (median of 3)",
+        "recorded": today,
+        "note": "one row per coherence-registry protocol; the same "
+                "ping-pong workload as the frozen DirDispatch gate record. "
+                "tardis ns/op includes the cycles writes spend waiting out "
+                "read leases — protocol cost, not harness overhead.",
+        "rows": bench_dispatch_protocols(),
+    }
     doc["benchmarks"]["BenchmarkSimulatorThroughput"] = {
         "cmd": "go test -count=1 -run '^$' -bench SimulatorThroughput -benchmem -benchtime=3x .",
         "recorded": today,

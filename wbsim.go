@@ -54,19 +54,35 @@ const (
 	HSW = core.HSW
 )
 
-// System variants.
+// System variants, derived from the protocol registry (commit policy ×
+// registered coherence protocol). Descriptions live on the registry
+// entries; VariantHelp renders them. The constants re-export the
+// pairings referenced directly by docs and callers.
 const (
-	// InOrderBase: in-order commit, base directory protocol.
-	InOrderBase = core.InOrderBase
-	// InOrderWB: in-order commit over WritersBlock coherence.
-	InOrderWB = core.InOrderWB
-	// OoOBase: Bell-Lipasti safe out-of-order commit, base protocol.
-	OoOBase = core.OoOBase
-	// OoOWB: the paper's contribution — OoO commit + WritersBlock.
-	OoOWB = core.OoOWB
-	// OoOUnsafe: deliberately unsound baseline for the violation demo.
-	OoOUnsafe = core.OoOUnsafe
+	InOrderBase   = core.InOrderBase
+	InOrderWB     = core.InOrderWB
+	OoOBase       = core.OoOBase
+	OoOWB         = core.OoOWB
+	InOrderTardis = core.InOrderTardis
+	OoOTardis     = core.OoOTardis
+	OoOUnsafe     = core.OoOUnsafe
 )
+
+// Variants lists the paper's evaluated variants; SoundVariants and
+// AllVariants expose the full registry-derived matrix.
+var (
+	Variants = core.Variants
+)
+
+// SoundVariants returns every TSO-preserving variant derived from the
+// protocol registry.
+func SoundVariants() []Variant { return core.SoundVariants() }
+
+// AllVariants returns every derived variant including the unsound demo.
+func AllVariants() []Variant { return core.AllVariants() }
+
+// VariantHelp renders one descriptive line per derived variant.
+func VariantHelp() string { return core.VariantHelp() }
 
 // DefaultConfig returns the paper's 16-core machine for a class/variant.
 func DefaultConfig(class Class, variant Variant) Config {
